@@ -1,0 +1,1 @@
+bench/tables.ml: Buffer Int64 List Monotonic_clock Printf String

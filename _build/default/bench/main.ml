@@ -1,0 +1,834 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md
+   (the survey has no measurement tables; its complexity claims are the
+   evaluation — see DESIGN.md §2 for the experiment index).
+
+   Run with:  dune exec bench/main.exe
+
+   Each experiment prints a table; the Bechamel section at the end runs
+   one micro-benchmark per experiment family through bechamel's OLS
+   estimator. *)
+
+open Spanner_core
+module Slp = Spanner_slp.Slp
+module Builder = Spanner_slp.Builder
+module Balance = Spanner_slp.Balance
+module Doc_db = Spanner_slp.Doc_db
+module Cde = Spanner_slp.Cde
+module Accept = Spanner_slp.Accept
+module Slp_spanner = Spanner_slp.Slp_spanner
+module Figure1 = Spanner_slp.Figure1
+module Refl_spanner = Spanner_refl.Refl_spanner
+module X = Spanner_util.Xoshiro
+module Nfa = Spanner_fa.Nfa
+module Regex = Spanner_fa.Regex
+open Tables
+
+let v = Variable.of_string
+let vs = Variable.set_of_list
+
+(* ------------------------------------------------------------------ *)
+(* F1: Figure 1, reproduced exactly                                    *)
+
+let figure1 () =
+  section "F1: Figure 1 — the example SLP (solid + grey part)";
+  let fig = Figure1.build () in
+  let store = Doc_db.store fig.Figure1.db in
+  let a4, a5 = Figure1.extend fig in
+  let named =
+    [
+      ("A1", fig.Figure1.a1);
+      ("A2", fig.Figure1.a2);
+      ("A3", fig.Figure1.a3);
+      ("B", fig.Figure1.b);
+      ("C", fig.Figure1.c);
+      ("D", fig.Figure1.d);
+      ("E", fig.Figure1.e);
+      ("F", fig.Figure1.f);
+      ("A4 (grey)", a4);
+      ("A5 (grey)", a5);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, id) ->
+        [
+          name;
+          Slp.to_string store id;
+          string_of_int (Slp.order store id);
+          string_of_int (Slp.balance store id);
+        ])
+      named
+  in
+  print_table ~title:"node / derived document / ord / bal (§4.1 values)"
+    ~header:[ "node"; "derived document"; "ord"; "bal" ]
+    rows;
+  note "paper: ord F = ord E = 2, ord C = 3, ord B = 4, ord D = ord A3 = 5, ord A1 = ord A2 = 6";
+  note "paper: all nodes balanced except bal A1 = 2, bal A2 = bal A3 = -2";
+  note "D(A5) = abbcabcaabbcaabbca as computed in §4.3: %s"
+    (if Slp.to_string store a5 = "abbcabcaabbcaabbca" then "reproduced OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E1: enumeration for regular spanners (§2.5)                         *)
+
+let e1_enumeration () =
+  section
+    "E1: regular-spanner enumeration — linear preprocessing, delay independent of |D| (§2.5)";
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let rng = X.create 1 in
+  let rows =
+    List.map
+      (fun k ->
+        let n = 1 lsl k in
+        let doc = X.string rng "ab" n in
+        let prep = best_of 3 (fun () -> ignore (Enumerate.prepare e doc)) in
+        let p = Enumerate.prepare e doc in
+        let count = Enumerate.cardinal p in
+        Gc.full_major ();
+        let max_delay = ref 0.0 and total = ref 0.0 and produced = ref 0 in
+        let last = ref (now ()) in
+        Enumerate.iter p (fun _ ->
+            let t = now () in
+            let gap = t -. !last in
+            last := t;
+            incr produced;
+            total := !total +. gap;
+            if gap > !max_delay then max_delay := gap);
+        [
+          pretty_int n;
+          pretty_time prep;
+          Printf.sprintf "%.1f" (prep *. 1e9 /. float_of_int n);
+          pretty_int count;
+          pretty_time (!total /. float_of_int (max 1 !produced));
+          pretty_time !max_delay;
+        ])
+      [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+  in
+  print_table ~title:"spanner [ab]*!x{ab}[ab]* on random documents"
+    ~header:[ "|D|"; "preprocess"; "ns/char"; "tuples"; "mean delay"; "max delay" ]
+    rows;
+  note "expected shape: ns/char flat (linear preprocessing); mean delay flat vs |D|."
+
+(* ------------------------------------------------------------------ *)
+(* E2: regular vs core evaluation (§2.4)                               *)
+
+let e2_regular_vs_core () =
+  section
+    "E2: evaluation — polynomial for regular spanners, exponential search space for core (§2.4)";
+  let doc = "abababababab" in
+  let rows =
+    List.map
+      (fun n ->
+        let formula =
+          String.concat "" (List.init n (fun i -> Printf.sprintf "!pv%d{[ab]*}" i))
+        in
+        let expr =
+          let rec add_selections i acc =
+            if i + 1 >= n then acc
+            else
+              add_selections (i + 2)
+                (Algebra.Select
+                   ( vs [ v (Printf.sprintf "pv%d" i); v (Printf.sprintf "pv%d" (i + 1)) ],
+                     acc ))
+          in
+          add_selections 0 (Algebra.formula formula)
+        in
+        let s = Core_spanner.simplify expr in
+        let auto = s.Core_spanner.automaton in
+        let regular_time = best_of 3 (fun () -> ignore (Evset.nonempty_on auto doc)) in
+        let splits = Enumerate.cardinal (Enumerate.prepare auto doc) in
+        let results, core_time = time (fun () -> Span_relation.cardinal (Core_spanner.eval s doc)) in
+        [
+          string_of_int n;
+          pretty_int splits;
+          pretty_time regular_time;
+          pretty_time core_time;
+          pretty_int results;
+        ])
+      [ 2; 3; 4; 5; 6 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "pattern matching with variables: x1{S*}...xn{S*} + adjacent-pair selections on %S" doc)
+    ~header:[ "n vars"; "automaton tuples"; "regular NonEmpt"; "core eval"; "core results" ]
+    rows;
+  note
+    "expected shape: regular time flat; the core search space (automaton tuples) grows as \
+     |D|^(n-1).";
+  let e = Evset.of_formula (Regex_formula.parse "!x{a[ab]*}!y{b+}") in
+  let rng = X.create 3 in
+  let rows =
+    List.map
+      (fun k ->
+        let n = 1 lsl k in
+        let doc = X.string rng "a" (n - 2) ^ "bb" in
+        let tuple =
+          Span_tuple.of_list
+            [ (v "x", Span.make 1 (n - 1)); (v "y", Span.make (n - 1) (n + 1)) ]
+        in
+        let t = best_of 3 (fun () -> ignore (Evset.accepts_tuple e doc tuple)) in
+        [ pretty_int n; pretty_time t; Printf.sprintf "%.1f" (t *. 1e9 /. float_of_int n) ])
+      [ 10; 12; 14; 16; 18 ]
+  in
+  print_table ~title:"regular ModelChecking scaling" ~header:[ "|D|"; "time"; "ns/char" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: core-spanner expressiveness (§2.4)                              *)
+
+let e3_core_expressiveness () =
+  section "E3: core spanners express the word-equation relations ~com and ~cyc (§2.4)";
+  let com_spanner =
+    Core_spanner.simplify
+      (Algebra.Select
+         ( vs [ v "cbx"; v "cbx2" ],
+           Algebra.Select
+             ( vs [ v "cby"; v "cby2" ],
+               Algebra.Join
+                 ( Algebra.formula "!cbx{[ab]*}!cby{[ab]*}",
+                   Algebra.formula "!cby2{[ab]*}!cbx2{[ab]*}" ) ) ))
+  in
+  let cyc_spanner =
+    Core_spanner.simplify
+      (Algebra.Select
+         ( vs [ v "cu1"; v "cv2" ],
+           Algebra.Select
+             ( vs [ v "cu2"; v "cv1" ],
+               Algebra.formula "!cu1{[ab]*}!cu2{[ab]*}#!cv1{[ab]*}!cv2{[ab]*}" ) ))
+  in
+  let commutes_spanner u w =
+    let doc = u ^ w in
+    List.exists
+      (fun tuple ->
+        match Span_tuple.find tuple (v "cbx") with
+        | Some sp -> Span.left sp = 1 && Span.right sp = String.length u + 1
+        | None -> false)
+      (Span_relation.tuples (Core_spanner.eval com_spanner doc))
+  in
+  let cyc u w = Core_spanner.nonempty_on cyc_spanner (u ^ "#" ^ w) in
+  let rng = X.create 17 in
+  let samples = 60 in
+  let com_agree = ref 0 and cyc_agree = ref 0 in
+  let com_time = ref 0.0 and cyc_time = ref 0.0 in
+  for _ = 1 to samples do
+    let u = X.string rng "ab" (X.int rng 5) in
+    let w = X.string rng "ab" (X.int rng 5) in
+    let t0 = now () in
+    let got_com = commutes_spanner u w in
+    com_time := !com_time +. (now () -. t0);
+    if got_com = (u ^ w = w ^ u) then incr com_agree;
+    let w2 =
+      if X.bool rng && String.length u > 0 then
+        let k = X.int rng (String.length u) in
+        String.sub u k (String.length u - k) ^ String.sub u 0 k
+      else w
+    in
+    let is_shift =
+      String.length u = String.length w2
+      && (u = ""
+         || List.exists
+              (fun k -> String.sub u k (String.length u - k) ^ String.sub u 0 k = w2)
+              (List.init (String.length u) Fun.id))
+    in
+    let t1 = now () in
+    let got_cyc = cyc u w2 in
+    cyc_time := !cyc_time +. (now () -. t1);
+    if got_cyc = is_shift then incr cyc_agree
+  done;
+  print_table ~title:"agreement with direct string predicates (random pairs)"
+    ~header:[ "relation"; "agreement"; "mean time per check" ]
+    [
+      [
+        "~com (xy = yx)";
+        Printf.sprintf "%d/%d" !com_agree samples;
+        pretty_time (!com_time /. float_of_int samples);
+      ];
+      [
+        "~cyc (xz = zy)";
+        Printf.sprintf "%d/%d" !cyc_agree samples;
+        pretty_time (!cyc_time /. float_of_int samples);
+      ];
+    ];
+  note "expected shape: 100%% agreement — core spanners capture the word-equation relations."
+
+(* ------------------------------------------------------------------ *)
+(* E4: refl vs core (§3.3)                                             *)
+
+let e4_refl_vs_core () =
+  section "E4: refl-spanner ModelChecking is linear in |D|; the core route explodes (§3.3)";
+  let refl = Refl_spanner.parse "!x{[ab]+}c!y{&x}" in
+  let core = Refl_spanner.to_core refl in
+  let rng = X.create 9 in
+  let rows =
+    List.map
+      (fun k ->
+        let half = 1 lsl k in
+        let w = X.string rng "ab" half in
+        let doc = w ^ "c" ^ w in
+        let n = String.length doc in
+        let tuple =
+          Span_tuple.of_list
+            [ (v "x", Span.make 1 (half + 1)); (v "y", Span.make (half + 2) (n + 1)) ]
+        in
+        let refl_time = best_of 3 (fun () -> ignore (Refl_spanner.model_check refl doc tuple)) in
+        assert (Refl_spanner.model_check refl doc tuple);
+        let core_time =
+          if k <= 9 then
+            Some (time_unit (fun () -> ignore (Core_spanner.model_check core doc tuple)))
+          else None
+        in
+        [
+          pretty_int n;
+          pretty_time refl_time;
+          Printf.sprintf "%.1f" (refl_time *. 1e9 /. float_of_int n);
+          (match core_time with Some t -> pretty_time t | None -> "(skipped)");
+        ])
+      [ 4; 5; 6; 7; 8; 9; 10; 12; 14 ]
+  in
+  print_table ~title:"ModelChecking w.c.w with the backreference x = y"
+    ~header:[ "|D|"; "refl MC"; "refl ns/char"; "core MC (enumerate+filter)" ]
+    rows;
+  note "expected shape: refl ns/char flat (linear, §3.3); core time grows superlinearly.";
+  let sat_time = best_of 5 (fun () -> ignore (Refl_spanner.satisfiable refl)) in
+  note "refl Satisfiability (plain reachability, §3.3): %s" (pretty_time sat_time)
+
+(* ------------------------------------------------------------------ *)
+(* E5: NFA acceptance over SLPs (§4.2)                                 *)
+
+let e5_slp_accept () =
+  section "E5: NFA acceptance — O(|S|·n³) on the SLP vs linear-time decompression (§4.2)";
+  let nfa = Nfa.of_regex (Regex.parse "(ab)*") in
+  let rows =
+    List.map
+      (fun k ->
+        let store = Slp.create_store () in
+        let id = Builder.repeat store "ab" (1 lsl k) in
+        let slp_size = Slp.reachable_size store id in
+        let n = Slp.len store id in
+        let compressed =
+          best_of 3 (fun () ->
+              let cache = Accept.make_cache nfa store in
+              ignore (Accept.accepts cache id))
+        in
+        let decompressed =
+          if k <= 21 then
+            Some (best_of 3 (fun () -> ignore (Accept.accepts_via_decompression nfa store id)))
+          else None
+        in
+        [
+          pretty_int n;
+          string_of_int slp_size;
+          pretty_time compressed;
+          (match decompressed with Some t -> pretty_time t | None -> "(skipped)");
+          (match decompressed with
+          | Some t when compressed > 0.0 -> Printf.sprintf "%.0fx" (t /. compressed)
+          | _ -> "-");
+        ])
+      [ 8; 10; 12; 14; 16; 18; 20; 22 ]
+  in
+  print_table ~title:"membership of (ab)^k in (ab)* — compressed vs decompress-and-run"
+    ~header:[ "|D|"; "|S|"; "SLP matrices"; "decompress+NFA"; "speedup" ]
+    rows;
+  note
+    "expected shape: SLP time grows with |S| (about log |D|); baseline grows linearly — \
+     crossover, then orders of magnitude."
+
+(* ------------------------------------------------------------------ *)
+(* E6: spanner enumeration over SLPs (§4.2)                            *)
+
+let e6_slp_enumeration () =
+  section "E6: spanner enumeration over SLPs — preprocessing O(|S|), delay O(log |D|) (§4.2)";
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ba}[ab]*") in
+  let rows =
+    List.map
+      (fun k ->
+        let store = Slp.create_store () in
+        let id = Builder.repeat store "ab" (1 lsl k) in
+        let n = Slp.len store id in
+        let slp_size = Slp.reachable_size store id in
+        let prep =
+          best_of 3 (fun () ->
+              let engine = Slp_spanner.create e store in
+              Slp_spanner.prepare engine id)
+        in
+        let engine = Slp_spanner.create e store in
+        Slp_spanner.prepare engine id;
+        let total = Slp_spanner.cardinal engine id in
+        let budget = 500 in
+        Gc.full_major ();
+        let produced = ref 0 and worst = ref 0.0 and sum = ref 0.0 in
+        let last = ref (now ()) in
+        (try
+           Slp_spanner.iter engine id (fun _ ->
+               let t = now () in
+               let gap = t -. !last in
+               last := t;
+               sum := !sum +. gap;
+               if gap > !worst then worst := gap;
+               incr produced;
+               if !produced >= budget then raise Exit)
+         with Exit -> ());
+        let uncompressed_prep =
+          if k <= 16 then begin
+            let doc = Slp.to_string store id in
+            Some (time_unit (fun () -> ignore (Enumerate.prepare e doc)))
+          end
+          else None
+        in
+        [
+          pretty_int n;
+          string_of_int slp_size;
+          pretty_time prep;
+          pretty_int total;
+          pretty_time (!sum /. float_of_int (max 1 !produced));
+          (match uncompressed_prep with Some t -> pretty_time t | None -> "(skipped)");
+        ])
+      [ 8; 10; 12; 14; 16; 18; 20 ]
+  in
+  print_table ~title:"spanner [ab]*!x{ba}[ab]* over (ab)^k"
+    ~header:
+      [ "|D|"; "|S|"; "SLP preprocess"; "tuples"; "mean delay (500)"; "uncompressed preprocess" ]
+    rows;
+  note
+    "expected shape: SLP preprocessing grows with |S| (not |D|); delay grows about log |D|; \
+     uncompressed preprocessing linear in |D|."
+
+(* ------------------------------------------------------------------ *)
+(* E7: CDE updates (§4.3)                                              *)
+
+let e7_cde_updates () =
+  section
+    "E7: complex document editing in O(|phi| log d) with incremental spanner maintenance (§4.3)";
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ba}[ab]*") in
+  let rows =
+    List.map
+      (fun k ->
+        let db = Doc_db.create () in
+        let store = Doc_db.store db in
+        let id = Builder.repeat store "ab" (1 lsl (k - 1)) in
+        Doc_db.add db "base" id;
+        let n = Slp.len store id in
+        let expr =
+          Cde.Insert (Cde.Doc "base", Cde.Extract (Cde.Doc "base", n / 4, n / 2), (2 * n) / 3)
+        in
+        let update = best_of 5 (fun () -> ignore (Cde.eval db expr)) in
+        let engine = Slp_spanner.create e store in
+        Slp_spanner.prepare engine id;
+        let before = Slp_spanner.matrices_computed engine in
+        let edited = Cde.eval db expr in
+        Slp_spanner.prepare engine edited;
+        let new_matrices = Slp_spanner.matrices_computed engine - before in
+        let results = Slp_spanner.cardinal engine edited in
+        let rebuild =
+          if k <= 18 then begin
+            let doc = Slp.to_string store edited in
+            Some (time_unit (fun () -> ignore (Builder.lz78 store doc)))
+          end
+          else None
+        in
+        [
+          pretty_int n;
+          pretty_time update;
+          string_of_int new_matrices;
+          pretty_int results;
+          (match rebuild with Some t -> pretty_time t | None -> "(skipped)");
+        ])
+      [ 10; 12; 14; 16; 18; 20; 22 ]
+  in
+  print_table ~title:"insert(base, extract(base, n/4, n/2), 2n/3) on (ab)^k"
+    ~header:[ "|D|"; "CDE update"; "new matrices"; "results after edit"; "recompress baseline" ]
+    rows;
+  note "expected shape: update time and new matrices grow about log |D|; recompression grows linearly."
+
+(* ------------------------------------------------------------------ *)
+(* E8: balancing (§4.1)                                                *)
+
+let e8_balancing () =
+  section "E8: strong balancing — size O(|S| log |D|), strongly balanced implies 2-shallow (§4.1)";
+  let rng = X.create 33 in
+  let store = Slp.create_store () in
+  let subjects =
+    [
+      ("random 4k (lz78)", Builder.lz78 store (X.string rng "abcd" 4096));
+      ("random 64k (lz78)", Builder.lz78 store (X.string rng "abcd" 65536));
+      ( "periodic 48k (lz78)",
+        Builder.lz78 store (String.concat "" (List.init 4096 (fun _ -> "abcabcabcabc"))) );
+      ("left comb 2k", Slp.of_string store (X.string rng "ab" 2048));
+      ("fibonacci F30", Builder.fibonacci store 30);
+      ("power (ab)^2^18", Builder.repeat store "ab" (1 lsl 18));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, id) ->
+        let size_before = Slp.reachable_size store id in
+        let ord_before = Slp.order store id in
+        let balanced, t = time (fun () -> Balance.rebalance store id) in
+        let size_after = Slp.reachable_size store balanced in
+        let ord_after, log2 = Balance.depth_stats store balanced in
+        [
+          name;
+          pretty_int (Slp.len store id);
+          pretty_int size_before;
+          string_of_int ord_before;
+          pretty_int size_after;
+          string_of_int ord_after;
+          string_of_int (2 * log2);
+          (if Slp.is_strongly_balanced store balanced then "yes" else "NO");
+          pretty_time t;
+        ])
+      subjects
+  in
+  print_table ~title:"rebalancing across the compressibility spectrum"
+    ~header:
+      [
+        "input"; "|D|"; "|S| before"; "ord before"; "|S| after"; "ord after"; "2 log2 |D|";
+        "strongly bal"; "time";
+      ]
+    rows;
+  note "expected shape: ord after <= 2 log2 |D| (2-shallow); |S| grows by at most a log factor."
+
+(* ------------------------------------------------------------------ *)
+(* E9: core spanners over compressed documents (Slp_core)              *)
+
+let e9_core_over_slp () =
+  section
+    "E9: string-equality selections over SLPs — fingerprint filtering without decompression";
+  let core =
+    Core_spanner.simplify
+      (Algebra.Select
+         (vs [ v "x"; v "y" ], Algebra.formula "!x{[ab]+};!y{[ab]+};[ab;]*"))
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let store = Slp.create_store () in
+        let id = Builder.repeat store "ab;" (1 lsl k) in
+        let n = Slp.len store id in
+        let sc = Spanner_slp.Slp_core.create core store in
+        let compressed_first =
+          best_of 3 (fun () -> ignore (Spanner_slp.Slp_core.nonempty_on sc id))
+        in
+        let uncompressed =
+          if k <= 13 then begin
+            let t =
+              time_unit (fun () ->
+                  let doc = Slp.to_string store id in
+                  ignore (Core_spanner.nonempty_on core doc))
+            in
+            Some t
+          end
+          else None
+        in
+        [
+          pretty_int n;
+          string_of_int (Slp.reachable_size store id);
+          pretty_time compressed_first;
+          (match uncompressed with Some t -> pretty_time t | None -> "(skipped)");
+        ])
+      [ 6; 8; 10; 12; 14; 16 ]
+  in
+  print_table
+    ~title:"first duplicate adjacent field in (ab;)^k — compressed vs decompress-and-run"
+    ~header:[ "|D|"; "|S|"; "compressed NonEmptiness"; "decompress + core NonEmptiness" ]
+    rows;
+  note
+    "expected shape: the compressed route finds the first witness in near-constant time (the \
+     first tuples come from the top of the DAG); the baseline pays |D| for decompression and \
+     hashing first."
+
+(* ------------------------------------------------------------------ *)
+(* E10: context-free spanners ([31])                                   *)
+
+let e10_context_free () =
+  section "E10: context-free spanners — O(|D|³) recognition buys beyond-regular extraction ([31])";
+  let dyck =
+    Spanner_cfg.Cf_spanner.dyck_extractor ~x:(v "cfx") ~open_c:'(' ~close_c:')'
+      ~other:(Spanner_fa.Charset.of_string "ab")
+  in
+  let rng = X.create 41 in
+  let rows =
+    List.map
+      (fun n ->
+        (* a random balanced-ish document: nested groups with letters *)
+        let buf = Buffer.create n in
+        let depth = ref 0 in
+        while Buffer.length buf < n - 1 do
+          match X.int rng 4 with
+          | 0 ->
+              Buffer.add_char buf '(';
+              incr depth
+          | 1 when !depth > 0 ->
+              Buffer.add_char buf ')';
+              decr depth
+          | _ -> Buffer.add_char buf (if X.bool rng then 'a' else 'b')
+        done;
+        while !depth > 0 do
+          Buffer.add_char buf ')';
+          decr depth
+        done;
+        let doc = Buffer.contents buf in
+        let recog = best_of 3 (fun () -> ignore (Spanner_cfg.Cf_spanner.nonempty_on dyck doc)) in
+        let groups, eval_time =
+          time (fun () -> Span_relation.cardinal (Spanner_cfg.Cf_spanner.eval dyck doc))
+        in
+        [
+          pretty_int (String.length doc);
+          pretty_time recog;
+          Printf.sprintf "%.1f"
+            (recog *. 1e9 /. (float_of_int (String.length doc) ** 3.0));
+          pretty_int groups;
+          pretty_time eval_time;
+        ])
+      [ 16; 32; 64; 128; 256 ]
+  in
+  print_table ~title:"Dyck-group extraction on random nested documents"
+    ~header:[ "|D|"; "recognition"; "ns/char^3"; "groups"; "full eval" ]
+    rows;
+  note "expected shape: recognition grows cubically (ns/char^3 flat) — the price of leaving the regular class."
+
+(* ------------------------------------------------------------------ *)
+(* E11: datalog over spanners ([33])                                   *)
+
+let e11_datalog () =
+  section "E11: datalog over regular spanners — recursion on top of extraction ([33])";
+  let step =
+    Evset.of_formula (Regex_formula.parse "([ab]+;)*!x{[ab]+};!y{[ab]+};([ab]+;)*")
+  in
+  let program =
+    Spanner_datalog.Datalog.make
+      [
+        {
+          Spanner_datalog.Datalog.head = ("eq_next", [ "x"; "y" ]);
+          body =
+            [
+              Spanner_datalog.Datalog.Spanner (step, [ (v "x", "x"); (v "y", "y") ]);
+              Spanner_datalog.Datalog.Content_eq ("x", "y");
+            ];
+        };
+        {
+          Spanner_datalog.Datalog.head = ("chain", [ "x"; "y" ]);
+          body = [ Spanner_datalog.Datalog.Idb ("eq_next", [ "x"; "y" ]) ];
+        };
+        {
+          Spanner_datalog.Datalog.head = ("chain", [ "x"; "z" ]);
+          body =
+            [
+              Spanner_datalog.Datalog.Idb ("chain", [ "x"; "y" ]);
+              Spanner_datalog.Datalog.Idb ("eq_next", [ "y"; "z" ]);
+            ];
+        };
+      ]
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let doc = String.concat "" (List.init k (fun _ -> "ab;")) in
+        let result, t = time (fun () -> Spanner_datalog.Datalog.run program doc) in
+        [
+          string_of_int k;
+          pretty_int (Spanner_datalog.Datalog.fact_count result "chain");
+          string_of_int (Spanner_datalog.Datalog.iterations result);
+          pretty_time t;
+        ])
+      [ 4; 8; 16; 32; 64 ]
+  in
+  print_table ~title:"transitive closure of equal-neighbour fields on (ab;)^k"
+    ~header:[ "fields"; "chain facts (k(k-1)/2)"; "semi-naive rounds"; "time" ]
+    rows;
+  note "expected shape: chain facts quadratic; rounds linear in the longest chain."
+
+(* ------------------------------------------------------------------ *)
+(* A: ablations of design choices                                      *)
+
+let a1_join_strategy () =
+  section "A1 (ablation): relational join — hash join vs nested loops";
+  let x = v "x" and y = v "y" in
+  let rng = X.create 55 in
+  let rows =
+    List.map
+      (fun size ->
+        let mk_rel var =
+          Span_relation.of_list
+            (vs [ x; y ])
+            (List.init size (fun _ ->
+                 Span_tuple.of_list
+                   [
+                     (var, Span.make (1 + X.int rng 50) 60);
+                     ((if Variable.equal var x then y else x), Span.make (1 + X.int rng 50) 60);
+                   ]))
+        in
+        let r1 = mk_rel x and r2 = mk_rel y in
+        let hash_time = best_of 3 (fun () -> ignore (Span_relation.join r1 r2)) in
+        let nested_time =
+          best_of 3 (fun () ->
+              (* nested-loop baseline *)
+              let acc = ref [] in
+              List.iter
+                (fun t1 ->
+                  List.iter
+                    (fun t2 ->
+                      if Span_tuple.compatible t1 t2 then acc := Span_tuple.merge t1 t2 :: !acc)
+                    (Span_relation.tuples r2))
+                (Span_relation.tuples r1);
+              ignore
+                (Span_relation.of_list
+                   (Variable.Set.union (Span_relation.schema r1) (Span_relation.schema r2))
+                   !acc))
+        in
+        [
+          pretty_int size;
+          pretty_time hash_time;
+          pretty_time nested_time;
+          Printf.sprintf "%.1fx" (nested_time /. max hash_time 1e-9);
+        ])
+      [ 100; 400; 1600 ]
+  in
+  print_table ~title:"join of two random relations (shared variables x, y)"
+    ~header:[ "tuples/side"; "hash join"; "nested loops"; "ratio" ]
+    rows
+
+let a2_balanced_editing () =
+  section "A2 (ablation): why CDE needs strong balance — AVL concat vs naive pairing";
+  let rows =
+    List.map
+      (fun appends ->
+        let store = Slp.create_store () in
+        let block = Builder.balanced_of_string store "abcdefgh" in
+        (* naive: plain pairs → left comb of depth [appends] *)
+        let naive = ref block in
+        for _ = 1 to appends do
+          naive := Slp.pair store !naive block
+        done;
+        (* balanced: AVL concat *)
+        let balanced = ref block in
+        for _ = 1 to appends do
+          balanced := Balance.concat store !balanced block
+        done;
+        let n = Slp.len store !naive in
+        let probe id = best_of 3 (fun () -> ignore (Slp.char_at store id (n / 2))) in
+        [
+          pretty_int appends;
+          string_of_int (Slp.order store !naive);
+          string_of_int (Slp.order store !balanced);
+          pretty_time (probe !naive);
+          pretty_time (probe !balanced);
+        ])
+      [ 256; 1024; 4096; 16384 ]
+  in
+  print_table ~title:"random access after n appends"
+    ~header:[ "appends"; "naive order"; "AVL order"; "naive char_at"; "AVL char_at" ]
+    rows;
+  note "expected shape: naive depth (and access cost) linear in appends; AVL logarithmic."
+
+let a3_equality_strategy () =
+  section "A3 (ablation): string-equality filtering — SLP fingerprints vs decompress + hash";
+  let rows =
+    List.map
+      (fun k ->
+        let store = Slp.create_store () in
+        let id = Builder.repeat store "ab;" (1 lsl k) in
+        let n = Slp.len store id in
+        let h = Spanner_slp.Slp_hash.create store in
+        (* compare the two halves of the document *)
+        let fingerprint =
+          best_of 3 (fun () ->
+              ignore (Spanner_slp.Slp_hash.factor_equal h id (1, (n / 2) + 1) ((n / 2) + 1, n + 1)))
+        in
+        let decompress =
+          best_of 3 (fun () ->
+              let doc = Slp.to_string store id in
+              let sh = Spanner_util.Strhash.make doc in
+              ignore (Spanner_util.Strhash.equal_sub sh 0 (n / 2) (n / 2)))
+        in
+        [ pretty_int n; pretty_time fingerprint; pretty_time decompress ])
+      [ 8; 12; 16; 20 ]
+  in
+  print_table ~title:"half-vs-half factor equality on (ab;)^k"
+    ~header:[ "|D|"; "SLP fingerprint"; "decompress + rolling hash" ]
+    rows;
+  note "expected shape: fingerprints O(log |D|) and flat; decompression linear."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment family      *)
+
+let bechamel_suite () =
+  section "Bechamel micro-benchmarks (OLS estimates, one per experiment family)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = X.create 77 in
+  let doc4k = X.string rng "ab" 4096 in
+  let e1_auto = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let e2_core =
+    Core_spanner.simplify
+      (Algebra.Select (vs [ v "bm1"; v "bm2" ], Algebra.formula "!bm1{[ab]*}!bm2{[ab]*}"))
+  in
+  let e4_refl = Refl_spanner.parse "!x{[ab]+}c!y{&x}" in
+  let e4_doc = doc4k ^ "c" ^ doc4k in
+  let e4_tuple =
+    Span_tuple.of_list [ (v "x", Span.make 1 4097); (v "y", Span.make 4098 8194) ]
+  in
+  let e5_store = Slp.create_store () in
+  let e5_id = Builder.repeat e5_store "ab" (1 lsl 16) in
+  let e5_nfa = Nfa.of_regex (Regex.parse "(ab)*") in
+  let e7_db = Doc_db.create () in
+  let e7_id = Builder.repeat (Doc_db.store e7_db) "ab" (1 lsl 15) in
+  Doc_db.add e7_db "base" e7_id;
+  let e7_n = Slp.len (Doc_db.store e7_db) e7_id in
+  let e7_expr =
+    Cde.Insert (Cde.Doc "base", Cde.Extract (Cde.Doc "base", e7_n / 4, e7_n / 2), e7_n / 3)
+  in
+  let tests =
+    [
+      Test.make ~name:"e1/prepare-4k" (Staged.stage (fun () -> Enumerate.prepare e1_auto doc4k));
+      Test.make ~name:"e2/core-eval-square-12"
+        (Staged.stage (fun () -> Core_spanner.eval e2_core "abababababab"));
+      Test.make ~name:"e4/refl-modelcheck-8k"
+        (Staged.stage (fun () -> Refl_spanner.model_check e4_refl e4_doc e4_tuple));
+      Test.make ~name:"e5/slp-accept-131k"
+        (Staged.stage (fun () ->
+             let cache = Accept.make_cache e5_nfa e5_store in
+             Accept.accepts cache e5_id));
+      Test.make ~name:"e6/slp-prepare-131k"
+        (Staged.stage (fun () ->
+             let engine = Slp_spanner.create e1_auto e5_store in
+             Slp_spanner.prepare engine e5_id));
+      Test.make ~name:"e7/cde-update-65k" (Staged.stage (fun () -> Cde.eval e7_db e7_expr));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"spanners" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> pretty_time (est /. 1e9)
+        | _ -> "n/a"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  print_table ~title:"OLS time-per-run estimates" ~header:[ "benchmark"; "time/run" ]
+    (List.sort compare !rows)
+
+let () =
+  note "Document Spanners — benchmark harness (see DESIGN.md section 2 and EXPERIMENTS.md)";
+  figure1 ();
+  e1_enumeration ();
+  e2_regular_vs_core ();
+  e3_core_expressiveness ();
+  e4_refl_vs_core ();
+  e5_slp_accept ();
+  e6_slp_enumeration ();
+  e7_cde_updates ();
+  e8_balancing ();
+  e9_core_over_slp ();
+  e10_context_free ();
+  e11_datalog ();
+  a1_join_strategy ();
+  a2_balanced_editing ();
+  a3_equality_strategy ();
+  bechamel_suite ();
+  note "\nall experiments completed."

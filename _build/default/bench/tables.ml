@@ -1,0 +1,60 @@
+(* Small helpers for the benchmark harness: wall-clock timing and
+   aligned table printing. *)
+
+(* bechamel's monotonic clock (nanoseconds) *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* [time f] is (result, seconds). *)
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+(* [time_unit f] like [time] but for unit actions. *)
+let time_unit f = snd (time f)
+
+(* [best_of k f] is the minimum wall time of [k] runs. *)
+let best_of k f =
+  let rec go k acc = if k = 0 then acc else go (k - 1) (min acc (time_unit f)) in
+  go (k - 1) (time_unit f)
+
+let pretty_time seconds =
+  if seconds < 1e-6 then Printf.sprintf "%.0f ns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Printf.sprintf "%.1f µs" (seconds *. 1e6)
+  else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)
+  else Printf.sprintf "%.2f s" seconds
+
+let pretty_int n =
+  (* thousands separators for readability *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [print_table ~title ~header rows] prints an aligned ASCII table. *)
+let print_table ~title ~header rows =
+  Printf.printf "\n### %s\n\n" title;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h)
+          rows)
+      header
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line cells = Printf.printf "| %s |\n" (String.concat " | " (List.map2 pad cells widths)) in
+  line header;
+  Printf.printf "|%s|\n" (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter line rows;
+  flush stdout
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  flush stdout
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt

@@ -1,0 +1,304 @@
+(* spanner-cli: command-line access to the document-spanner library.
+
+   Subcommands:
+     eval     evaluate a regex-formula spanner on a document
+     datalog  run a datalog-over-spanners program (RGXLog)
+     enum     enumerate result tuples (optionally only the first k)
+     refl     evaluate a refl-spanner (with &x references)
+     analyze  static analysis of a spanner (§2.4)
+     compress compress a document into an SLP and report statistics
+     slpeval  evaluate a spanner over the compressed form (§4.2)    *)
+
+open Spanner_core
+module Slp = Spanner_slp.Slp
+module Builder = Spanner_slp.Builder
+module Balance = Spanner_slp.Balance
+module Slp_spanner = Spanner_slp.Slp_spanner
+
+let read_document doc file =
+  match (doc, file) with
+  | Some d, None -> d
+  | None, Some path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (* strip one trailing newline so shell-created files behave *)
+      if String.length s > 0 && s.[String.length s - 1] = '\n' then
+        String.sub s 0 (String.length s - 1)
+      else s
+  | Some _, Some _ -> failwith "give either DOC or --file, not both"
+  | None, None -> failwith "missing document: give DOC or --file"
+
+let parse_formula s =
+  try Regex_formula.parse s
+  with Spanner_fa.Regex.Parse_error (msg, pos) ->
+    Printf.eprintf "parse error at offset %d: %s\n" pos msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* eval *)
+
+let eval_cmd formula doc file contents =
+  let document = read_document doc file in
+  let spanner = Evset.of_formula (parse_formula formula) in
+  let relation = Evset.eval spanner document in
+  if contents then Format.printf "%a" (Span_relation.pp ~doc:document) relation
+  else Format.printf "%a" (Span_relation.pp ?doc:None) relation;
+  Format.printf "%d tuple(s)@." (Span_relation.cardinal relation)
+
+(* ------------------------------------------------------------------ *)
+(* enum *)
+
+let enum_cmd formula doc file limit =
+  let document = read_document doc file in
+  let spanner = Evset.of_formula (parse_formula formula) in
+  let prepared = Enumerate.prepare spanner document in
+  Format.printf "%d result(s); preprocessing: %d nodes, %d edges@."
+    (Enumerate.cardinal prepared)
+    (Enumerate.stats prepared).Enumerate.nodes
+    (Enumerate.stats prepared).Enumerate.edges;
+  let shown = ref 0 in
+  (try
+     Enumerate.iter prepared (fun tuple ->
+         Format.printf "%a@." Span_tuple.pp tuple;
+         incr shown;
+         match limit with Some k when !shown >= k -> raise Exit | _ -> ())
+   with Exit -> ())
+
+(* ------------------------------------------------------------------ *)
+(* refl *)
+
+let refl_cmd formula doc file contents =
+  let document = read_document doc file in
+  let spanner =
+    try Spanner_refl.Refl_spanner.parse formula
+    with
+    | Spanner_fa.Regex.Parse_error (msg, pos) ->
+        Printf.eprintf "parse error at offset %d: %s\n" pos msg;
+        exit 2
+    | Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let relation = Spanner_refl.Refl_spanner.eval spanner document in
+  if contents then Format.printf "%a" (Span_relation.pp ~doc:document) relation
+  else Format.printf "%a" (Span_relation.pp ?doc:None) relation;
+  Format.printf "%d tuple(s)@." (Span_relation.cardinal relation)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd formula dot =
+  let f = parse_formula formula in
+  if dot then begin
+    Format.printf "%a" Evset.pp_dot (Evset.of_formula f);
+    exit 0
+  end;
+  Format.printf "formula: %a@." Regex_formula.pp f;
+  Format.printf "variables: %a@." Variable.pp_set (Regex_formula.vars f);
+  (match Regex_formula.functionality f with
+  | Regex_formula.Total -> Format.printf "functionality: total (classical semantics)@."
+  | Regex_formula.Schemaless -> Format.printf "functionality: schemaless (some variable optional)@."
+  | Regex_formula.Ill_formed reason ->
+      Format.printf "ill-formed: %s@." reason;
+      exit 1);
+  let e = Evset.of_formula f in
+  Format.printf "automaton states (extended form): %d@." (Evset.size e);
+  Format.printf "satisfiable: %b@." (Evset.satisfiable e);
+  Format.printf "hierarchical: %b@." (Evset.hierarchical e);
+  match Evset.some_witness e with
+  | Some (doc, tuple) -> Format.printf "witness: %S with %a@." doc Span_tuple.pp tuple
+  | None -> Format.printf "witness: none@."
+
+(* ------------------------------------------------------------------ *)
+(* compress *)
+
+let compress_cmd doc file output =
+  let document = read_document doc file in
+  if String.length document = 0 then failwith "cannot compress the empty document";
+  let store = Slp.create_store () in
+  let raw = Builder.lz78 store document in
+  let balanced = Balance.rebalance store raw in
+  (match output with
+  | Some path ->
+      let db = Spanner_slp.Doc_db.create () in
+      let store' = Spanner_slp.Doc_db.store db in
+      let raw' = Builder.lz78 store' document in
+      Spanner_slp.Doc_db.add db "doc" (Balance.rebalance store' raw');
+      Spanner_slp.Serialize.write_file db path;
+      Format.printf "wrote %s@." path
+  | None -> ());
+  let ord, log2 = Balance.depth_stats store balanced in
+  Format.printf "document length: %d@." (String.length document);
+  Format.printf "LZ78 SLP size:   %d nodes@." (Slp.reachable_size store raw);
+  Format.printf "balanced size:   %d nodes (order %d, ⌈log₂ n⌉ = %d)@."
+    (Slp.reachable_size store balanced) ord log2;
+  Format.printf "strongly balanced: %b, 2-shallow: %b@."
+    (Slp.is_strongly_balanced store balanced)
+    (Slp.is_c_shallow store ~c:2.0 balanced)
+
+(* ------------------------------------------------------------------ *)
+(* slpeval *)
+
+let slpeval_cmd formula doc file limit =
+  let document = read_document doc file in
+  if String.length document = 0 then failwith "SLPs derive non-empty documents";
+  let store = Slp.create_store () in
+  let id = Balance.rebalance store (Builder.lz78 store document) in
+  let spanner = Evset.of_formula (parse_formula formula) in
+  let engine = Slp_spanner.create spanner store in
+  Slp_spanner.prepare engine id;
+  Format.printf "|D| = %d, SLP nodes = %d, matrices = %d, results = %d@."
+    (Slp.len store id)
+    (Slp.reachable_size store id)
+    (Slp_spanner.matrices_computed engine)
+    (Slp_spanner.cardinal engine id);
+  let shown = ref 0 in
+  (try
+     Slp_spanner.iter engine id (fun tuple ->
+         Format.printf "%a@." Span_tuple.pp tuple;
+         incr shown;
+         match limit with Some k when !shown >= k -> raise Exit | _ -> ())
+   with Exit -> ())
+
+(* ------------------------------------------------------------------ *)
+(* datalog *)
+
+let datalog_cmd program_file doc file query =
+  let document = read_document doc file in
+  let source =
+    let ic = open_in_bin program_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let program =
+    try Spanner_datalog.Datalog.parse source
+    with
+    | Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 2
+    | Spanner_fa.Regex.Parse_error (m, pos) ->
+        Printf.eprintf "formula parse error at offset %d: %s\n" pos m;
+        exit 2
+  in
+  let result = Spanner_datalog.Datalog.run program document in
+  (match query with
+  | Some pred -> (
+      match Spanner_datalog.Datalog.facts result pred with
+      | rows ->
+          List.iter
+            (fun row ->
+              Format.printf "%s(%s)@." pred
+                (String.concat ", " (Array.to_list (Array.map Span.to_string row))))
+            rows;
+          Format.printf "%d fact(s)@." (List.length rows)
+      | exception Not_found ->
+          Printf.eprintf "unknown predicate %s\n" pred;
+          exit 2)
+  | None ->
+      Format.printf "fixpoint after %d round(s)@." (Spanner_datalog.Datalog.iterations result))
+
+(* ------------------------------------------------------------------ *)
+(* Command-line plumbing *)
+
+open Cmdliner
+
+let formula_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc:"Spanner formula.")
+
+let doc_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"DOC" ~doc:"Document (inline).")
+
+let doc_only_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"DOC" ~doc:"Document (inline).")
+
+let file_arg =
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read the document from $(docv).")
+
+let contents_arg =
+  Arg.(value & flag & info [ "c"; "contents" ] ~doc:"Print extracted factor contents next to spans.")
+
+let limit_arg =
+  Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"K" ~doc:"Print at most $(docv) tuples.")
+
+let catch f =
+  try f () with Failure m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 2
+
+let eval_term =
+  Term.(
+    const (fun formula doc file contents -> catch (fun () -> eval_cmd formula doc file contents))
+    $ formula_arg $ doc_arg $ file_arg $ contents_arg)
+
+let enum_term =
+  Term.(
+    const (fun formula doc file limit -> catch (fun () -> enum_cmd formula doc file limit))
+    $ formula_arg $ doc_arg $ file_arg $ limit_arg)
+
+let refl_term =
+  Term.(
+    const (fun formula doc file contents -> catch (fun () -> refl_cmd formula doc file contents))
+    $ formula_arg $ doc_arg $ file_arg $ contents_arg)
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit the compiled automaton as Graphviz DOT and exit.")
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Datalog program file.")
+
+let doc_arg2 =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"DOC" ~doc:"Document (inline).")
+
+let query_arg =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"PRED" ~doc:"Print the facts of predicate $(docv).")
+
+let datalog_term =
+  Term.(
+    const (fun program doc file query -> catch (fun () -> datalog_cmd program doc file query))
+    $ program_arg $ doc_arg2 $ file_arg $ query_arg)
+
+let analyze_term =
+  Term.(
+    const (fun formula dot -> catch (fun () -> analyze_cmd formula dot))
+    $ formula_arg $ dot_arg)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also save the compressed database (SLPDB format) to $(docv).")
+
+let compress_term =
+  Term.(
+    const (fun doc file output -> catch (fun () -> compress_cmd doc file output))
+    $ doc_only_arg $ file_arg $ output_arg)
+
+let slpeval_term =
+  Term.(
+    const (fun formula doc file limit -> catch (fun () -> slpeval_cmd formula doc file limit))
+    $ formula_arg $ doc_arg $ file_arg $ limit_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "eval" ~doc:"Evaluate a regex-formula spanner on a document.") eval_term;
+    Cmd.v (Cmd.info "enum" ~doc:"Enumerate result tuples with the two-phase algorithm (§2.5).")
+      enum_term;
+    Cmd.v (Cmd.info "refl" ~doc:"Evaluate a refl-spanner (&x references, §3).") refl_term;
+    Cmd.v
+      (Cmd.info "datalog" ~doc:"Run a datalog-over-spanners program on a document (RGXLog).")
+      datalog_term;
+    Cmd.v (Cmd.info "analyze" ~doc:"Static analysis of a spanner (§2.4).") analyze_term;
+    Cmd.v (Cmd.info "compress" ~doc:"Compress a document into a balanced SLP (§4.1).")
+      compress_term;
+    Cmd.v
+      (Cmd.info "slpeval" ~doc:"Evaluate a spanner over the SLP-compressed document (§4.2).")
+      slpeval_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "spanner-cli" ~version:"1.0.0"
+      ~doc:"Document spanners: evaluation, enumeration, refl-spanners, SLP-compressed documents."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/code_blocks.ml: Cf_spanner Format Span Span_relation Span_tuple Spanner_cfg Spanner_core Spanner_fa Variable

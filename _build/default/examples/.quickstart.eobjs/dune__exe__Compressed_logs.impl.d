@@ -1,0 +1,1 @@
+examples/compressed_logs.ml: Cde Doc_db Evset Format List Regex_formula Slp Slp_spanner Span_relation Span_tuple Spanner_core Spanner_slp String

@@ -1,0 +1,1 @@
+examples/log_extraction.ml: Algebra Core_spanner Evset Format List Span_relation Spanner_core String Variable

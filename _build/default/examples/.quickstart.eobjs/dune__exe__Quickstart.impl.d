@@ -1,0 +1,1 @@
+examples/quickstart.ml: Enumerate Evset Format Regex_formula Span Span_relation Span_tuple Spanner_core Variable

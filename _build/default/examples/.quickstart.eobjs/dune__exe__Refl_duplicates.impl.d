@@ -1,0 +1,1 @@
+examples/refl_duplicates.ml: Core_spanner Evset Format List Refl_spanner Regex_formula Span Span_relation Span_tuple Spanner_core Spanner_refl Variable

@@ -1,0 +1,1 @@
+examples/refl_duplicates.mli:

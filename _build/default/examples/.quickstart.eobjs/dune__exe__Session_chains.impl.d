@@ -1,0 +1,1 @@
+examples/session_chains.ml: Array Datalog Evset Format List Regex_formula Span Spanner_core Spanner_datalog Variable

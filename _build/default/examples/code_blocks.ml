@@ -1,0 +1,40 @@
+(* Context-free spanners ([31], §2.1): extraction beyond regular.
+
+   Task: extract every parenthesised block from a configuration-like
+   document — including nested ones.  Balanced brackets are the
+   textbook non-regular language, so no regular spanner can do this;
+   the context-free spanner framework of [31] (the "replace regular by
+   context-free" instantiation of §2.1's declarative view) handles it
+   directly.
+
+   Run with:  dune exec examples/code_blocks.exe *)
+
+open Spanner_core
+open Spanner_cfg
+module Charset = Spanner_fa.Charset
+
+let () =
+  let doc = "let f = (g (h x) (k y)) in (f z)" in
+  let x = Variable.of_string "block" in
+  let spanner =
+    Cf_spanner.dyck_extractor ~x ~open_c:'(' ~close_c:')'
+      ~other:(Charset.diff Charset.full (Charset.of_string "()"))
+  in
+  Format.printf "document: %s@." doc;
+  Format.printf "parenthesised blocks (nested included):@.%a@."
+    (Span_relation.pp ~doc)
+    (Cf_spanner.eval spanner doc);
+
+  (* decision problems work for context-free spanners too *)
+  Format.printf "satisfiable: %b@." (Cf_spanner.satisfiable spanner);
+  let tuple = Span_tuple.of_list [ (x, Span.make 9 24) ] in
+  Format.printf "block [9,24⟩ %S member: %b@."
+    (Span.content (Span.make 9 24) doc)
+    (Cf_spanner.accepts_tuple spanner doc tuple);
+
+  (* even-length palindromes: a second beyond-regular spanner *)
+  let pal = Cf_spanner.palindrome_extractor ~x:(Variable.of_string "pal") in
+  let doc2 = "abbaab" in
+  Format.printf "@.even palindromes of %s:@.%a@." doc2
+    (Span_relation.pp ~doc:doc2)
+    (Cf_spanner.eval pal doc2)

@@ -1,0 +1,1 @@
+lib/cfg/cf_spanner.ml: Array Bytes Cfg Hashtbl List Marker Option Ref_word Set Span Span_relation Span_tuple Spanner_core Spanner_fa Stdlib String Variable

@@ -1,0 +1,1 @@
+lib/cfg/cf_spanner.mli: Cfg Regex_formula Span_relation Span_tuple Spanner_core Spanner_fa Variable

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format List Marker Printf Regex_formula Spanner_core Spanner_fa Spanner_util Variable

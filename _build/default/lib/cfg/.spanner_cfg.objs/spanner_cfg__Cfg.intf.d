@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Format Marker Regex_formula Spanner_core Spanner_fa Variable

@@ -1,0 +1,368 @@
+open Spanner_core
+module Charset = Spanner_fa.Charset
+
+type t = { binary : Cfg.binary; vars : Variable.Set.t }
+
+let of_cfg g = { binary = Cfg.binarize g; vars = Cfg.vars g }
+
+let of_formula f = of_cfg (Cfg.of_formula f)
+
+let vars s = s.vars
+
+(* ------------------------------------------------------------------ *)
+(* Recognition chart over document boundaries                          *)
+
+(* Chart cells are indexed by (nonterminal, i, j) with 0 ≤ i ≤ j ≤ n;
+   markers derive zero width, so (a, i, i) cells are meaningful and
+   same-width dependencies are resolved by a per-cell fixpoint. *)
+
+module Chart = struct
+  type t = { bits : Bytes.t; n1 : int }
+
+  let create nts n = { bits = Bytes.make (nts * (n + 1) * (n + 1)) '\000'; n1 = n + 1 }
+
+  let idx c a i j = ((a * c.n1) + i) * c.n1 + j
+
+  let get c a i j = Bytes.get (c.bits) (idx c a i j) <> '\000'
+
+  let set c a i j =
+    let k = idx c a i j in
+    if Bytes.get c.bits k = '\000' then begin
+      Bytes.set c.bits k '\001';
+      true
+    end
+    else false
+end
+
+let recognize (b : Cfg.binary) doc =
+  let n = String.length doc in
+  let chart = Chart.create b.Cfg.bnt_count n in
+  (* One pass for a fixed cell (i, j): apply all rules whose premises
+     are available; returns whether anything changed. *)
+  let cell_pass i j =
+    let changed = ref false in
+    List.iter
+      (fun (a, x) -> if Chart.get chart x i j && Chart.set chart a i j then changed := true)
+      b.Cfg.units;
+    List.iter
+      (fun (a, x, y) ->
+        if not (Chart.get chart a i j) then
+          let rec split k =
+            if k > j then ()
+            else if Chart.get chart x i k && Chart.get chart y k j then begin
+              if Chart.set chart a i j then changed := true
+            end
+            else split (k + 1)
+          in
+          split i)
+      b.Cfg.pairs;
+    !changed
+  in
+  (* width 0 *)
+  for i = 0 to n do
+    List.iter (fun a -> ignore (Chart.set chart a i i)) b.Cfg.nulls;
+    List.iter (fun (a, _) -> ignore (Chart.set chart a i i)) b.Cfg.marks;
+    while cell_pass i i do
+      ()
+    done
+  done;
+  (* widths 1..n *)
+  for width = 1 to n do
+    for i = 0 to n - width do
+      let j = i + width in
+      if width = 1 then
+        List.iter
+          (fun (a, cs) -> if Charset.mem cs doc.[i] then ignore (Chart.set chart a i j))
+          b.Cfg.terms;
+      while cell_pass i j do
+        ()
+      done
+    done
+  done;
+  chart
+
+let nonempty_on s doc =
+  let chart = recognize s.binary doc in
+  Chart.get chart s.binary.Cfg.bstart 0 (String.length doc)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: per-cell sets of marker placements                      *)
+
+module Fragment = struct
+  (* a sorted association list marker → boundary *)
+  type t = (Marker.t * int) list
+
+  let compare = Stdlib.compare
+
+  let empty : t = []
+
+  let singleton m pos : t = [ (m, pos) ]
+
+  (* merge two placements; None if some marker occurs in both *)
+  let merge (a : t) (b : t) : t option =
+    let rec go a b =
+      match (a, b) with
+      | [], rest | rest, [] -> Some rest
+      | (ma, pa) :: ra, (mb, pb) :: rb ->
+          let c = Marker.compare ma mb in
+          if c = 0 then None
+          else if c < 0 then Option.map (fun rest -> (ma, pa) :: rest) (go ra b)
+          else Option.map (fun rest -> (mb, pb) :: rest) (go a rb)
+    in
+    go a b
+end
+
+module Frag_set = Set.Make (Fragment)
+
+let eval s doc =
+  let b = s.binary in
+  let n = String.length doc in
+  let n1 = n + 1 in
+  let cells = Array.make (b.Cfg.bnt_count * n1 * n1) Frag_set.empty in
+  let idx a i j = ((a * n1) + i) * n1 + j in
+  let add a i j frag =
+    let k = idx a i j in
+    if Frag_set.mem frag cells.(k) then false
+    else begin
+      cells.(k) <- Frag_set.add frag cells.(k);
+      true
+    end
+  in
+  let cell_pass i j =
+    let changed = ref false in
+    List.iter
+      (fun (a, x) ->
+        Frag_set.iter (fun f -> if add a i j f then changed := true) cells.(idx x i j))
+      b.Cfg.units;
+    List.iter
+      (fun (a, x, y) ->
+        for k = i to j do
+          let left = cells.(idx x i k) and right = cells.(idx y k j) in
+          if not (Frag_set.is_empty left || Frag_set.is_empty right) then
+            Frag_set.iter
+              (fun f1 ->
+                Frag_set.iter
+                  (fun f2 ->
+                    match Fragment.merge f1 f2 with
+                    | Some f -> if add a i j f then changed := true
+                    | None -> ())
+                  right)
+              left
+        done)
+      b.Cfg.pairs;
+    !changed
+  in
+  for i = 0 to n do
+    List.iter (fun a -> ignore (add a i i Fragment.empty)) b.Cfg.nulls;
+    List.iter (fun (a, m) -> ignore (add a i i (Fragment.singleton m i))) b.Cfg.marks;
+    while cell_pass i i do
+      ()
+    done
+  done;
+  for width = 1 to n do
+    for i = 0 to n - width do
+      let j = i + width in
+      if width = 1 then
+        List.iter
+          (fun (a, cs) -> if Charset.mem cs doc.[i] then ignore (add a i j Fragment.empty))
+          b.Cfg.terms;
+      while cell_pass i j do
+        ()
+      done
+    done
+  done;
+  let result = ref (Span_relation.empty s.vars) in
+  Frag_set.iter
+    (fun frag ->
+      (* convert a placement into a span tuple; ill-formed placements
+         (unsound grammars) are skipped *)
+      let opens = Hashtbl.create 4 in
+      let tuple = ref (Some Span_tuple.empty) in
+      List.iter
+        (fun (m, pos) ->
+          match (m, !tuple) with
+          | _, None -> ()
+          | Marker.Open x, Some _ -> Hashtbl.replace opens x pos
+          | Marker.Close x, Some t -> (
+              match Hashtbl.find_opt opens x with
+              | Some left when left <= pos ->
+                  tuple := Some (Span_tuple.bind t x (Span.make (left + 1) (pos + 1)))
+              | Some _ | None -> tuple := None))
+        (* process opens before closes per variable: sort by marker *)
+        (List.stable_sort (fun (m1, _) (m2, _) -> Marker.compare m1 m2) frag);
+      match !tuple with
+      | Some t when Variable.Set.cardinal (Span_tuple.domain t) * 2 = List.length frag ->
+          result := Span_relation.add !result t
+      | Some _ | None -> ())
+    cells.(idx b.Cfg.bstart 0 n);
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* ModelChecking: CYK over the explicit subword-marked word            *)
+
+(* CYK over an explicit item sequence (markers are width-1 tokens). *)
+let cyk_items (b : Cfg.binary) items =
+  let m = Array.length items in
+  let chart = Chart.create b.Cfg.bnt_count m in
+  let cell_pass i j =
+    let changed = ref false in
+    List.iter
+      (fun (a, x) -> if Chart.get chart x i j && Chart.set chart a i j then changed := true)
+      b.Cfg.units;
+    List.iter
+      (fun (a, x, y) ->
+        if not (Chart.get chart a i j) then
+          let rec split k =
+            if k > j then ()
+            else if Chart.get chart x i k && Chart.get chart y k j then begin
+              if Chart.set chart a i j then changed := true
+            end
+            else split (k + 1)
+          in
+          split i)
+      b.Cfg.pairs;
+    !changed
+  in
+  for i = 0 to m do
+    List.iter (fun a -> ignore (Chart.set chart a i i)) b.Cfg.nulls;
+    while cell_pass i i do
+      ()
+    done
+  done;
+  for width = 1 to m do
+    for i = 0 to m - width do
+      let j = i + width in
+      (if width = 1 then
+         match items.(i) with
+         | Ref_word.Char c ->
+             List.iter
+               (fun (a, cs) -> if Charset.mem cs c then ignore (Chart.set chart a i j))
+               b.Cfg.terms
+         | Ref_word.Mark mk ->
+             List.iter
+               (fun (a, mk') -> if Marker.equal mk mk' then ignore (Chart.set chart a i j))
+               b.Cfg.marks);
+      while cell_pass i j do
+        ()
+      done
+    done
+  done;
+  Chart.get chart b.Cfg.bstart 0 m
+
+let accepts_tuple s doc tuple =
+  if
+    List.exists (fun (_, sp) -> not (Span.fits sp doc)) (Span_tuple.bindings tuple)
+    || not (Variable.Set.subset (Span_tuple.domain tuple) s.vars)
+  then false
+  else begin
+    let items = Ref_word.of_doc_tuple doc tuple in
+    (* The chart accepts one fixed marker order; consecutive markers
+       commute (Â§2.2), but the grammar may derive same-boundary markers
+       in a different order than the canonical word uses, so if the
+       canonical order fails, every per-boundary permutation is tried
+       (boundary marker sets are tiny in practice). *)
+    if cyk_items s.binary items then true
+    else begin
+      let doc', sets = Ref_word.to_extended items in
+      let rec perms = function
+        | [] -> [ [] ]
+        | xs ->
+            List.concat_map
+              (fun x ->
+                List.map
+                  (fun rest -> x :: rest)
+                  (perms (List.filter (fun y -> not (Marker.equal x y)) xs)))
+              xs
+      in
+      let boundary_perms =
+        Array.to_list (Array.map (fun set -> perms (Marker.Set.elements set)) sets)
+      in
+      let rec product = function
+        | [] -> [ [] ]
+        | choices :: rest ->
+            List.concat_map (fun c -> List.map (fun r -> c :: r) (product rest)) choices
+      in
+      List.exists
+        (fun boundary_orders ->
+          let out = ref [] in
+          List.iteri
+            (fun bdy marks ->
+              List.iter (fun mk -> out := Ref_word.Mark mk :: !out) marks;
+              if bdy < String.length doc' then out := Ref_word.Char doc'.[bdy] :: !out)
+            boundary_orders;
+          cyk_items s.binary (Array.of_list (List.rev !out)))
+        (product boundary_perms)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Satisfiability: productivity                                        *)
+
+let satisfiable s =
+  let b = s.binary in
+  let productive = Array.make b.Cfg.bnt_count false in
+  List.iter (fun a -> productive.(a) <- true) b.Cfg.nulls;
+  List.iter (fun (a, _) -> productive.(a) <- true) b.Cfg.marks;
+  List.iter (fun (a, cs) -> if not (Charset.is_empty cs) then productive.(a) <- true) b.Cfg.terms;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, x) ->
+        if productive.(x) && not productive.(a) then begin
+          productive.(a) <- true;
+          changed := true
+        end)
+      b.Cfg.units;
+    List.iter
+      (fun (a, x, y) ->
+        if productive.(x) && productive.(y) && not productive.(a) then begin
+          productive.(a) <- true;
+          changed := true
+        end)
+      b.Cfg.pairs
+  done;
+  productive.(b.Cfg.bstart)
+
+(* ------------------------------------------------------------------ *)
+(* Showcase grammars                                                   *)
+
+let dyck_extractor ~x ~open_c ~close_c ~other =
+  let b = Cfg.Builder.create () in
+  let any = Cfg.Builder.fresh b "Any" in
+  let inner = Cfg.Builder.fresh b "Inner" in
+  let group = Cfg.Builder.fresh b "Group" in
+  let top = Cfg.Builder.fresh b "Top" in
+  let everything = Charset.add (Charset.add other open_c) close_c in
+  (* Any: arbitrary well- or ill-bracketed context around the match. *)
+  Cfg.Builder.add_rule b any [];
+  Cfg.Builder.add_rule b any [ Cfg.Term everything; Cfg.Nt any ];
+  (* Inner: balanced content — other characters and nested groups. *)
+  Cfg.Builder.add_rule b inner [];
+  Cfg.Builder.add_rule b inner [ Cfg.Term other; Cfg.Nt inner ];
+  Cfg.Builder.add_rule b inner [ Cfg.Nt group; Cfg.Nt inner ];
+  (* Group: one parenthesised region. *)
+  Cfg.Builder.add_rule b group
+    [ Cfg.Term (Charset.singleton open_c); Cfg.Nt inner; Cfg.Term (Charset.singleton close_c) ];
+  Cfg.Builder.add_rule b top
+    [ Cfg.Nt any; Cfg.Mark (Marker.Open x); Cfg.Nt group; Cfg.Mark (Marker.Close x); Cfg.Nt any ];
+  of_cfg (Cfg.Builder.finish b ~start:top)
+
+let palindrome_extractor ~x =
+  let b = Cfg.Builder.create () in
+  let any = Cfg.Builder.fresh b "Any" in
+  let pal = Cfg.Builder.fresh b "Pal" in
+  let palne = Cfg.Builder.fresh b "PalNE" in
+  let top = Cfg.Builder.fresh b "Top" in
+  let ab = Charset.of_string "ab" in
+  let a = Charset.singleton 'a' and bb = Charset.singleton 'b' in
+  Cfg.Builder.add_rule b any [];
+  Cfg.Builder.add_rule b any [ Cfg.Term ab; Cfg.Nt any ];
+  Cfg.Builder.add_rule b pal [];
+  Cfg.Builder.add_rule b pal [ Cfg.Term a; Cfg.Nt pal; Cfg.Term a ];
+  Cfg.Builder.add_rule b pal [ Cfg.Term bb; Cfg.Nt pal; Cfg.Term bb ];
+  Cfg.Builder.add_rule b palne [ Cfg.Term a; Cfg.Nt pal; Cfg.Term a ];
+  Cfg.Builder.add_rule b palne [ Cfg.Term bb; Cfg.Nt pal; Cfg.Term bb ];
+  Cfg.Builder.add_rule b top
+    [ Cfg.Nt any; Cfg.Mark (Marker.Open x); Cfg.Nt palne; Cfg.Mark (Marker.Close x); Cfg.Nt any ];
+  of_cfg (Cfg.Builder.finish b ~start:top)

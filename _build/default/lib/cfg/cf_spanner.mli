@@ -1,0 +1,61 @@
+(** Context-free document spanners ([31], pointed to in §2.1).
+
+    The spanner denoted by a context-free language L of subword-marked
+    words is ⟦L⟧(D) = { st(w) : w ∈ L, e(w) = D } — exactly the
+    declarative semantics of §2.1 with "regular" replaced by
+    "context-free".  Such spanners strictly extend regular ones: they
+    can extract, e.g., balanced-bracket regions (see
+    {!val:dyck_extractor}).
+
+    Evaluation is a CYK-style chart computation over document
+    *boundaries* in which marker terminals derive zero width:
+    recognition is O(|D|³·|G|); {!eval} additionally carries, per chart
+    cell, the set of marker-placement fragments (worst-case
+    exponential, as expected — [31]'s refined enumeration algorithms
+    are out of scope; this module is the faithful semantics plus
+    polynomial decision procedures). *)
+
+open Spanner_core
+
+type t
+
+(** [of_cfg g] compiles (binarizes) a grammar. *)
+val of_cfg : Cfg.t -> t
+
+(** [of_formula f] embeds a regex formula — used by tests to check the
+    context-free evaluator against the regular one. *)
+val of_formula : Regex_formula.t -> t
+
+val vars : t -> Variable.Set.t
+
+(** [eval s doc] is the full span relation ⟦s⟧(doc). *)
+val eval : t -> string -> Span_relation.t
+
+(** [nonempty_on s doc] decides ⟦s⟧(doc) ≠ ∅ in time O(|doc|³·|G|)
+    (recognition only — no fragment sets). *)
+val nonempty_on : t -> string -> bool
+
+(** [accepts_tuple s doc t] decides t ∈ ⟦s⟧(doc) — ModelChecking — by
+    CYK over the subword-marked word assembled from [(doc, t)], in time
+    O((|doc| + 2k)³·|G|). *)
+val accepts_tuple : t -> string -> Span_tuple.t -> bool
+
+(** [satisfiable s] decides ∃D. ⟦s⟧(D) ≠ ∅ — context-free emptiness
+    via the standard productive-nonterminal fixpoint. *)
+val satisfiable : t -> bool
+
+(** {1 Showcase grammars} *)
+
+(** [dyck_extractor ~x ~open_c ~close_c ~other] is the canonical
+    beyond-regular spanner: it binds [x] to every *parenthesised
+    group* of the document — a factor starting with [open_c], ending
+    with the matching [close_c], balanced in between, with characters
+    from [other] allowed inside and arbitrary context around. *)
+val dyck_extractor :
+  x:Variable.t -> open_c:char -> close_c:char -> other:Spanner_fa.Charset.t -> t
+
+(** [palindrome_extractor ~x] binds [x] to every *even-length
+    palindrome* factor over {a, b} — a second beyond-regular showcase
+    (and a contrast to §2.4: palindromes u·uᴿ are context-free, while
+    the copies u·u of the string-equality selection are not). *)
+val palindrome_extractor : x:Variable.t -> t

@@ -1,0 +1,86 @@
+(** Context-free grammars over Σ ∪ markers.
+
+    §2.1 of the paper points out that the declarative view — a spanner
+    is a language of subword-marked words — works for *any* language
+    class: "one now can replace 'regular' by any established language
+    class".  The case of context-free languages is the subject of [31]
+    (Peterfreund, "Grammars for Document Spanners", ICDT 2021); this
+    module provides the grammar representation, and {!Cf_spanner} the
+    spanner semantics.
+
+    Terminals are character classes or marker symbols; marker terminals
+    derive zero document width.  Grammars are built through {!Builder}
+    and frozen into an immutable {!t}; {!binarize} produces the
+    2-normal form the CYK-style algorithms consume. *)
+
+open Spanner_core
+
+type nt = int
+(** Nonterminals are dense integers scoped to one grammar. *)
+
+type symbol =
+  | Term of Spanner_fa.Charset.t  (** one document character from the class *)
+  | Mark of Marker.t  (** a marker meta-symbol (zero width) *)
+  | Nt of nt
+
+type rule = { lhs : nt; rhs : symbol list }
+
+type t
+
+module Builder : sig
+  type grammar := t
+
+  type t
+
+  val create : unit -> t
+
+  (** [fresh b name] allocates a nonterminal (the name is only used for
+      printing). *)
+  val fresh : t -> string -> nt
+
+  (** [add_rule b a rhs] adds the production [a → rhs] ([rhs = []] is
+      an ε-rule). *)
+  val add_rule : t -> nt -> symbol list -> unit
+
+  (** [finish b ~start] freezes the grammar.
+      @raise Invalid_argument if a rule references an unknown
+      nonterminal. *)
+  val finish : t -> start:nt -> grammar
+end
+
+val start : t -> nt
+
+val rules : t -> rule list
+
+val nt_count : t -> int
+
+val nt_name : t -> nt -> string
+
+(** [vars g] is the set of variables whose markers occur in rules. *)
+val vars : t -> Variable.Set.t
+
+(** [of_formula f] embeds a regex formula: regular spanners are a
+    special case of context-free ones.
+    @raise Invalid_argument on ill-formed formulas. *)
+val of_formula : Regex_formula.t -> t
+
+(** {1 Normal form} *)
+
+(** A binarized grammar: every production is one of
+    [A → B C], [A → B], [A → class], [A → marker], [A → ε]. *)
+type binary = {
+  bstart : nt;
+  bnt_count : int;
+  pairs : (nt * nt * nt) list;  (** A → B C *)
+  units : (nt * nt) list;  (** A → B *)
+  terms : (nt * Spanner_fa.Charset.t) list;  (** A → class *)
+  marks : (nt * Marker.t) list;  (** A → marker *)
+  nulls : nt list;  (** A → ε *)
+}
+
+(** [binarize g] converts to the 2-normal form (introducing chain
+    nonterminals for long right-hand sides; ε- and unit rules are
+    kept and handled by the parser's same-cell fixpoint). *)
+val binarize : t -> binary
+
+val pp : Format.formatter -> t -> unit

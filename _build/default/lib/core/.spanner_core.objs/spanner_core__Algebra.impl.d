@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Evset Format Regex_formula Span_relation Variable

@@ -1,0 +1,1 @@
+lib/core/algebra.mli: Evset Format Regex_formula Span_relation Variable

@@ -1,0 +1,1 @@
+lib/core/consolidate.ml: Int List Set Span Span_relation Span_tuple Variable

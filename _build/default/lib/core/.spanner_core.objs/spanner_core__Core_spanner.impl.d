@@ -1,0 +1,1 @@
+lib/core/core_spanner.ml: Algebra Char Enumerate Evset Fun List Printf Seq Span Span_relation Span_tuple Spanner_fa Spanner_util String Variable

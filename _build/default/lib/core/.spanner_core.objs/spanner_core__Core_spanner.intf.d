@@ -1,0 +1,1 @@
+lib/core/core_spanner.mli: Algebra Evset Span_relation Span_tuple Variable

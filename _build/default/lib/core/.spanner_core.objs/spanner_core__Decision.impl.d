@@ -1,0 +1,1 @@
+lib/core/decision.ml: Core_spanner Evset Fun List Seq Span_relation Span_tuple Spanner_fa String

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Core_spanner Evset Span_tuple

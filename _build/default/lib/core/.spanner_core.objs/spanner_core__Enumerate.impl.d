@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Evset Hashtbl List Marker Option Queue Seq Span Span_relation Span_tuple Spanner_fa Spanner_util String

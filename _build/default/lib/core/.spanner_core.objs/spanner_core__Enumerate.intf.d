@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Evset Seq Span_relation Span_tuple

@@ -1,0 +1,1 @@
+lib/core/evset.ml: Array Buffer Char Format Fun Hashtbl Int List Marker Option Printf Queue Ref_word Set Span Span_relation Span_tuple Spanner_fa Spanner_util String Variable Vset

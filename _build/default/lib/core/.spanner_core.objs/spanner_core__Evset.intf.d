@@ -1,0 +1,1 @@
+lib/core/evset.mli: Format Marker Regex_formula Span_relation Span_tuple Spanner_fa Variable Vset

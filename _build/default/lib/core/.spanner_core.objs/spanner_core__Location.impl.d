@@ -1,0 +1,1 @@
+lib/core/location.ml: Array Format List Printf Span String

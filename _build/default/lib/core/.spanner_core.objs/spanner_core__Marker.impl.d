@@ -1,0 +1,1 @@
+lib/core/marker.ml: Format Hashtbl List Set Stdlib Variable

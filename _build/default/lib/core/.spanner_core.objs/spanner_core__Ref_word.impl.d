@@ -1,0 +1,1 @@
+lib/core/ref_word.ml: Array Buffer Format Hashtbl List Marker Printf Span Span_tuple String Variable

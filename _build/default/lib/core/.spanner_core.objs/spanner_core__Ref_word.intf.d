@@ -1,0 +1,1 @@
+lib/core/ref_word.mli: Format Marker Span_tuple Variable

@@ -1,0 +1,1 @@
+lib/core/regex_formula.ml: Format List Printf Spanner_fa String Variable

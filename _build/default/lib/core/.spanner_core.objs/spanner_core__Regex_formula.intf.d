@@ -1,0 +1,1 @@
+lib/core/regex_formula.mli: Format Spanner_fa Variable

@@ -1,0 +1,1 @@
+lib/core/span.ml: Format Int Printf String

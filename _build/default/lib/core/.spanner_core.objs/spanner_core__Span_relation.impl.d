@@ -1,0 +1,1 @@
+lib/core/span_relation.ml: Format Hashtbl List Option Printf Set Span Span_tuple String Variable

@@ -1,0 +1,1 @@
+lib/core/span_relation.mli: Format Span_tuple Variable

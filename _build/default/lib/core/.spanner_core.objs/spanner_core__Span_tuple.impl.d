@@ -1,0 +1,1 @@
+lib/core/span_tuple.ml: Format List Span String Variable

@@ -1,0 +1,1 @@
+lib/core/span_tuple.mli: Format Span Variable

@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Evset Fun List Marker Regex_formula Span Span_relation Span_tuple Spanner_fa Variable Vset

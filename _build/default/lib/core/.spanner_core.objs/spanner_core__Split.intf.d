@@ -1,0 +1,1 @@
+lib/core/split.mli: Charset Evset Span Span_relation Spanner_fa Variable

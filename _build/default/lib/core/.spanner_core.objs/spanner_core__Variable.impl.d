@@ -1,0 +1,1 @@
+lib/core/variable.ml: Format Int Map Printf Set Spanner_util String

@@ -1,0 +1,1 @@
+lib/core/variable.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/core/vset.ml: Array List Marker Option Printf Ref_word Regex_formula Set Spanner_fa Spanner_util Stdlib Variable

@@ -1,0 +1,1 @@
+lib/core/vset.mli: Marker Ref_word Regex_formula Spanner_fa Variable

@@ -1,0 +1,52 @@
+type t =
+  | Formula of Regex_formula.t
+  | Automaton of Evset.t
+  | Union of t * t
+  | Join of t * t
+  | Project of Variable.Set.t * t
+  | Select of Variable.Set.t * t
+
+let formula s = Formula (Regex_formula.parse s)
+
+let rec schema = function
+  | Formula f -> Regex_formula.vars f
+  | Automaton a -> Evset.vars a
+  | Union (a, b) | Join (a, b) -> Variable.Set.union (schema a) (schema b)
+  | Project (vars, e) -> Variable.Set.inter vars (schema e)
+  | Select (_, e) -> schema e
+
+let rec is_regular = function
+  | Formula _ | Automaton _ -> true
+  | Union (a, b) | Join (a, b) -> is_regular a && is_regular b
+  | Project (_, e) -> is_regular e
+  | Select _ -> false
+
+let rec compile_regular = function
+  | Formula f -> Evset.of_formula f
+  | Automaton a -> a
+  | Union (a, b) -> Evset.union (compile_regular a) (compile_regular b)
+  | Join (a, b) -> Evset.join (compile_regular a) (compile_regular b)
+  | Project (vars, e) -> Evset.project vars (compile_regular e)
+  | Select _ -> invalid_arg "Algebra.compile_regular: expression contains a string-equality selection"
+
+let rec eval e doc =
+  match e with
+  | Formula f -> Evset.eval (Evset.of_formula f) doc
+  | Automaton a -> Evset.eval a doc
+  | Union (a, b) -> Span_relation.union (eval a doc) (eval b doc)
+  | Join (a, b) -> Span_relation.join (eval a doc) (eval b doc)
+  | Project (vars, e) -> Span_relation.project vars (eval e doc)
+  | Select (vars, e) -> Span_relation.select_equal doc vars (eval e doc)
+
+let rec size = function
+  | Formula _ | Automaton _ -> 1
+  | Union (a, b) | Join (a, b) -> 1 + size a + size b
+  | Project (_, e) | Select (_, e) -> 1 + size e
+
+let rec pp ppf = function
+  | Formula f -> Format.fprintf ppf "⟦%a⟧" Regex_formula.pp f
+  | Automaton a -> Format.fprintf ppf "⟦automaton:%d states⟧" (Evset.size a)
+  | Union (a, b) -> Format.fprintf ppf "(%a ∪ %a)" pp a pp b
+  | Join (a, b) -> Format.fprintf ppf "(%a ⋈ %a)" pp a pp b
+  | Project (vars, e) -> Format.fprintf ppf "π_%a(%a)" Variable.pp_set vars pp e
+  | Select (vars, e) -> Format.fprintf ppf "ς=_%a(%a)" Variable.pp_set vars pp e

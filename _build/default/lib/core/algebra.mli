@@ -1,0 +1,41 @@
+(** The spanner algebra of [9] (§1): expressions over primitive
+    spanners built from union ∪, natural join ⋈, projection π and
+    string-equality selection ς=.
+
+    Expressions without [Select] denote *regular* spanners and can be
+    compiled to a single extended vset-automaton ({!compile_regular} —
+    the closure results of §2.2).  Expressions with [Select] denote
+    *core* spanners; they are evaluated here by materialisation, and
+    compiled to the simplified normal form by {!Core_spanner} (§2.3). *)
+
+type t =
+  | Formula of Regex_formula.t  (** a primitive RGX spanner *)
+  | Automaton of Evset.t  (** a primitive automaton spanner *)
+  | Union of t * t
+  | Join of t * t
+  | Project of Variable.Set.t * t
+  | Select of Variable.Set.t * t  (** ς=_Z *)
+
+(** [formula s] parses a regex formula into a primitive expression. *)
+val formula : string -> t
+
+(** [schema e] is the expression's output variable set. *)
+val schema : t -> Variable.Set.t
+
+(** [is_regular e] tests for the absence of [Select]. *)
+val is_regular : t -> bool
+
+(** [compile_regular e] compiles a [Select]-free expression to one
+    automaton.
+    @raise Invalid_argument if [e] contains [Select]. *)
+val compile_regular : t -> Evset.t
+
+(** [eval e doc] evaluates by structural recursion over materialised
+    relations — the textbook semantics, used as the oracle for
+    {!Core_spanner.simplify}. *)
+val eval : t -> string -> Span_relation.t
+
+(** [size e] is the number of algebra nodes. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

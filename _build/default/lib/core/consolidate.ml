@@ -1,0 +1,61 @@
+type policy = Contained_within | Not_contained_within | Left_to_right | Exact_overlap
+
+module Span_set = Set.Make (Span)
+
+let strictly_contained inner outer = Span.contains outer inner && not (Span.equal inner outer)
+
+let dominant_spans policy spans =
+  let distinct = Span_set.elements (Span_set.of_list spans) in
+  match policy with
+  | Contained_within ->
+      List.filter
+        (fun s -> not (List.exists (fun s' -> strictly_contained s s') distinct))
+        distinct
+  | Not_contained_within ->
+      List.filter (fun s -> List.exists (fun s' -> strictly_contained s s') distinct) distinct
+  | Exact_overlap -> distinct
+  | Left_to_right ->
+      (* sort by left endpoint, ties broken by longer span; then greedy *)
+      let ordered =
+        List.sort
+          (fun a b ->
+            let c = Int.compare (Span.left a) (Span.left b) in
+            if c <> 0 then c else Int.compare (Span.right b) (Span.right a))
+          distinct
+      in
+      let rec greedy kept = function
+        | [] -> List.rev kept
+        | s :: rest ->
+            if List.exists (fun k -> not (Span.disjoint k s)) kept then greedy kept rest
+            else greedy (s :: kept) rest
+      in
+      greedy [] ordered
+
+let consolidate policy ~on r =
+  if not (Variable.Set.mem on (Span_relation.schema r)) then
+    invalid_arg "Consolidate.consolidate: the consolidation variable is not in the schema";
+  let tuples = Span_relation.tuples r in
+  let bound, unbound =
+    List.partition (fun t -> Span_tuple.find t on <> None) tuples
+  in
+  let spans = List.map (fun t -> Span_tuple.get t on) bound in
+  let kept_spans = Span_set.of_list (dominant_spans policy spans) in
+  let kept =
+    match policy with
+    | Exact_overlap ->
+        (* one representative per span: tuples arrive in canonical
+           order, so keep the first for each span *)
+        let seen = ref Span_set.empty in
+        List.filter
+          (fun t ->
+            let s = Span_tuple.get t on in
+            if Span_set.mem s !seen then false
+            else begin
+              seen := Span_set.add s !seen;
+              true
+            end)
+          bound
+    | Contained_within | Not_contained_within | Left_to_right ->
+        List.filter (fun t -> Span_set.mem (Span_tuple.get t on) kept_spans) bound
+  in
+  Span_relation.of_list (Span_relation.schema r) (kept @ unbound)

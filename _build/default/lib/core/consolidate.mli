@@ -1,0 +1,37 @@
+(** Consolidation policies, as in SystemT's AQL.
+
+    The paper's framework formalises the query language AQL of IBM's
+    SystemT (§1).  Besides the algebra, AQL provides {e consolidation}:
+    resolving overlapping matches of one extractor according to a
+    policy.  Consolidation is a post-processing step on span relations
+    — it commutes with everything upstream, so it composes with every
+    evaluation route in this library (materialised, enumerated,
+    compressed).
+
+    All policies operate on the spans of a designated column [on] and
+    keep a subset of the tuples. *)
+
+type policy =
+  | Contained_within
+      (** drop a tuple if its [on]-span is strictly contained in
+          another tuple's [on]-span (keep maximal matches) *)
+  | Not_contained_within
+      (** keep only tuples whose [on]-span is contained in another's —
+          the complement view (AQL's retain-inner variant) *)
+  | Left_to_right
+      (** greedy scan: repeatedly keep the leftmost match (breaking
+          ties by longer span) and drop everything overlapping it —
+          the classical leftmost-longest tokenisation policy *)
+  | Exact_overlap
+      (** collapse tuples with identical [on]-spans to one (the first
+          in canonical tuple order) *)
+
+(** [consolidate policy ~on r] applies the policy to relation [r].
+    Tuples not binding [on] are kept untouched.
+    @raise Invalid_argument if [on] is not in the schema. *)
+val consolidate : policy -> on:Variable.t -> Span_relation.t -> Span_relation.t
+
+(** [dominant_spans policy spans] exposes the span-level decision:
+    the subset of [spans] the policy keeps (used by tests and by
+    {!consolidate}). *)
+val dominant_spans : policy -> Span.t list -> Span.t list

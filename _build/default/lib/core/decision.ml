@@ -1,0 +1,58 @@
+module Regular = struct
+  type spanner = Evset.t
+
+  let model_checking = Evset.accepts_tuple
+
+  let non_emptiness = Evset.nonempty_on
+
+  let satisfiability = Evset.satisfiable
+
+  let hierarchicality = Evset.hierarchical
+
+  let containment a b = Evset.contains b a
+
+  let equivalence = Evset.equal_spanner
+end
+
+module Core = struct
+  type spanner = Core_spanner.t
+
+  let model_checking = Core_spanner.model_check
+
+  let non_emptiness = Core_spanner.nonempty_on
+
+  let satisfiability = Core_spanner.satisfiable
+
+  let hierarchicality ~max_len (s : spanner) =
+    let projected = Evset.project s.Core_spanner.projection s.Core_spanner.automaton in
+    if Evset.hierarchical projected then `Yes
+    else begin
+      (* The regular over-approximation overlaps; search for an actual
+         output tuple that overlaps. *)
+      let alphabet =
+        let cs = ref Spanner_fa.Charset.empty in
+        for q = 0 to Evset.size projected - 1 do
+          Evset.iter_letter_arcs projected q (fun c _ -> cs := Spanner_fa.Charset.union !cs c)
+        done;
+        Spanner_fa.Charset.elements !cs
+      in
+      let rec of_len len =
+        if len = 0 then Seq.return ""
+        else
+          Seq.concat_map
+            (fun shorter -> List.to_seq (List.map (fun c -> shorter ^ String.make 1 c) alphabet))
+            (of_len (len - 1))
+      in
+      let all = Seq.concat_map of_len (Seq.init (max_len + 1) Fun.id) in
+      let overlapping doc =
+        List.exists
+          (fun t -> not (Span_tuple.hierarchical t))
+          (Span_relation.tuples (Core_spanner.eval s doc))
+      in
+      if Seq.exists overlapping all then `No else `Unknown
+    end
+
+  let containment = Core_spanner.contained_in
+
+  let equivalence = Core_spanner.equivalent
+end

@@ -1,0 +1,63 @@
+(** The decision problems of §2.4, for regular and core spanners.
+
+    {v
+    problem          regular spanners        core spanners
+    --------------------------------------------------------------
+    ModelChecking    O(|D|·|M|)              NP-hard
+    NonEmptiness     O(|D|·|M|)              NP-hard
+    Satisfiability   O(|M|)                  PSpace-complete
+    Hierarchicality  O(poly |M|)             PSpace-complete
+    Containment      PSpace-complete         undecidable
+    Equivalence      PSpace-complete         undecidable
+    v}
+
+    The regular-spanner procedures are complete.  The core-spanner
+    procedures are exhaustive (worst-case exponential — exactly as the
+    hardness results predict) for the evaluation problems, and bounded
+    semi-procedures for the static-analysis problems whose unbounded
+    versions are PSpace-hard or undecidable. *)
+
+module Regular : sig
+  type spanner = Evset.t
+
+  (** [model_checking s doc t] decides t ∈ ⟦s⟧(doc). *)
+  val model_checking : spanner -> string -> Span_tuple.t -> bool
+
+  (** [non_emptiness s doc] decides ⟦s⟧(doc) ≠ ∅ by the ε-interpretation
+      of marker arcs (§3.3). *)
+  val non_emptiness : spanner -> string -> bool
+
+  (** [satisfiability s] decides ∃D. ⟦s⟧(D) ≠ ∅. *)
+  val satisfiability : spanner -> bool
+
+  (** [hierarchicality s] decides that no extracted tuple has strictly
+      overlapping spans. *)
+  val hierarchicality : spanner -> bool
+
+  (** [containment a b] decides ⟦a⟧(D) ⊆ ⟦b⟧(D) for all D. *)
+  val containment : spanner -> spanner -> bool
+
+  (** [equivalence a b] decides ⟦a⟧ = ⟦b⟧. *)
+  val equivalence : spanner -> spanner -> bool
+end
+
+module Core : sig
+  type spanner = Core_spanner.t
+
+  val model_checking : spanner -> string -> Span_tuple.t -> bool
+
+  val non_emptiness : spanner -> string -> bool
+
+  (** Bounded: documents up to [max_len] over the automaton alphabet. *)
+  val satisfiability : max_len:int -> spanner -> Core_spanner.bounded
+
+  (** [hierarchicality ~max_len s]: [`Yes] when already the underlying
+      regular spanner is hierarchical (selections only remove tuples);
+      [`No] when a bounded search finds an overlapping output tuple;
+      [`Unknown] otherwise. *)
+  val hierarchicality : max_len:int -> spanner -> Core_spanner.bounded
+
+  val containment : max_len:int -> spanner -> spanner -> Core_spanner.bounded
+
+  val equivalence : max_len:int -> spanner -> spanner -> Core_spanner.bounded
+end

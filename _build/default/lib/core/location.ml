@@ -1,0 +1,31 @@
+(* line_starts.(k) = 1-based document position of the first character
+   of line k+1; line_starts.(0) = 1. *)
+type t = { line_starts : int array; doc_len : int }
+
+let make doc =
+  let starts = ref [ 1 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 2) :: !starts) doc;
+  { line_starts = Array.of_list (List.rev !starts); doc_len = String.length doc }
+
+type position = { line : int; column : int }
+
+let position_of idx i =
+  if i < 1 || i > idx.doc_len + 1 then
+    invalid_arg (Printf.sprintf "Location.position_of: position %d out of range" i);
+  (* binary search: greatest line start ≤ i *)
+  let lo = ref 0 and hi = ref (Array.length idx.line_starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if idx.line_starts.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  { line = !lo + 1; column = i - idx.line_starts.(!lo) + 1 }
+
+let range_of idx span = (position_of idx (Span.left span), position_of idx (Span.right span))
+
+let pp_position ppf p = Format.fprintf ppf "%d:%d" p.line p.column
+
+let pp_range idx ppf span =
+  let start, stop = range_of idx span in
+  Format.fprintf ppf "%a-%a" pp_position start pp_position stop
+
+let line_count idx = Array.length idx.line_starts

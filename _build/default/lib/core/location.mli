@@ -1,0 +1,33 @@
+(** Line/column reporting for spans.
+
+    Spans are 1-based character intervals (§1); tools that extract from
+    real files want line:column coordinates.  An index over the
+    document's newline positions converts in O(log #lines). *)
+
+type t
+
+(** [make doc] indexes the newline positions of [doc], O(|doc|). *)
+val make : string -> t
+
+type position = { line : int; column : int }
+(** 1-based line and column. *)
+
+(** [position_of idx i] is the line/column of document position [i]
+    (1-based; [i] may be |doc| + 1, the end-of-document boundary).
+    @raise Invalid_argument if out of range. *)
+val position_of : t -> int -> position
+
+(** [range_of idx span] is the (start, end) positions of a span; the
+    end position is that of the first character *after* the span
+    (half-open, like the span itself). *)
+val range_of : t -> Span.t -> position * position
+
+(** [pp_position ppf p] prints [line:column]. *)
+val pp_position : Format.formatter -> position -> unit
+
+(** [pp_range idx ppf span] prints [l1:c1-l2:c2]. *)
+val pp_range : t -> Format.formatter -> Span.t -> unit
+
+(** [line_count idx] is the number of lines (≥ 1; a trailing newline
+    starts a final empty line). *)
+val line_count : t -> int

@@ -1,0 +1,37 @@
+type t = Open of Variable.t | Close of Variable.t
+
+let variable = function Open x | Close x -> x
+
+let is_open = function Open _ -> true | Close _ -> false
+
+let rank = function Open x -> (0, Variable.id x) | Close x -> (1, Variable.id x)
+
+let compare a b = Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash m = Hashtbl.hash (rank m)
+
+let all_markers vars =
+  let opens = List.map (fun x -> Open x) (Variable.Set.elements vars) in
+  let closes = List.map (fun x -> Close x) (Variable.Set.elements vars) in
+  opens @ closes
+
+let pp ppf = function
+  | Open x -> Format.fprintf ppf "⊢%a" Variable.pp x
+  | Close x -> Format.fprintf ppf "⊣%a" Variable.pp x
+
+let to_string m = Format.asprintf "%a" pp m
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+    (Set.elements s)
+
+let set_variables s = Set.fold (fun m acc -> Variable.Set.add (variable m) acc) s Variable.Set.empty

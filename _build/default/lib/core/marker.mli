@@ -1,0 +1,43 @@
+(** Marker meta-symbols ⊢x and ⊣x.
+
+    The symbols written [ᵡ▷] and [◁ᵡ] in the paper (§1): inserting
+    them into a document materialises where a span opens and closes.
+    Words over Σ ∪ markers are the subword-marked words of §2.1. *)
+
+type t =
+  | Open of Variable.t  (** ⊢x : the span of x starts here *)
+  | Close of Variable.t  (** ⊣x : the span of x ends here *)
+
+(** [variable m] is the variable the marker belongs to. *)
+val variable : t -> Variable.t
+
+(** [is_open m] tests for [Open _]. *)
+val is_open : t -> bool
+
+(** [compare] is the canonical marker order used to normalise factors
+    of consecutive markers (§2.2, Option 1): all [Open]s (by variable)
+    precede all [Close]s (by variable).  Opens-first guarantees that
+    the canonical rendering of an empty span [⊢x ⊣x] is itself valid. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [all_markers vars] is the 2·|vars| markers of a variable set, in
+    canonical order. *)
+val all_markers : Variable.Set.t -> t list
+
+(** [pp ppf m] prints [⊢x] or [⊣x]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Sets of markers, e.g. the factor alphabet of extended
+    vset-automata (§2.2, Option 2). *)
+module Set : Set.S with type elt = t
+
+(** [pp_set ppf s] prints [{⊢x, ⊣y}]. *)
+val pp_set : Format.formatter -> Set.t -> unit
+
+(** [set_variables s] is the set of variables with a marker in [s]. *)
+val set_variables : Set.t -> Variable.Set.t

@@ -1,0 +1,186 @@
+type item = Char of char | Mark of Marker.t
+
+type t = item array
+
+let of_doc_tuple doc tuple =
+  let n = String.length doc in
+  let boundary = Array.make (n + 2) [] in
+  List.iter
+    (fun (x, s) ->
+      if not (Span.fits s doc) then
+        invalid_arg
+          (Format.asprintf "Ref_word.of_doc_tuple: span %a of %a does not fit" Span.pp s
+             Variable.pp x);
+      boundary.(Span.left s) <- Marker.Open x :: boundary.(Span.left s);
+      boundary.(Span.right s) <- Marker.Close x :: boundary.(Span.right s))
+    (Span_tuple.bindings tuple);
+  let items = ref [] in
+  for b = n + 1 downto 1 do
+    if b <= n then items := Char doc.[b - 1] :: !items;
+    let marks = List.sort Marker.compare boundary.(b) in
+    items := List.map (fun m -> Mark m) marks @ !items
+  done;
+  Array.of_list !items
+
+let doc w =
+  let buf = Buffer.create (Array.length w) in
+  Array.iter (function Char c -> Buffer.add_char buf c | Mark _ -> ()) w;
+  Buffer.contents buf
+
+let span_tuple w =
+  let pos = ref 1 in
+  let opens = Hashtbl.create 8 in
+  let tuple = ref Span_tuple.empty in
+  Array.iter
+    (function
+      | Char _ -> incr pos
+      | Mark (Marker.Open x) ->
+          if Hashtbl.mem opens x then
+            invalid_arg
+              (Printf.sprintf "Ref_word.span_tuple: variable %s opened twice" (Variable.name x));
+          Hashtbl.add opens x !pos
+      | Mark (Marker.Close x) -> (
+          match Hashtbl.find_opt opens x with
+          | Some left when Span_tuple.find !tuple x = None ->
+              tuple := Span_tuple.bind !tuple x (Span.make left !pos)
+          | Some _ ->
+              invalid_arg
+                (Printf.sprintf "Ref_word.span_tuple: variable %s closed twice" (Variable.name x))
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Ref_word.span_tuple: variable %s closed before opened"
+                   (Variable.name x))))
+    w;
+  Hashtbl.iter
+    (fun x _ ->
+      if Span_tuple.find !tuple x = None then
+        invalid_arg
+          (Printf.sprintf "Ref_word.span_tuple: variable %s opened but never closed"
+             (Variable.name x)))
+    opens;
+  !tuple
+
+type validity = Valid of { functional : bool } | Invalid of string
+
+let validate vars w =
+  let exception Bad of string in
+  try
+    let opened = Hashtbl.create 8 and closed = Hashtbl.create 8 in
+    Array.iter
+      (function
+        | Char _ -> ()
+        | Mark m ->
+            let x = Marker.variable m in
+            if not (Variable.Set.mem x vars) then
+              raise (Bad (Printf.sprintf "marker for foreign variable %s" (Variable.name x)));
+            if Marker.is_open m then begin
+              if Hashtbl.mem opened x then
+                raise (Bad (Printf.sprintf "⊢%s occurs twice" (Variable.name x)));
+              Hashtbl.add opened x ()
+            end
+            else begin
+              if not (Hashtbl.mem opened x) then
+                raise (Bad (Printf.sprintf "⊣%s before ⊢%s" (Variable.name x) (Variable.name x)));
+              if Hashtbl.mem closed x then
+                raise (Bad (Printf.sprintf "⊣%s occurs twice" (Variable.name x)));
+              Hashtbl.add closed x ()
+            end)
+      w;
+    Hashtbl.iter
+      (fun x () ->
+        if not (Hashtbl.mem closed x) then
+          raise (Bad (Printf.sprintf "⊢%s never closed" (Variable.name x))))
+      opened;
+    let functional = Variable.Set.for_all (Hashtbl.mem closed) vars in
+    Valid { functional }
+  with Bad reason -> Invalid reason
+
+let canonicalize w = of_doc_tuple (doc w) (span_tuple w)
+
+let to_extended w =
+  let d = doc w in
+  let sets = Array.make (String.length d + 1) Marker.Set.empty in
+  let pos = ref 0 in
+  Array.iter
+    (function
+      | Char _ -> incr pos
+      | Mark m -> sets.(!pos) <- Marker.Set.add m sets.(!pos))
+    w;
+  (d, sets)
+
+let of_extended d sets =
+  if Array.length sets <> String.length d + 1 then
+    invalid_arg "Ref_word.of_extended: need |doc| + 1 boundary sets";
+  let items = ref [] in
+  for b = String.length d downto 0 do
+    if b < String.length d then items := Char d.[b] :: !items;
+    let marks = List.sort Marker.compare (Marker.Set.elements sets.(b)) in
+    items := List.map (fun m -> Mark m) marks @ !items
+  done;
+  Array.of_list !items
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Char c, Char c' -> c = c'
+         | Mark m, Mark m' -> Marker.equal m m'
+         | Char _, Mark _ | Mark _, Char _ -> false)
+       a b
+
+let represents_same a b = equal (canonicalize a) (canonicalize b)
+
+(* A marker is rendered as ⊢x for a single-character variable name and
+   ⊢(name) otherwise — the parenthesised form keeps the rendering
+   unambiguous (a bare multi-character name would swallow the document
+   letters that follow it). *)
+let pp_marker ppf m =
+  let name = Variable.name (Marker.variable m) in
+  let symbol = if Marker.is_open m then "⊢" else "⊣" in
+  if String.length name = 1 then Format.fprintf ppf "%s%s" symbol name
+  else Format.fprintf ppf "%s(%s)" symbol name
+
+let pp ppf w =
+  Array.iter (function Char c -> Format.pp_print_char ppf c | Mark m -> pp_marker ppf m) w
+
+let to_string w = Format.asprintf "%a" pp w
+
+(* [scan_marker_name s i] reads a variable name at offset [i]: either a
+   parenthesised identifier or exactly one identifier character. *)
+let scan_marker_name s i =
+  let n = String.length s in
+  let is_ident c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  if i < n && s.[i] = '(' then begin
+    let stop = try String.index_from s i ')' with Not_found ->
+      invalid_arg "Ref_word.of_string: unterminated variable name"
+    in
+    (Variable.of_string (String.sub s (i + 1) (stop - i - 1)), stop + 1)
+  end
+  else if i < n && is_ident s.[i] then (Variable.of_string (String.make 1 s.[i]), i + 1)
+  else invalid_arg "Ref_word.of_string: marker without variable name"
+
+let of_string s =
+  (* The markers ⊢ (0xE2 0x8A 0xA2) and ⊣ (0xE2 0x8A 0xA3) are the only
+     multi-byte sequences recognised; everything else is taken as a raw
+     byte. *)
+  let items = ref [] in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if !i + 2 < n && s.[!i] = '\xE2' && s.[!i + 1] = '\x8A'
+       && (s.[!i + 2] = '\xA2' || s.[!i + 2] = '\xA3')
+    then begin
+      let open_marker = s.[!i + 2] = '\xA2' in
+      let x, next = scan_marker_name s (!i + 3) in
+      i := next;
+      items := Mark (if open_marker then Marker.Open x else Marker.Close x) :: !items
+    end
+    else begin
+      items := Char s.[!i] :: !items;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !items)

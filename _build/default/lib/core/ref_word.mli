@@ -1,0 +1,83 @@
+(** Subword-marked words (a.k.a. ref-words without references).
+
+    A subword-marked word over Σ and X is a word over Σ ∪ markers in
+    which, for every variable, ⊢x and ⊣x occur exactly once and in this
+    order (§2.1).  Such a word [w] represents the document [e w] (erase
+    markers) and the span tuple [st w] (read marker positions as span
+    boundaries).  Every spanner is a set of subword-marked words and
+    vice versa — this is the declarative formalisation the whole paper
+    is built on.
+
+    Two normal forms of §2.2 are supported: the canonical marker order
+    (Option 1; {!canonicalize}) and the extended form whose boundary
+    factors are marker *sets* (Option 2; {!to_extended}). *)
+
+type item = Char of char | Mark of Marker.t
+
+type t = item array
+
+(** {1 Conversions between (D, t) pairs and marked words} *)
+
+(** [of_doc_tuple doc t] is the canonical subword-marked word
+    representing [(doc, t)]: markers of each boundary appear in
+    {!Marker.compare} order.
+    @raise Invalid_argument if some span of [t] does not fit [doc]. *)
+val of_doc_tuple : string -> Span_tuple.t -> t
+
+(** [doc w] is e(w): the document obtained by erasing markers. *)
+val doc : t -> string
+
+(** [span_tuple w] is st(w): the tuple encoded by marker positions.
+    Requires [w] to be valid (each present variable opened once, then
+    closed once); @raise Invalid_argument otherwise. *)
+val span_tuple : t -> Span_tuple.t
+
+(** {1 Validity (§2.1) and functionality (§2.2)} *)
+
+type validity =
+  | Valid of { functional : bool }
+      (** a proper subword-marked word; [functional] iff every variable
+          of the given set X occurs *)
+  | Invalid of string  (** human-readable reason *)
+
+(** [validate vars w] checks that [w] is a subword-marked word over Σ
+    and [vars] — every marker belongs to [vars], occurs at most once,
+    and ⊢x precedes ⊣x whenever x occurs (schemaless reading: absent
+    variables are allowed and reported through [functional = false]). *)
+val validate : Variable.Set.t -> t -> validity
+
+(** {1 Normal forms} *)
+
+(** [canonicalize w] reorders each factor of consecutive markers into
+    the canonical order (Option 1 of §2.2).  Represents the same
+    (document, tuple) pair. *)
+val canonicalize : t -> t
+
+(** [to_extended w] is the extended form (Option 2 of §2.2): the pair
+    of the plain document and the array of [|doc| + 1] marker sets, one
+    per boundary ([sets.(i)] sits before character [i]). *)
+val to_extended : t -> string * Marker.Set.t array
+
+(** [of_extended doc sets] rebuilds a canonical marked word.
+    @raise Invalid_argument if [Array.length sets <> |doc| + 1]. *)
+val of_extended : string -> Marker.Set.t array -> t
+
+(** {1 Misc} *)
+
+(** [equal a b] is item-wise equality. *)
+val equal : t -> t -> bool
+
+(** [represents_same a b] tests that [a] and [b] encode the same
+    (document, tuple) pair — equality modulo consecutive marker
+    order. *)
+val represents_same : t -> t -> bool
+
+(** [of_string s] parses the rendering produced by {!to_string}:
+    plain characters plus marker escapes [⊢x] / [⊣x] for
+    single-character variable names and [⊢(name)] / [⊣(name)] for
+    longer ones (parentheses keep the rendering unambiguous). *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

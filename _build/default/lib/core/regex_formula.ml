@@ -1,0 +1,292 @@
+module Regex = Spanner_fa.Regex
+module Charset = Spanner_fa.Charset
+
+type t =
+  | Empty
+  | Epsilon
+  | Chars of Charset.t
+  | Bind of Variable.t * t
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let empty = Empty
+
+let epsilon = Epsilon
+
+let chars cs = if Charset.is_empty cs then Empty else Chars cs
+
+let char c = Chars (Charset.singleton c)
+
+let bind x f = Bind (x, f)
+
+let concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, f | f, Epsilon -> f
+  | _ -> Concat (a, b)
+
+let alt a b = match (a, b) with Empty, f | f, Empty -> f | _ -> Alt (a, b)
+
+let star = function Empty | Epsilon -> Epsilon | f -> Star f
+
+let plus = function Empty -> Empty | Epsilon -> Epsilon | f -> Plus f
+
+let opt = function Empty | Epsilon -> Epsilon | f -> Opt f
+
+let concat_list fs = List.fold_left concat Epsilon fs
+
+let alt_list fs = List.fold_left alt Empty fs
+
+let str s = concat_list (List.map char (List.init (String.length s) (String.get s)))
+
+let rec of_regex = function
+  | Regex.Empty -> Empty
+  | Regex.Epsilon -> Epsilon
+  | Regex.Chars cs -> Chars cs
+  | Regex.Concat (a, b) -> concat (of_regex a) (of_regex b)
+  | Regex.Alt (a, b) -> alt (of_regex a) (of_regex b)
+  | Regex.Star a -> star (of_regex a)
+  | Regex.Plus a -> plus (of_regex a)
+  | Regex.Opt a -> opt (of_regex a)
+
+let rec vars = function
+  | Empty | Epsilon | Chars _ -> Variable.Set.empty
+  | Bind (x, f) -> Variable.Set.add x (vars f)
+  | Concat (a, b) | Alt (a, b) -> Variable.Set.union (vars a) (vars b)
+  | Star f | Plus f | Opt f -> vars f
+
+type functionality = Total | Schemaless | Ill_formed of string
+
+let functionality f =
+  let exception Ill of string in
+  (* [walk f] returns (must, may): the variables marked on *every*
+     word of L(f) and on *some* word.  Raises on any shape that could
+     mark a variable twice. *)
+  let rec walk = function
+    | Empty | Epsilon | Chars _ -> (Variable.Set.empty, Variable.Set.empty)
+    | Bind (x, f) ->
+        let must, may = walk f in
+        if Variable.Set.mem x may then
+          raise (Ill (Printf.sprintf "variable %s bound inside its own binding" (Variable.name x)));
+        (Variable.Set.add x must, Variable.Set.add x may)
+    | Concat (a, b) ->
+        let must_a, may_a = walk a and must_b, may_b = walk b in
+        let clash = Variable.Set.inter may_a may_b in
+        if not (Variable.Set.is_empty clash) then
+          raise
+            (Ill
+               (Printf.sprintf "variable %s can be bound on both sides of a concatenation"
+                  (Variable.name (Variable.Set.choose clash))));
+        (Variable.Set.union must_a must_b, Variable.Set.union may_a may_b)
+    | Alt (a, b) ->
+        let must_a, may_a = walk a and must_b, may_b = walk b in
+        (Variable.Set.inter must_a must_b, Variable.Set.union may_a may_b)
+    | Star f | Plus f ->
+        let _, may = walk f in
+        if not (Variable.Set.is_empty may) then
+          raise
+            (Ill
+               (Printf.sprintf "variable %s bound under an iteration"
+                  (Variable.name (Variable.Set.choose may))));
+        (Variable.Set.empty, Variable.Set.empty)
+    | Opt f ->
+        let _, may = walk f in
+        (Variable.Set.empty, may)
+  in
+  match walk f with
+  | must, may -> if Variable.Set.equal must may then Total else Schemaless
+  | exception Ill reason -> Ill_formed reason
+
+let is_well_formed f = match functionality f with Ill_formed _ -> false | Total | Schemaless -> true
+
+let rec size = function
+  | Empty | Epsilon | Chars _ -> 1
+  | Bind (_, f) | Star f | Plus f | Opt f -> 1 + size f
+  | Concat (a, b) | Alt (a, b) -> 1 + size a + size b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: the regex grammar of Spanner_fa.Regex plus  !x{ α }        *)
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st message = raise (Regex.Parse_error (message, st.pos))
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_ident st =
+  let start = st.pos in
+  let is_ident c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a variable name";
+  String.sub st.input start (st.pos - start)
+
+let parse_class st =
+  (* Delegate to the plain regex parser by re-scanning the class from
+     '['; it has exactly the same class grammar. *)
+  let start = st.pos - 1 in
+  let rec find_end i escaped =
+    if i >= String.length st.input then fail st "unterminated character class"
+    else if escaped then find_end (i + 1) false
+    else
+      match st.input.[i] with
+      | '\\' -> find_end (i + 1) true
+      | ']' -> i
+      | _ -> find_end (i + 1) false
+  in
+  (* skip a leading ']' that would close an empty class immediately:
+     the base grammar treats '[]' as the empty class *)
+  let close = find_end st.pos false in
+  let fragment = String.sub st.input start (close - start + 1) in
+  st.pos <- close + 1;
+  match Regex.parse fragment with
+  | Regex.Chars cs -> Chars cs
+  | Regex.Empty -> Empty
+  | _ -> fail st "malformed character class"
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      alt left (parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec loop acc =
+    match peek st with
+    | None | Some ('|' | ')' | '}') -> acc
+    | Some ('*' | '+' | '?') -> fail st "dangling postfix operator"
+    | Some _ -> loop (concat acc (parse_postfix st))
+  in
+  loop Epsilon
+
+and parse_bounds st =
+  let read_int () =
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start then fail st "expected a repetition count";
+    int_of_string (String.sub st.input start (st.pos - start))
+  in
+  let m = read_int () in
+  let bounds =
+    match peek st with
+    | Some ',' ->
+        advance st;
+        (match peek st with
+        | Some '0' .. '9' ->
+            let n = read_int () in
+            if n < m then fail st "repetition bounds out of order";
+            (m, Some n)
+        | _ -> (m, None))
+    | _ -> (m, Some m)
+  in
+  expect st '}';
+  bounds
+
+and parse_postfix st =
+  let base = parse_atom st in
+  let rec loop f =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        loop (star f)
+    | Some '+' ->
+        advance st;
+        loop (plus f)
+    | Some '?' ->
+        advance st;
+        loop (opt f)
+    | Some '{' ->
+        advance st;
+        let m, n = parse_bounds st in
+        let repeated = concat_list (List.init m (fun _ -> f)) in
+        let tail =
+          match n with
+          | None -> star f
+          | Some n -> concat_list (List.init (n - m) (fun _ -> opt f))
+        in
+        loop (concat repeated tail)
+    | _ -> f
+  in
+  loop base
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '!' ->
+      advance st;
+      let name = parse_ident st in
+      expect st '{';
+      let body = parse_alt st in
+      expect st '}';
+      Bind (Variable.of_string name, body)
+  | Some '(' ->
+      advance st;
+      let f = parse_alt st in
+      expect st ')';
+      f
+  | Some '[' ->
+      advance st;
+      parse_class st
+  | Some '.' ->
+      advance st;
+      Chars Charset.full
+  | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some c ->
+          advance st;
+          char c
+      | None -> fail st "dangling escape")
+  | Some (('{' | '}' | '&') as c) ->
+      fail st (Printf.sprintf "reserved character '%c' must be escaped" c)
+  | Some c ->
+      advance st;
+      char c
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let f = parse_alt st in
+  (match peek st with None -> () | Some c -> fail st (Printf.sprintf "unexpected '%c'" c));
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let rec pp_prec prec ppf f =
+  let parens lvl body = if prec > lvl then Format.fprintf ppf "(%t)" body else body ppf in
+  match f with
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Epsilon -> Format.pp_print_string ppf "()"
+  | Chars cs ->
+      (match Charset.elements cs with
+      | [ c ] ->
+          if Regex.is_meta c then Format.fprintf ppf "\\%c" c else Format.fprintf ppf "%c" c
+      | _ -> Charset.pp ppf cs)
+  | Bind (x, f) -> Format.fprintf ppf "!%a{%a}" Variable.pp x (pp_prec 0) f
+  | Alt (a, b) -> parens 0 (fun ppf -> Format.fprintf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b)
+  | Concat (a, b) ->
+      parens 1 (fun ppf -> Format.fprintf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b)
+  | Star a -> parens 2 (fun ppf -> Format.fprintf ppf "%a*" (pp_prec 2) a)
+  | Plus a -> parens 2 (fun ppf -> Format.fprintf ppf "%a+" (pp_prec 2) a)
+  | Opt a -> parens 2 (fun ppf -> Format.fprintf ppf "%a?" (pp_prec 2) a)
+
+let pp ppf f = pp_prec 0 ppf f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,55 @@
+type t = { left : int; right : int }
+
+let make i j =
+  if not (1 <= i && i <= j) then
+    invalid_arg (Printf.sprintf "Span.make: invalid span [%d,%d⟩" i j);
+  { left = i; right = j }
+
+let left s = s.left
+
+let right s = s.right
+
+let len s = s.right - s.left
+
+let is_empty s = s.left = s.right
+
+let fits s doc = s.right <= String.length doc + 1
+
+let content s doc =
+  if not (fits s doc) then
+    invalid_arg
+      (Printf.sprintf "Span.content: span [%d,%d⟩ does not fit document of length %d" s.left
+         s.right (String.length doc));
+  String.sub doc (s.left - 1) (len s)
+
+let all doc =
+  let n = String.length doc in
+  let acc = ref [] in
+  for i = n + 1 downto 1 do
+    for j = n + 1 downto i do
+      acc := { left = i; right = j } :: !acc
+    done
+  done;
+  !acc
+
+let equal a b = a.left = b.left && a.right = b.right
+
+let compare a b =
+  let c = Int.compare a.left b.left in
+  if c <> 0 then c else Int.compare a.right b.right
+
+let contains a b = a.left <= b.left && b.right <= a.right
+
+let disjoint a b = a.right <= b.left || b.right <= a.left
+
+let overlapping a b = (not (disjoint a b)) && (not (contains a b)) && not (contains b a)
+
+let hierarchical a b = not (overlapping a b)
+
+let fuse a b = { left = min a.left b.left; right = max a.right b.right }
+
+let pp ppf s = Format.fprintf ppf "[%d,%d⟩" s.left s.right
+
+let to_string s = Format.asprintf "%a" pp s
+
+let hash s = (s.left * 1000003) lxor s.right

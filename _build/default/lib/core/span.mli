@@ -1,0 +1,74 @@
+(** Spans of a document.
+
+    A span [⟨i, j⟩] with [1 ≤ i ≤ j ≤ |D| + 1] represents the factor
+    [a_i … a_{j-1}] of a document [D = a_1 … a_n] (§1 of the paper;
+    positions are 1-based and the interval is half-open, written
+    [[i, j⟩] there). *)
+
+type t = private { left : int; right : int }
+
+(** [make i j] is the span [[i, j⟩].
+    @raise Invalid_argument unless [1 ≤ i ≤ j]. *)
+val make : int -> int -> t
+
+(** [left s] and [right s] are the endpoints [i] and [j]. *)
+val left : t -> int
+
+val right : t -> int
+
+(** [len s] is the length [j - i] of the represented factor. *)
+val len : t -> int
+
+(** [is_empty s] tests [i = j]. *)
+val is_empty : t -> bool
+
+(** [fits s doc] tests that [s] is a span *of* [doc], i.e.
+    [j ≤ |doc| + 1]. *)
+val fits : t -> string -> bool
+
+(** [content s doc] is the factor of [doc] represented by [s].
+    @raise Invalid_argument if [not (fits s doc)]. *)
+val content : t -> string -> string
+
+(** [all doc] is Spans(doc): every span of [doc], in lexicographic
+    order — |doc|·(|doc|+1)/2 + |doc| + 1 of them. *)
+val all : string -> t list
+
+(** {1 Relative position predicates} *)
+
+(** [equal a b] is structural equality. *)
+val equal : t -> t -> bool
+
+(** [compare a b] orders by left endpoint, then right. *)
+val compare : t -> t -> int
+
+(** [contains a b] tests that [b] lies within [a]
+    ([a.left ≤ b.left] and [b.right ≤ a.right]). *)
+val contains : t -> t -> bool
+
+(** [disjoint a b] tests that the half-open intervals do not
+    intersect. *)
+val disjoint : t -> t -> bool
+
+(** [overlapping a b] tests that [a] and [b] overlap *strictly*: they
+    intersect but neither contains the other.  This is the notion of
+    overlap whose combination with string-equality selection drives the
+    hardness results of §2.4 and is outlawed by refl-spanners (§3). *)
+val overlapping : t -> t -> bool
+
+(** [hierarchical a b] tests that [a] and [b] are either disjoint or
+    nested (§2.2). *)
+val hierarchical : t -> t -> bool
+
+(** [fuse a b] is the column-fusion of two spans (§3.2): the smallest
+    span covering both. *)
+val fuse : t -> t -> t
+
+(** [pp ppf s] prints [[i,j⟩]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string s] is {!pp} to a string. *)
+val to_string : t -> string
+
+(** [hash s] is a structural hash. *)
+val hash : t -> int

@@ -1,0 +1,108 @@
+module Tuple_set = Set.Make (Span_tuple)
+
+type t = { schema : Variable.Set.t; tuples : Tuple_set.t }
+
+let empty schema = { schema; tuples = Tuple_set.empty }
+
+let schema r = r.schema
+
+let add r t =
+  if not (Variable.Set.subset (Span_tuple.domain t) r.schema) then
+    invalid_arg "Span_relation.add: tuple binds a variable outside the schema";
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let of_list schema ts = List.fold_left add (empty schema) ts
+
+let tuples r = Tuple_set.elements r.tuples
+
+let cardinal r = Tuple_set.cardinal r.tuples
+
+let mem r t = Tuple_set.mem t r.tuples
+
+let is_empty r = Tuple_set.is_empty r.tuples
+
+let is_functional r =
+  Tuple_set.for_all (fun t -> Span_tuple.is_functional_on t r.schema) r.tuples
+
+let equal a b = Variable.Set.equal a.schema b.schema && Tuple_set.equal a.tuples b.tuples
+
+let union a b =
+  { schema = Variable.Set.union a.schema b.schema; tuples = Tuple_set.union a.tuples b.tuples }
+
+let join a b =
+  let shared = Variable.Set.inter a.schema b.schema in
+  let schema = Variable.Set.union a.schema b.schema in
+  (* Hash join: key each tuple of [b] by its bindings restricted to the
+     shared variables that it actually binds... compatibility is subtler
+     under partial tuples (an unbound shared variable matches anything),
+     so bucket only on *fully bound* shared keys and fall back to a scan
+     for tuples leaving some shared variable unbound. *)
+  let fully_bound t = Variable.Set.for_all (fun x -> Span_tuple.find t x <> None) shared in
+  let key t = List.map (fun x -> Span_tuple.get t x) (Variable.Set.elements shared) in
+  let buckets = Hashtbl.create 64 in
+  let partial_b = ref [] in
+  Tuple_set.iter
+    (fun t ->
+      if fully_bound t then
+        let k = key t in
+        Hashtbl.replace buckets k (t :: Option.value ~default:[] (Hashtbl.find_opt buckets k))
+      else partial_b := t :: !partial_b)
+    b.tuples;
+  let out = ref Tuple_set.empty in
+  let emit ta tb =
+    if Span_tuple.compatible ta tb then out := Tuple_set.add (Span_tuple.merge ta tb) !out
+  in
+  Tuple_set.iter
+    (fun ta ->
+      (if fully_bound ta then
+         match Hashtbl.find_opt buckets (key ta) with
+         | Some matches -> List.iter (emit ta) matches
+         | None -> ()
+       else
+         (* ta leaves a shared variable unbound: it may join with any
+            bucket, so scan. *)
+         Hashtbl.iter (fun _ ts -> List.iter (emit ta) ts) buckets);
+      List.iter (emit ta) !partial_b)
+    a.tuples;
+  { schema; tuples = !out }
+
+let project vars r =
+  {
+    schema = Variable.Set.inter vars r.schema;
+    tuples = Tuple_set.map (Span_tuple.project vars) r.tuples;
+  }
+
+let select_equal doc vars r =
+  { r with tuples = Tuple_set.filter (fun t -> Span_tuple.satisfies_equality t doc vars) r.tuples }
+
+let fuse vars ~into r =
+  let schema = Variable.Set.add into (Variable.Set.diff r.schema vars) in
+  { schema; tuples = Tuple_set.map (Span_tuple.fuse vars ~into) r.tuples }
+
+let pp ?doc ppf r =
+  let vars = Variable.Set.elements r.schema in
+  let cell t x =
+    match Span_tuple.find t x with
+    | None -> "⊥"
+    | Some s -> (
+        match doc with
+        | None -> Span.to_string s
+        | Some d -> Printf.sprintf "%s %S" (Span.to_string s) (Span.content s d))
+  in
+  let header = List.map (fun x -> Variable.name x) vars in
+  let rows = List.map (fun t -> List.map (cell t) vars) (tuples r) in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf ppf "| %s |@\n"
+      (String.concat " | " (List.map2 pad cells widths))
+  in
+  print_row header;
+  Format.fprintf ppf "|%s|@\n"
+    (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter print_row rows

@@ -1,0 +1,74 @@
+(** Span relations: sets of span tuples with a schema.
+
+    An (X, D)-relation is a set of (X, D)-tuples (§1).  The schema [X]
+    is carried explicitly; under the classical semantics every tuple is
+    total on the schema, under the schemaless semantics ([27], §2.2)
+    tuples may leave schema variables unbound. *)
+
+type t
+
+(** [empty vars] is the empty relation with schema [vars]. *)
+val empty : Variable.Set.t -> t
+
+(** [schema r] is the relation's variable set X. *)
+val schema : t -> Variable.Set.t
+
+(** [add r t] inserts tuple [t] (its domain must be ⊆ schema).
+    @raise Invalid_argument if the tuple binds a variable outside the
+    schema. *)
+val add : t -> Span_tuple.t -> t
+
+(** [of_list vars ts] builds a relation from a list of tuples. *)
+val of_list : Variable.Set.t -> Span_tuple.t list -> t
+
+(** [tuples r] is the tuples in canonical ({!Span_tuple.compare})
+    order. *)
+val tuples : t -> Span_tuple.t list
+
+(** [cardinal r] is the number of tuples. *)
+val cardinal : t -> int
+
+(** [mem r t] tests membership. *)
+val mem : t -> Span_tuple.t -> bool
+
+(** [is_empty r] tests for zero tuples. *)
+val is_empty : t -> bool
+
+(** [is_functional r] tests that every tuple is total on the schema
+    (§2.2). *)
+val is_functional : t -> bool
+
+(** [equal a b] tests same schema and same tuples. *)
+val equal : t -> t -> bool
+
+(** {1 The algebra of §1}
+
+    Union, natural join, projection, and string-equality selection —
+    the operations whose closure over regex formulas defines the core
+    spanners (§2.3). *)
+
+(** [union a b] has schema [schema a ∪ schema b].  (The classical
+    definition requires equal schemas; the schemaless generalisation
+    unions them.) *)
+val union : t -> t -> t
+
+(** [join a b] is the natural join: pairs of compatible tuples,
+    merged.  Schema is the union.  Implemented as a hash join on the
+    shared bound variables. *)
+val join : t -> t -> t
+
+(** [project vars r] keeps only the columns in [vars]. *)
+val project : Variable.Set.t -> t -> t
+
+(** [select_equal doc vars r] is the string-equality selection
+    ς=_{vars} over document [doc]. *)
+val select_equal : string -> Variable.Set.t -> t -> t
+
+(** [fuse vars ~into r] lifts {!Span_tuple.fuse} to relations
+    (§3.2). *)
+val fuse : Variable.Set.t -> into:Variable.t -> t -> t
+
+(** [pp ?doc ppf r] prints the relation as a table like Example 1.1;
+    when [doc] is given, a content column is printed next to each
+    span. *)
+val pp : ?doc:string -> Format.formatter -> t -> unit

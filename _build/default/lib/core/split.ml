@@ -1,0 +1,156 @@
+module Charset = Spanner_fa.Charset
+
+type splitter = { spanner : Evset.t; var : Variable.t }
+
+let splitter e x =
+  if not (Variable.Set.equal (Evset.vars e) (Variable.Set.singleton x)) then
+    invalid_arg "Split.splitter: a splitter has exactly one variable";
+  { spanner = e; var = x }
+
+let split_var_name = "__split"
+
+let segments_splitter ~sep =
+  let x = Variable.of_string split_var_name in
+  let not_sep = Charset.complement (Charset.singleton sep) in
+  (* optional prefix ending in sep, then x binds a sep-free block,
+     then an optional sep-started suffix: maximal sep-free blocks *)
+  let f =
+    Regex_formula.concat_list
+      [
+        Regex_formula.opt
+          (Regex_formula.concat
+             (Regex_formula.star (Regex_formula.chars Charset.full))
+             (Regex_formula.char sep));
+        Regex_formula.bind x (Regex_formula.star (Regex_formula.chars not_sep));
+        Regex_formula.opt
+          (Regex_formula.concat (Regex_formula.char sep)
+             (Regex_formula.star (Regex_formula.chars Charset.full)));
+      ]
+  in
+  { spanner = Evset.of_formula f; var = x }
+
+let windows_splitter ~alphabet ~size =
+  let x = Variable.of_string split_var_name in
+  let block = Regex_formula.concat_list (List.init size (fun _ -> Regex_formula.chars alphabet)) in
+  let f =
+    Regex_formula.concat_list
+      [
+        Regex_formula.star (Regex_formula.chars alphabet);
+        Regex_formula.bind x block;
+        Regex_formula.star (Regex_formula.chars alphabet);
+      ]
+  in
+  { spanner = Evset.of_formula f; var = x }
+
+let splits p doc =
+  List.filter_map
+    (fun t -> Span_tuple.find t p.var)
+    (Span_relation.tuples (Evset.eval p.spanner doc))
+
+let shift_tuple offset t =
+  List.fold_left
+    (fun acc (x, s) ->
+      Span_tuple.bind acc x (Span.make (Span.left s + offset) (Span.right s + offset)))
+    Span_tuple.empty (Span_tuple.bindings t)
+
+let split_eval p s doc =
+  List.fold_left
+    (fun acc split ->
+      let piece = Span.content split doc in
+      let local = Evset.eval s piece in
+      List.fold_left
+        (fun acc t -> Span_relation.add acc (shift_tuple (Span.left split - 1) t))
+        acc (Span_relation.tuples local))
+    (Span_relation.empty (Evset.vars s))
+    (splits p doc)
+
+(* ------------------------------------------------------------------ *)
+(* Composition: P on the whole document, S inside the split region.    *)
+
+let compose p s =
+  let np = Evset.size p.spanner and ns = Evset.size s in
+  let b = Vset.Builder.create () in
+  (* state layout: Out p = p;  In (p, q) = np + p*ns + q; marker-chain
+     states are appended by the chain helper. *)
+  let out_states = Array.init np (fun _ -> Vset.Builder.add_state b) in
+  let in_states = Array.init np (fun _ -> Array.init ns (fun _ -> Vset.Builder.add_state b)) in
+  (* chain src --m1,m2,...--> dst through fresh states *)
+  let add_marker_chain src set dst =
+    let marks = Marker.Set.elements set in
+    let rec go src = function
+      | [] -> Vset.Builder.add_eps b src dst
+      | [ m ] -> Vset.Builder.add_mark b src m dst
+      | m :: rest ->
+          let mid = Vset.Builder.add_state b in
+          Vset.Builder.add_mark b src m mid;
+          go mid rest
+    in
+    go src marks
+  in
+  let is_open_z set = Marker.Set.equal set (Marker.Set.singleton (Marker.Open p.var)) in
+  let is_close_z set = Marker.Set.equal set (Marker.Set.singleton (Marker.Close p.var)) in
+  let is_empty_z set =
+    Marker.Set.equal set (Marker.Set.of_list [ Marker.Open p.var; Marker.Close p.var ])
+  in
+  (* S's behaviour on the empty document: runs initial →(optional set)→
+     final; collect the emitted sets (∅ for a direct accept). *)
+  let s_empty_runs =
+    let acc = ref [] in
+    if Evset.is_final s (Evset.initial s) then acc := Marker.Set.empty :: !acc;
+    Evset.iter_set_arcs s (Evset.initial s) (fun set dst ->
+        if Evset.is_final s dst then acc := set :: !acc);
+    !acc
+  in
+  for pq = 0 to np - 1 do
+    (* outside: P's letter arcs *)
+    Evset.iter_letter_arcs p.spanner pq (fun cs dst ->
+        Vset.Builder.add_chars b out_states.(pq) cs out_states.(dst));
+    (* P's boundary arcs *)
+    Evset.iter_set_arcs p.spanner pq (fun set dst ->
+        if is_open_z set then begin
+          (* enter the split region: S starts at its initial state;
+             S may immediately take a set arc at the same boundary *)
+          Vset.Builder.add_eps b out_states.(pq) in_states.(dst).(Evset.initial s)
+        end
+        else if is_empty_z set then
+          (* empty split: S must accept ε; emit its set *)
+          List.iter
+            (fun sset -> add_marker_chain out_states.(pq) sset out_states.(dst))
+            s_empty_runs
+        else if is_close_z set then
+          (* exits are added from the In states below *)
+          ()
+        else
+          invalid_arg "Split.compose: splitter automaton uses an unexpected marker set");
+    for sq = 0 to ns - 1 do
+      let here = in_states.(pq).(sq) in
+      (* inside: synchronised letter steps *)
+      Evset.iter_letter_arcs p.spanner pq (fun cs_p dst_p ->
+          Evset.iter_letter_arcs s sq (fun cs_s dst_s ->
+              let cs = Charset.inter cs_p cs_s in
+              if not (Charset.is_empty cs) then
+                Vset.Builder.add_chars b here cs in_states.(dst_p).(dst_s)));
+      (* inside: S's boundary arcs (P stays) *)
+      Evset.iter_set_arcs s sq (fun set dst_s ->
+          add_marker_chain here set in_states.(pq).(dst_s));
+      (* leave the region: P takes ⊣z, S must be final *)
+      if Evset.is_final s sq then
+        Evset.iter_set_arcs p.spanner pq (fun set dst_p ->
+            if is_close_z set then Vset.Builder.add_eps b here out_states.(dst_p))
+    done
+  done;
+  let finals =
+    List.filter_map
+      (fun pq -> if Evset.is_final p.spanner pq then Some out_states.(pq) else None)
+      (List.init np Fun.id)
+  in
+  let vset =
+    Vset.Builder.finish b
+      ~initial:out_states.(Evset.initial p.spanner)
+      ~finals ~vars:(Evset.vars s)
+  in
+  Evset.of_vset vset
+
+let split_correct_on p s doc = Span_relation.equal (split_eval p s doc) (Evset.eval s doc)
+
+let split_correct p s = Evset.equal_spanner s (compose p s)

@@ -1,0 +1,57 @@
+(** Split-correctness ([7], "Split-Correctness in Information
+    Extraction", cited in §1).
+
+    Large documents are processed by *splitting* them (into lines,
+    paragraphs, records) and running the spanner on each split.  A
+    {e splitter} is a spanner with a single variable: its tuples are
+    the split regions.  A spanner S is {e split-correct} w.r.t. a
+    splitter P if evaluating S inside every split (and shifting spans
+    back) yields exactly S(D) on every document D:
+
+    {v  S(D)  =  ⋃ {shift(S(D_split), split) : split ∈ P(D)}  v}
+
+    For regular S and P this is decidable: the right-hand side is again
+    a regular spanner — the {!compose}d automaton simulates P on the
+    whole document and S inside the split region — so split-correctness
+    reduces to spanner {e equivalence} (§2.4). *)
+
+open Spanner_fa
+
+type splitter = private { spanner : Evset.t; var : Variable.t }
+
+(** [splitter e x] wraps a spanner as a splitter.
+    @raise Invalid_argument unless [Evset.vars e = {x}]. *)
+val splitter : Evset.t -> Variable.t -> splitter
+
+(** [segments_splitter ~sep] splits at every maximal [sep]-free block
+    over the byte alphabet — the "lines" splitter for separator
+    character [sep]. *)
+val segments_splitter : sep:char -> splitter
+
+(** [windows_splitter ~alphabet ~size] splits into all length-[size]
+    windows over [alphabet] — the sliding-window splitter (a splitter
+    that is rarely split-correct, useful as a negative example). *)
+val windows_splitter : alphabet:Charset.t -> size:int -> splitter
+
+(** [splits p doc] is the list of split spans of [doc]. *)
+val splits : splitter -> string -> Span.t list
+
+(** [split_eval p s doc] evaluates [s] on every split of [doc] and
+    shifts the results back into [doc]'s coordinates — the distributed
+    evaluation strategy. *)
+val split_eval : splitter -> Evset.t -> string -> Span_relation.t
+
+(** [compose p s] is the regular spanner denoting the right-hand side
+    above: D ↦ ⋃ {shift(S(D_split), split)} — P simulated on the whole
+    document, S inside the region.  The splitter's variable is not part
+    of the output schema. *)
+val compose : splitter -> Evset.t -> Evset.t
+
+(** [split_correct_on p s doc] checks the equation on one document
+    (runtime validation). *)
+val split_correct_on : splitter -> Evset.t -> string -> bool
+
+(** [split_correct p s] decides split-correctness on *all* documents,
+    via {!compose} and spanner equivalence (§2.4) — the [7] decision
+    problem for regular spanners. *)
+val split_correct : splitter -> Evset.t -> bool

@@ -1,0 +1,39 @@
+module Interner = Spanner_util.Interner
+
+type t = int
+
+let registry = Interner.create ()
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let of_string name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Variable.of_string: malformed name %S" name);
+  Interner.intern registry name
+
+let name x = Interner.name registry x
+
+let id x = x
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let hash x = x
+
+let pp ppf x = Format.pp_print_string ppf (name x)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list xs = Set.of_list xs
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+    (Set.elements s)

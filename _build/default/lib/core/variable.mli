@@ -1,0 +1,44 @@
+(** Spanner variables.
+
+    The set X of variables of the paper (§1).  Variables are interned
+    process-wide: the same name always denotes the same variable, so
+    spanners built independently can be joined on shared variables, as
+    the algebra of §1 requires. *)
+
+type t
+
+(** [of_string name] is the variable named [name].  Names must be
+    nonempty and consist of letters, digits and underscores, starting
+    with a letter or underscore (so they can appear in the concrete
+    regex-formula syntax [!x{...}]).
+    @raise Invalid_argument on a malformed name. *)
+val of_string : string -> t
+
+(** [name x] is the variable's name. *)
+val name : t -> string
+
+(** [id x] is the variable's dense intern id (stable within a
+    process). *)
+val id : t -> int
+
+(** [compare], [equal], [hash] make [t] usable in functors and
+    hashtables.  The order is by intern id, which is the order used to
+    canonicalise consecutive markers (§2.2, Option 1). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [pp ppf x] prints the variable name. *)
+val pp : Format.formatter -> t -> unit
+
+(** Sets and maps over variables. *)
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+(** [set_of_list xs] is a convenience constructor. *)
+val set_of_list : t list -> Set.t
+
+(** [pp_set ppf s] prints [{x, y, z}]. *)
+val pp_set : Format.formatter -> Set.t -> unit

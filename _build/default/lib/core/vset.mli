@@ -1,0 +1,85 @@
+(** Vset-automata: NFAs over Σ ∪ markers.
+
+    The automaton model of [9] for regular spanners (§1, §2.1): a
+    finite automaton that, besides letters, may read marker symbols
+    ⊢x / ⊣x on its arcs.  Its language, when restricted to valid
+    subword-marked words, denotes a spanner.
+
+    This module provides the construction surface — compilation from
+    regex formulas, Thompson-style combinators, soundness checking —
+    while all evaluation goes through the extended form {!Evset}
+    (§2.2, Option 2), which resolves the consecutive-marker-order
+    ambiguity discussed at the end of §2.2. *)
+
+type state = int
+
+type label = Eps | Chars of Spanner_fa.Charset.t | Mark of Marker.t
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type vset := t
+
+  type t
+
+  val create : unit -> t
+  val add_state : t -> state
+  val add_eps : t -> state -> state -> unit
+  val add_chars : t -> state -> Spanner_fa.Charset.t -> state -> unit
+  val add_char : t -> state -> char -> state -> unit
+  val add_mark : t -> state -> Marker.t -> state -> unit
+
+  (** [finish b ~initial ~finals ~vars] freezes the builder; [vars]
+      must cover every variable used in a marker. *)
+  val finish : t -> initial:state -> finals:state list -> vars:Variable.Set.t -> vset
+end
+
+(** [of_formula f] compiles a regex formula by the Thompson
+    construction, turning each binding ⊢x…⊣x into a pair of marker
+    arcs.
+    @raise Invalid_argument if [f] is ill-formed
+    (see {!Regex_formula.functionality}). *)
+val of_formula : Regex_formula.t -> t
+
+(** [of_regex r] is a vset-automaton with no variables. *)
+val of_regex : Spanner_fa.Regex.t -> t
+
+(** {1 Accessors} *)
+
+val size : t -> int
+val initial : t -> state
+val finals : t -> state list
+val is_final : t -> state -> bool
+val vars : t -> Variable.Set.t
+
+(** [iter_transitions v q f] applies [f label dst] to every arc out of
+    [q]. *)
+val iter_transitions : t -> state -> (label -> state -> unit) -> unit
+
+(** {1 Language-level operations} *)
+
+(** [union a b] denotes the spanner D ↦ a(D) ∪ b(D). *)
+val union : t -> t -> t
+
+(** [project vars v] denotes π_vars ∘ ⟦v⟧: marker arcs of projected-out
+    variables become ε-arcs. *)
+val project : Variable.Set.t -> t -> t
+
+(** [accepts_marked v w] tests whether the exact word [w] (markers in
+    the given order) is in L(v) — plain NFA membership over the
+    extended alphabet. *)
+val accepts_marked : t -> Ref_word.t -> bool
+
+(** {1 Soundness}
+
+    A vset-automaton is *sound* if every word of its language is a
+    valid subword-marked word — the implicit well-formedness assumption
+    of §2.1.  Compilation from regex formulas always yields sound
+    automata; hand-built automata can be checked. *)
+
+(** [soundness v] is [Ok functional] where [functional] reports whether
+    additionally every accepted word marks *all* variables (classical
+    total semantics), or [Error reason]. *)
+val soundness : t -> (bool, string) result

@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Array Enumerate Evset Hashtbl List Option Printf Regex_formula Set Span Span_relation Span_tuple Spanner_core Spanner_util Stdlib String Variable

@@ -1,0 +1,1 @@
+lib/datalog/datalog.mli: Evset Span Spanner_core Variable

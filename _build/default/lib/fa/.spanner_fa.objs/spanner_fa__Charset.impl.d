@@ -1,0 +1,1 @@
+lib/fa/charset.ml: Array Buffer Char Format List String

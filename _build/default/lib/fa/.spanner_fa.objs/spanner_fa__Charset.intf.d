@@ -1,0 +1,1 @@
+lib/fa/charset.mli: Format

@@ -1,0 +1,1 @@
+lib/fa/derivative.ml: Charset Regex String

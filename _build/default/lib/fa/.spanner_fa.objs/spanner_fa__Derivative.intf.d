@@ -1,0 +1,1 @@
+lib/fa/derivative.mli: Regex

@@ -1,0 +1,1 @@
+lib/fa/dfa.ml: Array Buffer Char Charset Hashtbl List Nfa Option Queue Spanner_util String

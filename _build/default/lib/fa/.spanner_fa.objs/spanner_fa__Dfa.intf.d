@@ -1,0 +1,1 @@
+lib/fa/dfa.mli: Nfa Regex

@@ -1,0 +1,1 @@
+lib/fa/nfa.ml: Array Buffer Charset Hashtbl List Option Queue Regex Spanner_util String

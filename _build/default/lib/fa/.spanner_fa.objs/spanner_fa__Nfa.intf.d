@@ -1,0 +1,1 @@
+lib/fa/nfa.mli: Charset Regex Spanner_util

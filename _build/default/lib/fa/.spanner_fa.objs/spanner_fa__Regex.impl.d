@@ -1,0 +1,1 @@
+lib/fa/regex.ml: Buffer Char Charset Format List Printf String

@@ -1,0 +1,1 @@
+lib/fa/regex.mli: Charset Format

@@ -1,0 +1,1 @@
+lib/fa/to_regex.ml: Array Dfa List Nfa Regex

@@ -1,0 +1,1 @@
+lib/fa/to_regex.mli: Dfa Nfa Regex

@@ -1,0 +1,15 @@
+let rec derive r c =
+  match r with
+  | Regex.Empty | Regex.Epsilon -> Regex.empty
+  | Regex.Chars cs -> if Charset.mem cs c then Regex.epsilon else Regex.empty
+  | Regex.Concat (a, b) ->
+      let left = Regex.concat (derive a c) b in
+      if Regex.nullable a then Regex.alt left (derive b c) else left
+  | Regex.Alt (a, b) -> Regex.alt (derive a c) (derive b c)
+  | Regex.Star a -> Regex.concat (derive a c) (Regex.star a)
+  | Regex.Plus a -> Regex.concat (derive a c) (Regex.star a)
+  | Regex.Opt a -> derive a c
+
+let matches r w =
+  let final = String.fold_left derive r w in
+  Regex.nullable final

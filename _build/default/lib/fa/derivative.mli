@@ -1,0 +1,16 @@
+(** Brzozowski derivatives of regular expressions.
+
+    An automaton-free matcher: the derivative of [r] w.r.t. [c] denotes
+    { w : cw ∈ L(r) }, so [w ∈ L(r)] iff the derivative of [r] by all
+    of [w]'s characters in turn is nullable.  Used as an independent
+    implementation to cross-check the Thompson/NFA pipeline in the test
+    suite (two matchers built on different theories agreeing on random
+    inputs is strong evidence both are right). *)
+
+(** [derive r c] is the Brzozowski derivative ∂_c(r). *)
+val derive : Regex.t -> char -> Regex.t
+
+(** [matches r w] tests w ∈ L(r) by iterated derivation, O(|w| · |r|')
+    where |r|' is the derivative size (kept small by the smart
+    constructors). *)
+val matches : Regex.t -> string -> bool

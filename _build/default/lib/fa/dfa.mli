@@ -1,0 +1,62 @@
+(** Deterministic finite automata over the byte alphabet.
+
+    Built from {!Nfa} by subset construction; supports the complete
+    classical toolbox: totalisation, complement, product, Moore
+    minimisation, emptiness, membership, containment and equivalence.
+    Used by the spanner layer wherever the paper reduces a spanner
+    problem to a regular-language problem (Containment and Equivalence
+    of regular spanners, §2.4; content-language intersection in the
+    core→refl translation, §3.2). *)
+
+type t
+
+type state = int
+
+(** [of_nfa n] is the subset construction.  Only reachable subsets are
+    materialised; the result is total (a sink is added if needed). *)
+val of_nfa : Nfa.t -> t
+
+(** [of_regex r] is [of_nfa (Nfa.of_regex r)]. *)
+val of_regex : Regex.t -> t
+
+(** [size d] is the number of states. *)
+val size : t -> int
+
+(** [initial d] is the initial state. *)
+val initial : t -> state
+
+(** [is_final d q] tests acceptance. *)
+val is_final : t -> state -> bool
+
+(** [step d q c] is the unique successor of [q] on [c]. *)
+val step : t -> state -> char -> state
+
+(** [accepts d w] tests membership in O(|w|). *)
+val accepts : t -> string -> bool
+
+(** [complement d] accepts the complement language. *)
+val complement : t -> t
+
+(** [inter a b], [diff a b] are product constructions for ∩ and \. *)
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+(** [is_empty_lang d] tests emptiness. *)
+val is_empty_lang : t -> bool
+
+(** [minimize d] is the canonical minimal DFA (Moore partition
+    refinement over the trimmed, total automaton). *)
+val minimize : t -> t
+
+(** [contains a b] tests L(b) ⊆ L(a). *)
+val contains : t -> t -> bool
+
+(** [equal_lang a b] tests L(a) = L(b). *)
+val equal_lang : t -> t -> bool
+
+(** [to_nfa d] forgets determinism. *)
+val to_nfa : t -> Nfa.t
+
+(** [shortest_word d] is a shortest accepted word, if any. *)
+val shortest_word : t -> string option

@@ -1,0 +1,283 @@
+type t =
+  | Empty
+  | Epsilon
+  | Chars of Charset.t
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let empty = Empty
+
+let epsilon = Epsilon
+
+let chars cs = if Charset.is_empty cs then Empty else Chars cs
+
+let char c = Chars (Charset.singleton c)
+
+let concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Concat (a, b)
+
+let alt a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | Chars x, Chars y -> Chars (Charset.union x y)
+  | _ -> if a = b then a else Alt (a, b)
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star _ as r -> r
+  | r -> Star r
+
+let plus = function Empty -> Empty | Epsilon -> Epsilon | r -> Plus r
+
+let opt = function
+  | Empty -> Epsilon
+  | Epsilon -> Epsilon
+  | (Star _ | Opt _) as r -> r
+  | r -> Opt r
+
+let concat_list rs = List.fold_left concat Epsilon rs
+
+let alt_list rs = List.fold_left alt Empty rs
+
+let str s = concat_list (List.map char (List.init (String.length s) (String.get s)))
+
+let rec nullable = function
+  | Empty | Chars _ -> false
+  | Epsilon | Star _ | Opt _ -> true
+  | Concat (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Plus r -> nullable r
+
+let rec is_empty_lang = function
+  | Empty -> true
+  | Epsilon | Star _ | Opt _ -> false
+  | Chars cs -> Charset.is_empty cs
+  | Concat (a, b) -> is_empty_lang a || is_empty_lang b
+  | Alt (a, b) -> is_empty_lang a && is_empty_lang b
+  | Plus r -> is_empty_lang r
+
+let rec size = function
+  | Empty | Epsilon | Chars _ -> 1
+  | Star r | Plus r | Opt r -> 1 + size r
+  | Concat (a, b) | Alt (a, b) -> 1 + size a + size b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of string * int
+
+(* '{', '}' and '&' are claimed by the spanner-level syntaxes (variable
+   bindings and references); reserving them here keeps one escaping
+   discipline across all three parsers. *)
+let is_meta c = String.contains "|*+?()[]{}.\\&!" c
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if is_meta c then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error (message, st.pos))
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_class st =
+  (* Called just after '['. *)
+  let negated =
+    match peek st with
+    | Some '^' ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let rec items acc =
+    match peek st with
+    | None -> fail st "unterminated character class"
+    | Some ']' ->
+        advance st;
+        acc
+    | Some c ->
+        advance st;
+        let c = if c = '\\' then (match peek st with
+            | Some d ->
+                advance st;
+                d
+            | None -> fail st "dangling escape in character class")
+          else c
+        in
+        (* A '-' between two characters denotes a range; a trailing or
+           leading '-' is a literal. *)
+        (match peek st with
+        | Some '-' when (match st.pos + 1 < String.length st.input with
+                         | true -> st.input.[st.pos + 1] <> ']'
+                         | false -> false) ->
+            advance st;
+            let hi =
+              match peek st with
+              | Some '\\' ->
+                  advance st;
+                  (match peek st with
+                  | Some d ->
+                      advance st;
+                      d
+                  | None -> fail st "dangling escape in character class")
+              | Some d ->
+                  advance st;
+                  d
+              | None -> fail st "unterminated range"
+            in
+            if Char.code hi < Char.code c then fail st "inverted range";
+            items (Charset.union acc (Charset.range c hi))
+        | _ -> items (Charset.add acc c))
+  in
+  let cs = items Charset.empty in
+  if negated then Charset.complement cs else cs
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      alt left (parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec loop acc =
+    match peek st with
+    | None | Some ('|' | ')') -> acc
+    | Some ('*' | '+' | '?') -> fail st "dangling postfix operator"
+    | Some _ -> loop (concat acc (parse_postfix st))
+  in
+  loop Epsilon
+
+(* Shared by the three spanner-level parsers: parse a bounded
+   repetition suffix "{m}", "{m,}" or "{m,n}" just after the '{'.
+   Returns (m, n option); n = None means unbounded. *)
+and parse_bounds st =
+  let read_int () =
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start then fail st "expected a repetition count";
+    int_of_string (String.sub st.input start (st.pos - start))
+  in
+  let m = read_int () in
+  let bounds =
+    match peek st with
+    | Some ',' ->
+        advance st;
+        (match peek st with
+        | Some '0' .. '9' ->
+            let n = read_int () in
+            if n < m then fail st "repetition bounds out of order";
+            (m, Some n)
+        | _ -> (m, None))
+    | _ -> (m, Some m)
+  in
+  expect st '}';
+  bounds
+
+and parse_postfix st =
+  let base = parse_atom st in
+  let rec loop r =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        loop (star r)
+    | Some '+' ->
+        advance st;
+        loop (plus r)
+    | Some '?' ->
+        advance st;
+        loop (opt r)
+    | Some '{' ->
+        advance st;
+        let m, n = parse_bounds st in
+        let repeated = concat_list (List.init m (fun _ -> r)) in
+        let tail =
+          match n with
+          | None -> star r
+          | Some n -> concat_list (List.init (n - m) (fun _ -> opt r))
+        in
+        loop (concat repeated tail)
+    | _ -> r
+  in
+  loop base
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '(' ->
+      advance st;
+      let r = parse_alt st in
+      expect st ')';
+      r
+  | Some '[' ->
+      advance st;
+      chars (parse_class st)
+  | Some '.' ->
+      advance st;
+      Chars Charset.full
+  | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some c ->
+          advance st;
+          char c
+      | None -> fail st "dangling escape")
+  | Some (('{' | '}' | '&' | '!') as c) ->
+      fail st (Printf.sprintf "reserved character '%c' must be escaped" c)
+  | Some c ->
+      advance st;
+      char c
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let r = parse_alt st in
+  (match peek st with None -> () | Some c -> fail st (Printf.sprintf "unexpected '%c'" c));
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let rec pp_prec prec ppf r =
+  let parens lvl body =
+    if prec > lvl then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match r with
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Epsilon -> Format.pp_print_string ppf "()"
+  | Chars cs ->
+      (match Charset.elements cs with
+      | [ c ] when not (Charset.equal cs Charset.full) ->
+          if is_meta c then Format.fprintf ppf "\\%c" c else Format.fprintf ppf "%c" c
+      | _ -> Charset.pp ppf cs)
+  | Alt (a, b) -> parens 0 (fun ppf -> Format.fprintf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b)
+  | Concat (a, b) ->
+      parens 1 (fun ppf -> Format.fprintf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b)
+  | Star a -> parens 2 (fun ppf -> Format.fprintf ppf "%a*" (pp_prec 2) a)
+  | Plus a -> parens 2 (fun ppf -> Format.fprintf ppf "%a+" (pp_prec 2) a)
+  | Opt a -> parens 2 (fun ppf -> Format.fprintf ppf "%a?" (pp_prec 2) a)
+
+let pp ppf r = pp_prec 0 ppf r
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,97 @@
+(** Classical regular expressions over the byte alphabet.
+
+    These are the plain regular expressions that regex formulas
+    ({!Spanner_core.Regex_formula}) extend with variable bindings, and
+    that refl regexes extend further with references.  The concrete
+    syntax accepted by {!parse}:
+
+    {v
+      r ::= r r            concatenation
+          | r '|' r        alternation
+          | r '*'          Kleene star
+          | r '+'          one or more
+          | r '?'          optional
+          | r '{' m '}'            exactly m repetitions
+          | r '{' m ',' '}'        at least m repetitions
+          | r '{' m ',' n '}'      between m and n repetitions
+          | '(' r ')'
+          | '.'            any character
+          | '[' class ']'  character class, ranges and '^' negation
+          | c              literal character
+          | '\' c          escaped literal
+    v}
+
+    Escapes are required for the metacharacters [|*+?()[]{}.\&]. *)
+
+type t =
+  | Empty  (** the empty language ∅ *)
+  | Epsilon  (** the language {ε} *)
+  | Chars of Charset.t  (** one character from the class *)
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+(** {1 Smart constructors}
+
+    These apply the obvious simplifications ([Empty] annihilates
+    concatenation, [Epsilon] is its unit, etc.) so that derived
+    expressions stay small. *)
+
+val empty : t
+val epsilon : t
+val chars : Charset.t -> t
+val char : char -> t
+
+(** [str s] matches exactly the string [s]. *)
+val str : string -> t
+
+val concat : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+
+(** [concat_list rs] chains [rs] by {!concat}. *)
+val concat_list : t list -> t
+
+(** [alt_list rs] combines [rs] by {!alt} ([empty] if the list is
+    empty). *)
+val alt_list : t list -> t
+
+(** {1 Analysis} *)
+
+(** [nullable r] tests whether ε ∈ L(r). *)
+val nullable : t -> bool
+
+(** [is_empty_lang r] tests whether L(r) = ∅. *)
+val is_empty_lang : t -> bool
+
+(** [size r] is the number of AST nodes. *)
+val size : t -> int
+
+(** {1 Parsing and printing} *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, position)] carries a 0-based offset into the
+    input. *)
+
+(** [parse s] parses the concrete syntax above.
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** [pp ppf r] prints a parseable rendering of [r]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string r] is {!pp} to a string. *)
+val to_string : t -> string
+
+(** {1 Metacharacter helpers shared with the spanner-level parsers} *)
+
+(** [is_meta c] tests whether [c] must be escaped in literals. *)
+val is_meta : char -> bool
+
+(** [escape s] escapes the metacharacters of [s] so that
+    [parse (escape s)] matches exactly [s]. *)
+val escape : string -> string

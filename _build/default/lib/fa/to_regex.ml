@@ -1,0 +1,48 @@
+(* Classical state elimination over a generalised NFA whose arcs are
+   labelled by regular expressions. *)
+
+let of_nfa nfa =
+  let nfa = Nfa.trim nfa in
+  let n = Nfa.size nfa in
+  (* Generalised automaton: states 0..n+1 where n = fresh initial and
+     n+1 = fresh final; arcs.(i).(j) is the regex from i to j. *)
+  let total = n + 2 in
+  let start = n and stop = n + 1 in
+  let arcs = Array.make_matrix total total Regex.empty in
+  let add i j r = arcs.(i).(j) <- Regex.alt arcs.(i).(j) r in
+  for q = 0 to n - 1 do
+    Nfa.iter_transitions nfa q (fun cs dst -> add q dst (Regex.chars cs));
+    Nfa.iter_eps nfa q (fun dst -> add q dst Regex.epsilon)
+  done;
+  add start (Nfa.initial nfa) Regex.epsilon;
+  List.iter (fun q -> add q stop Regex.epsilon) (Nfa.finals nfa);
+  (* Eliminate the original states one by one: for every pair (i, j)
+     passing through q, route around it with  in · loop* · out. *)
+  for q = 0 to n - 1 do
+    let loop = Regex.star arcs.(q).(q) in
+    for i = 0 to total - 1 do
+      if i <> q && not (Regex.is_empty_lang arcs.(i).(q)) then
+        for j = 0 to total - 1 do
+          if j <> q && not (Regex.is_empty_lang arcs.(q).(j)) then
+            add i j (Regex.concat arcs.(i).(q) (Regex.concat loop arcs.(q).(j)))
+        done
+    done;
+    (* Disconnect q. *)
+    for i = 0 to total - 1 do
+      arcs.(i).(q) <- Regex.empty;
+      arcs.(q).(i) <- Regex.empty
+    done
+  done;
+  arcs.(start).(stop)
+
+let of_dfa d = of_nfa (Dfa.to_nfa d)
+
+let intersection_regex = function
+  | [] -> invalid_arg "To_regex.intersection_regex: empty list"
+  | r :: rest ->
+      let nfa =
+        List.fold_left (fun acc r' -> Nfa.inter acc (Nfa.of_regex r')) (Nfa.of_regex r) rest
+      in
+      (* Minimise through the DFA to keep the eliminated expression
+         small. *)
+      of_dfa (Dfa.minimize (Dfa.of_nfa nfa))

@@ -1,0 +1,20 @@
+(** Conversion from automata back to regular expressions, by state
+    elimination.
+
+    Needed by the core→refl translation of §3.2: when a string-equality
+    class {x, y} has different content languages for x and y (the β
+    example of the paper), the refl encoding binds the first variable
+    to the *intersection* of the content languages — which is computed
+    on automata and must be rendered back as a regular (sub)expression
+    of the produced refl regex. *)
+
+(** [of_nfa n] is a regular expression with L(of_nfa n) = L(n). *)
+val of_nfa : Nfa.t -> Regex.t
+
+(** [of_dfa d] is [of_nfa (Dfa.to_nfa d)]. *)
+val of_dfa : Dfa.t -> Regex.t
+
+(** [intersection_regex rs] is a regular expression for ⋂ L(r_i)
+    (empty intersection of zero expressions is rejected).
+    @raise Invalid_argument on an empty list. *)
+val intersection_regex : Regex.t list -> Regex.t

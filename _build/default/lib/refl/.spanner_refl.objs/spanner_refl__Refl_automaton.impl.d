@@ -1,0 +1,1 @@
+lib/refl/refl_automaton.ml: Array List Marker Printf Refl_regex Set Spanner_core Spanner_fa Spanner_util Stdlib Variable

@@ -1,0 +1,1 @@
+lib/refl/refl_automaton.mli: Marker Refl_regex Spanner_core Spanner_fa Variable

@@ -1,0 +1,1 @@
+lib/refl/refl_regex.ml: Format List Printf Regex_formula Spanner_core Spanner_fa String Variable

@@ -1,0 +1,1 @@
+lib/refl/refl_regex.mli: Format Regex_formula Spanner_core Spanner_fa Variable

@@ -1,0 +1,1 @@
+lib/refl/refl_spanner.mli: Core_spanner Refl_automaton Refl_regex Regex_formula Span_relation Span_tuple Spanner_core Variable

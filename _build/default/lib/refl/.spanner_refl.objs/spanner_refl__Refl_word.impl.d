@@ -1,0 +1,1 @@
+lib/refl/refl_word.ml: Array Buffer Format Hashtbl List Marker Printf Ref_word Spanner_core String Variable

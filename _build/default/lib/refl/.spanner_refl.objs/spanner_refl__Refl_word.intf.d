@@ -1,0 +1,1 @@
+lib/refl/refl_word.mli: Format Marker Ref_word Span_tuple Spanner_core Variable

@@ -1,0 +1,251 @@
+open Spanner_core
+module Regex = Spanner_fa.Regex
+module Charset = Spanner_fa.Charset
+
+type t =
+  | Empty
+  | Epsilon
+  | Chars of Charset.t
+  | Bind of Variable.t * t
+  | Ref of Variable.t
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let empty = Empty
+
+let epsilon = Epsilon
+
+let chars cs = if Charset.is_empty cs then Empty else Chars cs
+
+let char c = Chars (Charset.singleton c)
+
+let bind x r = Bind (x, r)
+
+let reference x = Ref x
+
+let concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Concat (a, b)
+
+let alt a b = match (a, b) with Empty, r | r, Empty -> r | _ -> Alt (a, b)
+
+let star = function Empty | Epsilon -> Epsilon | r -> Star r
+
+let plus = function Empty -> Empty | Epsilon -> Epsilon | r -> Plus r
+
+let opt = function Empty | Epsilon -> Epsilon | r -> Opt r
+
+let concat_list rs = List.fold_left concat Epsilon rs
+
+let alt_list rs = List.fold_left alt Empty rs
+
+let str s = concat_list (List.map char (List.init (String.length s) (String.get s)))
+
+let rec of_formula = function
+  | Regex_formula.Empty -> Empty
+  | Regex_formula.Epsilon -> Epsilon
+  | Regex_formula.Chars cs -> Chars cs
+  | Regex_formula.Bind (x, f) -> Bind (x, of_formula f)
+  | Regex_formula.Concat (a, b) -> concat (of_formula a) (of_formula b)
+  | Regex_formula.Alt (a, b) -> alt (of_formula a) (of_formula b)
+  | Regex_formula.Star f -> star (of_formula f)
+  | Regex_formula.Plus f -> plus (of_formula f)
+  | Regex_formula.Opt f -> opt (of_formula f)
+
+let rec vars = function
+  | Empty | Epsilon | Chars _ -> Variable.Set.empty
+  | Bind (x, r) -> Variable.Set.add x (vars r)
+  | Ref x -> Variable.Set.singleton x
+  | Concat (a, b) | Alt (a, b) -> Variable.Set.union (vars a) (vars b)
+  | Star r | Plus r | Opt r -> vars r
+
+let rec size = function
+  | Empty | Epsilon | Chars _ | Ref _ -> 1
+  | Bind (_, r) | Star r | Plus r | Opt r -> 1 + size r
+  | Concat (a, b) | Alt (a, b) -> 1 + size a + size b
+
+(* ------------------------------------------------------------------ *)
+(* Parser: regex-formula grammar plus [&x]                             *)
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st message = raise (Regex.Parse_error (message, st.pos))
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_ident st =
+  let start = st.pos in
+  let is_ident c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a variable name";
+  String.sub st.input start (st.pos - start)
+
+let parse_class st =
+  let start = st.pos - 1 in
+  let rec find_end i escaped =
+    if i >= String.length st.input then fail st "unterminated character class"
+    else if escaped then find_end (i + 1) false
+    else
+      match st.input.[i] with
+      | '\\' -> find_end (i + 1) true
+      | ']' -> i
+      | _ -> find_end (i + 1) false
+  in
+  let close = find_end st.pos false in
+  let fragment = String.sub st.input start (close - start + 1) in
+  st.pos <- close + 1;
+  match Regex.parse fragment with
+  | Regex.Chars cs -> Chars cs
+  | Regex.Empty -> Empty
+  | _ -> fail st "malformed character class"
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      alt left (parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec loop acc =
+    match peek st with
+    | None | Some ('|' | ')' | '}') -> acc
+    | Some ('*' | '+' | '?') -> fail st "dangling postfix operator"
+    | Some _ -> loop (concat acc (parse_postfix st))
+  in
+  loop Epsilon
+
+and parse_bounds st =
+  let read_int () =
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start then fail st "expected a repetition count";
+    int_of_string (String.sub st.input start (st.pos - start))
+  in
+  let m = read_int () in
+  let bounds =
+    match peek st with
+    | Some ',' ->
+        advance st;
+        (match peek st with
+        | Some '0' .. '9' ->
+            let n = read_int () in
+            if n < m then fail st "repetition bounds out of order";
+            (m, Some n)
+        | _ -> (m, None))
+    | _ -> (m, Some m)
+  in
+  expect st '}';
+  bounds
+
+and parse_postfix st =
+  let base = parse_atom st in
+  let rec loop r =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        loop (star r)
+    | Some '+' ->
+        advance st;
+        loop (plus r)
+    | Some '?' ->
+        advance st;
+        loop (opt r)
+    | Some '{' ->
+        advance st;
+        let m, n = parse_bounds st in
+        let repeated = concat_list (List.init m (fun _ -> r)) in
+        let tail =
+          match n with
+          | None -> star r
+          | Some n -> concat_list (List.init (n - m) (fun _ -> opt r))
+        in
+        loop (concat repeated tail)
+    | _ -> r
+  in
+  loop base
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '!' ->
+      advance st;
+      let name = parse_ident st in
+      expect st '{';
+      let body = parse_alt st in
+      expect st '}';
+      Bind (Variable.of_string name, body)
+  | Some '&' ->
+      advance st;
+      Ref (Variable.of_string (parse_ident st))
+  | Some '(' ->
+      advance st;
+      let r = parse_alt st in
+      expect st ')';
+      r
+  | Some '[' ->
+      advance st;
+      parse_class st
+  | Some '.' ->
+      advance st;
+      Chars Charset.full
+  | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some c ->
+          advance st;
+          char c
+      | None -> fail st "dangling escape")
+  | Some (('{' | '}') as c) ->
+      fail st (Printf.sprintf "reserved character '%c' must be escaped" c)
+  | Some c ->
+      advance st;
+      char c
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let r = parse_alt st in
+  (match peek st with None -> () | Some c -> fail st (Printf.sprintf "unexpected '%c'" c));
+  r
+
+let rec pp_prec prec ppf r =
+  let parens lvl body = if prec > lvl then Format.fprintf ppf "(%t)" body else body ppf in
+  match r with
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Epsilon -> Format.pp_print_string ppf "()"
+  | Chars cs ->
+      (match Charset.elements cs with
+      | [ c ] ->
+          if Regex.is_meta c then Format.fprintf ppf "\\%c" c else Format.fprintf ppf "%c" c
+      | _ -> Charset.pp ppf cs)
+  | Bind (x, r) -> Format.fprintf ppf "!%a{%a}" Variable.pp x (pp_prec 0) r
+  | Ref x -> Format.fprintf ppf "&%a" Variable.pp x
+  | Alt (a, b) -> parens 0 (fun ppf -> Format.fprintf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b)
+  | Concat (a, b) ->
+      parens 1 (fun ppf -> Format.fprintf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b)
+  | Star a -> parens 2 (fun ppf -> Format.fprintf ppf "%a*" (pp_prec 2) a)
+  | Plus a -> parens 2 (fun ppf -> Format.fprintf ppf "%a+" (pp_prec 2) a)
+  | Opt a -> parens 2 (fun ppf -> Format.fprintf ppf "%a?" (pp_prec 2) a)
+
+let pp ppf r = pp_prec 0 ppf r
+
+let to_string r = Format.asprintf "%a" pp r

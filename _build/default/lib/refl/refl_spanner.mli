@@ -1,0 +1,90 @@
+(** Refl-spanners: evaluation, decision problems, and the translations
+    to and from core spanners (§3).
+
+    A refl-spanner is given by an automaton accepting a regular
+    ref-language; its semantics is ⟦L⟧(D) = { st(𝔡(w)) : w ∈ L,
+    e(𝔡(w)) = D }.  Refl-spanners sit strictly between regular and
+    core spanners: string equalities are expressed as regular meta
+    symbols (references), which keeps most static analysis tractable
+    (§3.3) while covering the non-overlapping fragment of core
+    spanners (§3.2). *)
+
+open Spanner_core
+
+type t
+
+(** [of_automaton a] wraps a ref-language automaton.
+    @raise Invalid_argument if [a] is not sound
+    (see {!Refl_automaton.soundness}). *)
+val of_automaton : Refl_automaton.t -> t
+
+(** [of_regex r] is [of_automaton (Refl_automaton.of_regex r)]. *)
+val of_regex : Refl_regex.t -> t
+
+(** [parse s] is [of_regex (Refl_regex.parse s)]. *)
+val parse : string -> t
+
+val automaton : t -> Refl_automaton.t
+
+val vars : t -> Variable.Set.t
+
+(** {1 Evaluation and decision problems (§3.3)} *)
+
+(** [model_check s doc tuple] decides tuple ∈ ⟦s⟧(doc) in time linear
+    in |doc| (for a fixed spanner): marker arcs are matched against the
+    tuple's boundaries and reference arcs become O(1) factor
+    comparisons backed by rolling hashes — the algorithm sketched in
+    §3.3. *)
+val model_check : t -> string -> Span_tuple.t -> bool
+
+(** [eval s doc] materialises ⟦s⟧(doc).  Worst-case exponential — as
+    it must be, since NonEmptiness for refl-spanners is NP-hard
+    (§3.3) — but pruned by per-position reachability. *)
+val eval : t -> string -> Span_relation.t
+
+(** [nonempty_on s doc] decides ⟦s⟧(doc) ≠ ∅ (NP-hard in general). *)
+val nonempty_on : t -> string -> bool
+
+(** [satisfiable s] decides ∃D. ⟦s⟧(D) ≠ ∅ — efficient for
+    refl-spanners (plain reachability, §3.3), in contrast to core
+    spanners. *)
+val satisfiable : t -> bool
+
+(** {1 Translations (§3.2)} *)
+
+(** [to_core s] translates a *reference-bounded* refl-spanner into an
+    equivalent core spanner: the i-th reference occurrence of x
+    becomes a fresh variable y_{x,i} bound to Σ*, with the selection
+    ς=_{x, y_{x,1}, …}; the y's are projected away.
+    @raise Invalid_argument if [s] is not reference-bounded (such
+    refl-spanners are provably not core spanners, §3.2). *)
+val to_core : t -> Core_spanner.t
+
+(** [of_core_formula ~formula ~selections] translates the core spanner
+    ς=_{Z1} … ς=_{Zk}(⟦formula⟧) into a refl-spanner, for the fragment
+    §3.2 treats constructively: within each class Z_i the bindings must
+    be parallel (none nested in another binding, none under iteration)
+    and have reference-free, variable-free bodies.  The first binding
+    of each class is rebound to the *intersection* of the class's
+    content languages (the β/β′ refinement of §3.2) and the remaining
+    ones become references.
+    @raise Invalid_argument outside the fragment, with a reason. *)
+val of_core_formula :
+  formula:Regex_formula.t -> selections:Variable.Set.t list -> t
+
+(** {1 Introspection} *)
+
+(** [reference_bounded s] — see {!Refl_automaton.reference_bounded}. *)
+val reference_bounded : t -> bool
+
+(** [contains_sound big small] is a *sound but incomplete* containment
+    test: when the ref-language of [small] is contained in that of
+    [big] (as languages over Σ ∪ markers ∪ references), then
+    ⟦small⟧(D) ⊆ ⟦big⟧(D) for every D, because ⟦·⟧ is monotone in the
+    ref-language.  A [false] answer is inconclusive (two different
+    ref-languages can denote the same spanner).  §3.3 shows full
+    Containment decidable only for refl-spanners whose references are
+    privately extracted; this language-level check is the practical
+    sound fragment and is exact whenever spanners are compared under
+    the same reference discipline. *)
+val contains_sound : t -> t -> bool

@@ -1,0 +1,179 @@
+open Spanner_core
+
+type item = Char of char | Mark of Marker.t | Ref of Variable.t
+
+type t = item array
+
+let validate vars w =
+  let exception Bad of string in
+  try
+    let opened = Hashtbl.create 8 and closed = Hashtbl.create 8 in
+    Array.iter
+      (fun item ->
+        match item with
+        | Char _ -> ()
+        | Mark m ->
+            let x = Marker.variable m in
+            if not (Variable.Set.mem x vars) then
+              raise (Bad (Printf.sprintf "marker for foreign variable %s" (Variable.name x)));
+            if Marker.is_open m then begin
+              if Hashtbl.mem opened x then
+                raise (Bad (Printf.sprintf "⊢%s occurs twice" (Variable.name x)));
+              Hashtbl.add opened x ()
+            end
+            else begin
+              if not (Hashtbl.mem opened x) then
+                raise (Bad (Printf.sprintf "⊣%s before ⊢%s" (Variable.name x) (Variable.name x)));
+              if Hashtbl.mem closed x then
+                raise (Bad (Printf.sprintf "⊣%s occurs twice" (Variable.name x)));
+              Hashtbl.add closed x ()
+            end
+        | Ref x ->
+            if not (Variable.Set.mem x vars) then
+              raise (Bad (Printf.sprintf "reference to foreign variable %s" (Variable.name x)));
+            if not (Hashtbl.mem closed x) then
+              raise
+                (Bad
+                   (Printf.sprintf "reference to %s before ⊣%s" (Variable.name x)
+                      (Variable.name x))))
+      w;
+    Hashtbl.iter
+      (fun x () ->
+        if not (Hashtbl.mem closed x) then
+          raise (Bad (Printf.sprintf "⊢%s never closed" (Variable.name x))))
+      opened;
+    Ok ()
+  with Bad reason -> Error reason
+
+let all_vars w =
+  Array.fold_left
+    (fun acc item ->
+      match item with
+      | Char _ -> acc
+      | Mark m -> Variable.Set.add (Marker.variable m) acc
+      | Ref x -> Variable.Set.add x acc)
+    Variable.Set.empty w
+
+(* [resolve w] is a memoised map from each closed variable to the plain
+   string its span derives after substituting inner references. *)
+let resolver w =
+  let bounds = Hashtbl.create 8 in
+  Array.iteri
+    (fun i item ->
+      match item with
+      | Mark (Marker.Open x) -> Hashtbl.replace bounds x (i, -1)
+      | Mark (Marker.Close x) ->
+          let start, _ = Hashtbl.find bounds x in
+          Hashtbl.replace bounds x (start, i)
+      | Char _ | Ref _ -> ())
+    w;
+  let memo = Hashtbl.create 8 in
+  let rec resolve x =
+    match Hashtbl.find_opt memo x with
+    | Some (Some content) -> content
+    | Some None ->
+        invalid_arg
+          (Printf.sprintf "Refl_word: cyclic reference through variable %s" (Variable.name x))
+    | None -> (
+        match Hashtbl.find_opt bounds x with
+        | None | Some (_, -1) ->
+            invalid_arg
+              (Printf.sprintf "Refl_word: reference to unmarked variable %s" (Variable.name x))
+        | Some (start, stop) ->
+            Hashtbl.replace memo x None;
+            let buf = Buffer.create 8 in
+            for i = start + 1 to stop - 1 do
+              match w.(i) with
+              | Char c -> Buffer.add_char buf c
+              | Ref y -> Buffer.add_string buf (resolve y)
+              | Mark _ -> ()
+            done;
+            let content = Buffer.contents buf in
+            Hashtbl.replace memo x (Some content);
+            content)
+  in
+  resolve
+
+let deref w =
+  (match validate (all_vars w) w with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Refl_word.deref: " ^ reason));
+  let resolve = resolver w in
+  let out = ref [] in
+  Array.iter
+    (fun item ->
+      match item with
+      | Char c -> out := Ref_word.Char c :: !out
+      | Mark m -> out := Ref_word.Mark m :: !out
+      | Ref x -> String.iter (fun c -> out := Ref_word.Char c :: !out) (resolve x))
+    w;
+  Array.of_list (List.rev !out)
+
+let doc w = Ref_word.doc (deref w)
+
+let span_tuple w = Ref_word.span_tuple (deref w)
+
+let ref_count w x =
+  Array.fold_left
+    (fun acc item -> match item with Ref y when Variable.equal x y -> acc + 1 | _ -> acc)
+    0 w
+
+(* Rendering convention shared with {!Spanner_core.Ref_word}: bare
+   names for single-character variables, parenthesised otherwise, so
+   the output parses back unambiguously. *)
+let pp_name ppf x =
+  let name = Variable.name x in
+  if String.length name = 1 then Format.pp_print_string ppf name
+  else Format.fprintf ppf "(%s)" name
+
+let pp ppf w =
+  Array.iter
+    (fun item ->
+      match item with
+      | Char c -> Format.pp_print_char ppf c
+      | Mark m -> Format.fprintf ppf "%s%a" (if Marker.is_open m then "⊢" else "⊣") pp_name (Marker.variable m)
+      | Ref x -> Format.fprintf ppf "&%a" pp_name x)
+    w
+
+let to_string w = Format.asprintf "%a" pp w
+
+let scan_name s i =
+  let n = String.length s in
+  let is_ident c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  if i < n && s.[i] = '(' then begin
+    let stop =
+      try String.index_from s i ')'
+      with Not_found -> invalid_arg "Refl_word.of_string: unterminated variable name"
+    in
+    (Variable.of_string (String.sub s (i + 1) (stop - i - 1)), stop + 1)
+  end
+  else if i < n && is_ident s.[i] then (Variable.of_string (String.make 1 s.[i]), i + 1)
+  else invalid_arg "Refl_word.of_string: expected a variable name"
+
+let of_string s =
+  let items = ref [] in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if
+      !i + 2 < n && s.[!i] = '\xE2' && s.[!i + 1] = '\x8A'
+      && (s.[!i + 2] = '\xA2' || s.[!i + 2] = '\xA3')
+    then begin
+      let open_marker = s.[!i + 2] = '\xA2' in
+      let x, next = scan_name s (!i + 3) in
+      i := next;
+      items := Mark (if open_marker then Marker.Open x else Marker.Close x) :: !items
+    end
+    else if s.[!i] = '&' then begin
+      let x, next = scan_name s (!i + 1) in
+      i := next;
+      items := Ref x :: !items
+    end
+    else begin
+      items := Char s.[!i] :: !items;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !items)

@@ -1,0 +1,45 @@
+(** Ref-words: subword-marked words with references (§3.1).
+
+    Besides markers ⊢x / ⊣x, a ref-word may contain the variable x
+    itself as a meta symbol — a *reference* denoting a copy of whatever
+    factor is extracted in x's span.  The dereference function 𝔡(·)
+    substitutes references (in dependency order, as in the worked
+    example of §3.1) and yields a plain subword-marked word.
+
+    Well-formedness (checked by {!validate}): each marker at most
+    once, ⊢x before ⊣x, and a reference to x occurs only after ⊣x —
+    in particular never between x's own markers, which both makes 𝔡
+    well-defined and rules out cyclic dependencies. *)
+
+open Spanner_core
+
+type item = Char of char | Mark of Marker.t | Ref of Variable.t
+
+type t = item array
+
+(** [validate vars w] checks well-formedness over the variable set. *)
+val validate : Variable.Set.t -> t -> (unit, string) result
+
+(** [deref w] is 𝔡(w): the subword-marked word with all references
+    substituted.
+    @raise Invalid_argument if [w] is not well-formed. *)
+val deref : t -> Ref_word.t
+
+(** [doc w] is e(𝔡(w)). *)
+val doc : t -> string
+
+(** [span_tuple w] is st(𝔡(w)). *)
+val span_tuple : t -> Span_tuple.t
+
+(** [ref_count w x] is |w|_x, the number of occurrences of the
+    reference x (the quantity bounded by reference-boundedness,
+    §3.2). *)
+val ref_count : t -> Variable.t -> int
+
+(** [of_string s] parses the rendering of {!to_string}: characters,
+    markers ⊢x/⊣x, and references [&x]. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

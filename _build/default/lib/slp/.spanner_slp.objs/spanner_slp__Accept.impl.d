@@ -1,0 +1,1 @@
+lib/slp/accept.ml: Hashtbl Slp Spanner_fa Spanner_util

@@ -1,0 +1,1 @@
+lib/slp/accept.mli: Slp Spanner_fa Spanner_util

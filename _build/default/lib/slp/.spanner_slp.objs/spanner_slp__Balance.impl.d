@@ -1,0 +1,1 @@
+lib/slp/balance.ml: Hashtbl Printf Slp

@@ -1,0 +1,1 @@
+lib/slp/builder.ml: Balance Hashtbl List Slp String

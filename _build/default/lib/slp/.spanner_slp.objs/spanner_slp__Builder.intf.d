@@ -1,0 +1,1 @@
+lib/slp/builder.mli: Slp

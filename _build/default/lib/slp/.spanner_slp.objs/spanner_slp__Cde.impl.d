@@ -1,0 +1,1 @@
+lib/slp/cde.ml: Balance Doc_db Format Printf Slp String

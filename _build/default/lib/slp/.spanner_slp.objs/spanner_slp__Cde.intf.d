@@ -1,0 +1,1 @@
+lib/slp/cde.mli: Doc_db Format Slp

@@ -1,0 +1,1 @@
+lib/slp/doc_db.ml: Balance Builder Hashtbl List Slp Spanner_util

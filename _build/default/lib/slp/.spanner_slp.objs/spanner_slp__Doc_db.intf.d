@@ -1,0 +1,1 @@
+lib/slp/doc_db.mli: Slp

@@ -1,0 +1,1 @@
+lib/slp/figure1.ml: Doc_db Slp

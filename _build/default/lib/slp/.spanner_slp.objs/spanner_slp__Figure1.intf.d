@@ -1,0 +1,1 @@
+lib/slp/figure1.mli: Doc_db Slp

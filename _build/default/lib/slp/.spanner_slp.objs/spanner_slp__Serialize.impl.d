@@ -1,0 +1,1 @@
+lib/slp/serialize.ml: Array Doc_db Fun Hashtbl List Slp String

@@ -1,0 +1,1 @@
+lib/slp/serialize.mli: Doc_db

@@ -1,0 +1,1 @@
+lib/slp/slp.ml: Buffer Float Hashtbl Printf Spanner_util String

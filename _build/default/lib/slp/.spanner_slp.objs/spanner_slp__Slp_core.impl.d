@@ -1,0 +1,1 @@
+lib/slp/slp_core.ml: Core_spanner List Slp_hash Slp_spanner Span Span_relation Span_tuple Spanner_core Variable

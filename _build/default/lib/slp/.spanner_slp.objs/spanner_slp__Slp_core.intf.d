@@ -1,0 +1,1 @@
+lib/slp/slp_core.mli: Core_spanner Slp Span_relation Spanner_core

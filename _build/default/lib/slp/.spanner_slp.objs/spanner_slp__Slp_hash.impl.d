@@ -1,0 +1,1 @@
+lib/slp/slp_hash.ml: Char Hashtbl Printf Slp

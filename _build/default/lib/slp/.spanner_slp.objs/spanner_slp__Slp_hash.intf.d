@@ -1,0 +1,1 @@
+lib/slp/slp_hash.mli: Slp

@@ -1,0 +1,1 @@
+lib/slp/slp_spanner.ml: Evset Hashtbl List Marker Option Slp Span Span_relation Span_tuple Spanner_core Spanner_fa Spanner_util

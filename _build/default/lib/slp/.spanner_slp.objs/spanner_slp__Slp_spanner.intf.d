@@ -1,0 +1,1 @@
+lib/slp/slp_spanner.mli: Evset Slp Span_relation Span_tuple Spanner_core Variable

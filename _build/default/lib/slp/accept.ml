@@ -1,0 +1,58 @@
+module Nfa = Spanner_fa.Nfa
+module Charset = Spanner_fa.Charset
+module Bitmatrix = Spanner_util.Bitmatrix
+module Bitset = Spanner_util.Bitset
+
+type cache = {
+  nfa : Nfa.t;
+  store : Slp.store;
+  closure : Bitmatrix.t; (* reflexive-transitive ε-reachability *)
+  step : (char, Bitmatrix.t) Hashtbl.t; (* closure · δ_c · closure *)
+  memo : (Slp.id, Bitmatrix.t) Hashtbl.t;
+}
+
+let make_cache nfa store =
+  let n = Nfa.size nfa in
+  let eps = Bitmatrix.create n in
+  for q = 0 to n - 1 do
+    Nfa.iter_eps nfa q (fun dst -> Bitmatrix.set eps q dst)
+  done;
+  let closure = Bitmatrix.transitive_closure eps in
+  { nfa; store; closure; step = Hashtbl.create 16; memo = Hashtbl.create 256 }
+
+let step_matrix cache c =
+  match Hashtbl.find_opt cache.step c with
+  | Some m -> m
+  | None ->
+      let n = Nfa.size cache.nfa in
+      let delta = Bitmatrix.create n in
+      for q = 0 to n - 1 do
+        Nfa.iter_transitions cache.nfa q (fun cs dst ->
+            if Charset.mem cs c then Bitmatrix.set delta q dst)
+      done;
+      let m = Bitmatrix.mul cache.closure (Bitmatrix.mul delta cache.closure) in
+      Hashtbl.add cache.step c m;
+      m
+
+let rec matrix cache id =
+  match Hashtbl.find_opt cache.memo id with
+  | Some m -> m
+  | None ->
+      let m =
+        match Slp.node cache.store id with
+        | Slp.Leaf c -> step_matrix cache c
+        | Slp.Pair (l, r) -> Bitmatrix.mul (matrix cache l) (matrix cache r)
+      in
+      Hashtbl.add cache.memo id m;
+      m
+
+let accepts cache id =
+  let m = matrix cache id in
+  let finals = Bitset.of_list (Nfa.size cache.nfa) (Nfa.finals cache.nfa) in
+  (* closure already wraps both sides of m *)
+  Bitset.fold (fun q acc -> acc || Bitset.mem (Bitmatrix.row m (Nfa.initial cache.nfa)) q)
+    finals false
+
+let accepts_via_decompression nfa store id = Nfa.accepts nfa (Slp.to_string store id)
+
+let cached_nodes cache = Hashtbl.length cache.memo

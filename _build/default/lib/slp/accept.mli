@@ -1,0 +1,34 @@
+(** NFA membership for SLP-compressed strings (§4.2).
+
+    The classical algorithm the paper recalls: for each SLP node [A]
+    compute a boolean matrix [M_A] over the NFA's states with
+    [M_A(p, q)] true iff reading 𝔇(A) can take the NFA from [p] to
+    [q]; for [A = BC], [M_A = M_B · M_C].  Checking 𝔇(S) ∈ L(M) then
+    costs O(|S| · n³) — independent of |𝔇(S)|, which may be
+    exponentially larger.
+
+    Matrices are memoised per node in a {!cache}, so (a) shared nodes
+    are computed once across documents of a database, and (b) nodes
+    created later by CDE updates only pay for themselves — the
+    incremental-maintenance property used in §4.3. *)
+
+type cache
+
+(** [make_cache nfa store] prepares a cache for [nfa] (ε-closure is
+    precomputed once). *)
+val make_cache : Spanner_fa.Nfa.t -> Slp.store -> cache
+
+(** [matrix cache id] is M_{id}, computed (and memoised) on demand;
+    entry (p, q) includes ε-closure on both sides. *)
+val matrix : cache -> Slp.id -> Spanner_util.Bitmatrix.t
+
+(** [accepts cache id] decides 𝔇(id) ∈ L(nfa). *)
+val accepts : cache -> Slp.id -> bool
+
+(** [accepts_via_decompression nfa store id] is the baseline:
+    decompress and simulate, O(|𝔇(id)| · |nfa|). *)
+val accepts_via_decompression : Spanner_fa.Nfa.t -> Slp.store -> Slp.id -> bool
+
+(** [cached_nodes cache] is the number of memoised node matrices (for
+    the experiments' bookkeeping). *)
+val cached_nodes : cache -> int

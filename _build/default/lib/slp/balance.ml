@@ -1,0 +1,123 @@
+(* AVL-style persistent rope algebra over the node store.  All the
+   rotations create new (hash-consed) nodes; originals are untouched,
+   so documents sharing structure keep sharing it. *)
+
+let ord = Slp.order
+
+(* Balanced pairing of two trees whose orders differ by at most 2:
+   a single or double rotation restores |bal| ≤ 1 (the "mildly
+   unbalanced nodes re-balanced by suitable rotations" of §4.3). *)
+let rec mk store l r =
+  let dl = ord store l and dr = ord store r in
+  if abs (dl - dr) <= 1 then Slp.pair store l r
+  else if dl = dr + 2 then begin
+    match Slp.node store l with
+    | Slp.Leaf _ -> assert false (* a leaf has order 1 < dr + 2 *)
+    | Slp.Pair (ll, lr) ->
+        if ord store ll >= ord store lr then
+          (* single right rotation *)
+          mk_careful store ll (mk store lr r)
+        else begin
+          match Slp.node store lr with
+          | Slp.Leaf _ -> assert false
+          | Slp.Pair (lrl, lrr) ->
+              (* double rotation *)
+              mk_careful store (mk store ll lrl) (mk store lrr r)
+        end
+  end
+  else if dr = dl + 2 then begin
+    match Slp.node store r with
+    | Slp.Leaf _ -> assert false
+    | Slp.Pair (rl, rr) ->
+        if ord store rr >= ord store rl then mk_careful store (mk store l rl) rr
+        else begin
+          match Slp.node store rl with
+          | Slp.Leaf _ -> assert false
+          | Slp.Pair (rll, rlr) -> mk_careful store (mk store l rll) (mk store rlr rr)
+        end
+  end
+  else invalid_arg "Balance.mk: order difference exceeds 2"
+
+(* After a rotation the recombined sides can again differ by 2, so
+   route through [mk] once more; it terminates because the total order
+   strictly decreases into the recursive calls. *)
+and mk_careful store l r =
+  if abs (ord store l - ord store r) <= 2 then mk store l r
+  else concat store l r
+
+(* AVL join: descend the spine of the higher tree until the orders are
+   close enough, then rebuild with rotations on the way out. *)
+and concat store a b =
+  let da = ord store a and db = ord store b in
+  if abs (da - db) <= 1 then Slp.pair store a b
+  else if da > db then begin
+    match Slp.node store a with
+    | Slp.Leaf _ -> assert false
+    | Slp.Pair (l, r) -> mk store l (concat store r b)
+  end
+  else begin
+    match Slp.node store b with
+    | Slp.Leaf _ -> assert false
+    | Slp.Pair (l, r) -> mk store (concat store a l) r
+  end
+
+let concat store a b = concat store a b
+
+let opt_concat store a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (concat store a b)
+
+let split store a i =
+  let n = Slp.len store a in
+  if i < 0 || i > n then
+    invalid_arg (Printf.sprintf "Balance.split: position %d out of range (length %d)" i n);
+  let rec go a i =
+    (* 0 < i < len a *)
+    match Slp.node store a with
+    | Slp.Leaf _ -> assert false
+    | Slp.Pair (l, r) ->
+        let ll = Slp.len store l in
+        if i = ll then (Some l, Some r)
+        else if i < ll then begin
+          let left, mid = go l i in
+          (left, opt_concat store mid (Some r))
+        end
+        else begin
+          let mid, right = go r (i - ll) in
+          (opt_concat store (Some l) mid, right)
+        end
+  in
+  if i = 0 then (None, Some a) else if i = n then (Some a, None) else go a i
+
+let extract store a i j =
+  let n = Slp.len store a in
+  if i < 1 || j < i || j > n then
+    invalid_arg (Printf.sprintf "Balance.extract: bad range [%d..%d] (length %d)" i j n);
+  let _, right = split store a (i - 1) in
+  match right with
+  | None -> assert false (* i ≤ j ≤ n implies a non-empty right part *)
+  | Some right ->
+      let mid, _ = split store right (j - i + 1) in
+      (match mid with Some m -> m | None -> assert false)
+
+let rebalance store a =
+  let memo = Hashtbl.create 64 in
+  let rec go a =
+    match Hashtbl.find_opt memo a with
+    | Some b -> b
+    | None ->
+        let b =
+          match Slp.node store a with
+          | Slp.Leaf _ -> a
+          | Slp.Pair (l, r) -> concat store (go l) (go r)
+        in
+        Hashtbl.add memo a b;
+        b
+  in
+  go a
+
+let depth_stats store a =
+  let n = Slp.len store a in
+  let rec ceil_log2 acc v = if v <= 1 then acc else ceil_log2 (acc + 1) ((v + 1) / 2) in
+  (Slp.order store a, ceil_log2 0 n)

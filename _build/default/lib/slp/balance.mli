@@ -1,0 +1,42 @@
+(** Balancing of SLPs (§4.1) and the balanced primitives behind
+    complex document editing (§4.3).
+
+    A node is balanced when bal ∈ {−1, 0, 1}; strongly balanced when
+    all descendants are too.  Strongly balanced SLPs are 2-shallow, so
+    every root-to-leaf descent — random access, splitting, matrix
+    look-ups during enumeration — costs O(log |𝔇(A)|).
+
+    {!concat} and {!split} are AVL-style persistent rope operations:
+    they create O(|order difference|) ≤ O(log |D|) new nodes and keep
+    strong balance, exactly the property [40] needs for CDE updates
+    ("we only have to move nodes a constant number of times along a
+    path", §4.3).  {!rebalance} is the [36]-flavoured global
+    restructuring with the O(|S|·log |D|) size bound quoted in §4.1. *)
+
+(** [concat store a b] is a strongly balanced node deriving
+    𝔇(a)·𝔇(b), given strongly balanced [a] and [b].  Time and new
+    nodes O(|order a − order b|). *)
+val concat : Slp.store -> Slp.id -> Slp.id -> Slp.id
+
+(** [split store a i] is [(l, r)] with 𝔇(l) = 𝔇(a)[1..i] and
+    𝔇(r) = 𝔇(a)[i+1..]; [None] sides are empty ([i = 0] or
+    [i = len a]).  Both parts are strongly balanced.  O(log²) worst
+    case through the chain of concats.
+    @raise Invalid_argument if [i] is out of [0..len a]. *)
+val split : Slp.store -> Slp.id -> int -> Slp.id option * Slp.id option
+
+(** [extract store a i j] is a strongly balanced node for the factor
+    from position [i] to [j] *inclusive* (1-based, as in the paper's
+    extract(D, i, j)).
+    @raise Invalid_argument if the range is empty or out of bounds. *)
+val extract : Slp.store -> Slp.id -> int -> int -> Slp.id
+
+(** [rebalance store a] is a strongly balanced node deriving 𝔇(a),
+    built bottom-up with one balanced concatenation per original node
+    (memoised over the DAG): size O(|S|·log |𝔇(a)|), the Rytter bound
+    the survey cites for strong balancing. *)
+val rebalance : Slp.store -> Slp.id -> Slp.id
+
+(** [depth_stats store a] is [(order, ceil_log2_len)] — the numbers
+    compared by c-shallowness reports (experiment E8). *)
+val depth_stats : Slp.store -> Slp.id -> int * int

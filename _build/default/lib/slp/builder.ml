@@ -1,0 +1,87 @@
+let balanced_of_string store s =
+  if String.length s = 0 then invalid_arg "Builder.balanced_of_string: empty document";
+  let rec build lo hi =
+    (* [lo, hi) non-empty *)
+    if hi - lo = 1 then Slp.leaf store s.[lo]
+    else
+      let mid = (lo + hi) / 2 in
+      Slp.pair store (build lo mid) (build mid hi)
+  in
+  build 0 (String.length s)
+
+(* Dictionary trie of LZ78 phrases; each trie node carries the SLP node
+   of its phrase. *)
+type trie = { node : Slp.id option; children : (char, trie) Hashtbl.t }
+
+let lz78 store s =
+  if String.length s = 0 then invalid_arg "Builder.lz78: empty document";
+  let fresh node = { node; children = Hashtbl.create 4 } in
+  let root = fresh None in
+  let phrases = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (* Longest dictionary match starting at !i, then one fresh char. *)
+    let cursor = ref root in
+    let j = ref !i in
+    let continue_ = ref true in
+    while !continue_ && !j < n do
+      match Hashtbl.find_opt !cursor.children s.[!j] with
+      | Some child ->
+          cursor := child;
+          incr j
+      | None -> continue_ := false
+    done;
+    let matched = !cursor.node in
+    if !j < n then begin
+      let c = s.[!j] in
+      let leaf = Slp.leaf store c in
+      let phrase_node = match matched with None -> leaf | Some p -> Slp.pair store p leaf in
+      Hashtbl.replace !cursor.children c (fresh (Some phrase_node));
+      phrases := phrase_node :: !phrases;
+      i := !j + 1
+    end
+    else begin
+      (* Input ends inside a known phrase: it becomes the final one. *)
+      (match matched with
+      | Some p -> phrases := p :: !phrases
+      | None -> assert false (* !j < n would have held *));
+      i := !j
+    end
+  done;
+  let phrases = List.rev !phrases in
+  (* Join the (comb-shaped) phrase nodes; rebalance each phrase first
+     so the fold stays within Balance.concat's precondition. *)
+  match phrases with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun acc p -> Balance.concat store acc (Balance.rebalance store p))
+        (Balance.rebalance store first)
+        rest
+
+let power store base k =
+  if k < 1 then invalid_arg "Builder.power: exponent must be positive";
+  let rec go k =
+    if k = 1 then base
+    else
+      let half = go (k / 2) in
+      let doubled = Slp.pair store half half in
+      if k land 1 = 0 then doubled else Balance.concat store doubled base
+  in
+  go k
+
+let repeat store s k = power store (balanced_of_string store s) k
+
+let fibonacci store k =
+  if k < 1 then invalid_arg "Builder.fibonacci: index must be positive";
+  if k = 1 then Slp.leaf store 'b'
+  else begin
+    let prev = ref (Slp.leaf store 'b') and cur = ref (Slp.leaf store 'a') in
+    for _ = 3 to k do
+      let next = Slp.pair store !cur !prev in
+      prev := !cur;
+      cur := next
+    done;
+    !cur
+  end

@@ -1,0 +1,42 @@
+(** SLP construction (§4).
+
+    Computing a *smallest* SLP is NP-complete (survey footnote 4), but
+    fast practical compressors exist; this module provides the builders
+    the experiments need, spanning the compressibility spectrum:
+
+    - {!balanced_of_string}: no compression, strongly balanced — the
+      shape obtained from an incompressible document;
+    - {!lz78}: dictionary compression in the Lempel-Ziv family the
+      survey names as covered by SLPs — genuine sharing on repetitive
+      text (comb-shaped; balance with {!Balance.rebalance});
+    - {!power} and {!fibonacci}: exponentially compressible families —
+      the "SLP exponentially smaller than the string" best case. *)
+
+(** [balanced_of_string store s] is a perfectly balanced parse of [s]
+    (divide and conquer), order ⌈log₂ |s|⌉ + 1.
+    @raise Invalid_argument on the empty string. *)
+val balanced_of_string : Slp.store -> string -> Slp.id
+
+(** [lz78 store s] parses [s] into LZ78 phrases (each phrase = an
+    earlier phrase plus one character, i.e. exactly one new node) and
+    joins the phrase nodes with balanced concatenations.  The phrase
+    dictionary part is shared; size O(#phrases·log).
+    @raise Invalid_argument on the empty string. *)
+val lz78 : Slp.store -> string -> Slp.id
+
+(** [power store base k] derives 𝔇(base)^k with O(log k) new nodes
+    (binary exponentiation).
+    @raise Invalid_argument if [k < 1]. *)
+val power : Slp.store -> Slp.id -> int -> Slp.id
+
+(** [repeat store s k] is [power] of a balanced parse of [s]. *)
+val repeat : Slp.store -> string -> int -> Slp.id
+
+(** [fibonacci store k] is the k-th Fibonacci word F_k (F₁ = b,
+    F₂ = a, F_k = F_{k−1}·F_{k−2}): length Fib(k) with k − 1 nodes.
+    Every node has bal = +1, so Fibonacci SLPs are strongly balanced —
+    they are exactly the extremal AVL shape, witnessing that the
+    2-shallowness bound of §4.1 (order ≤ 2·log₂ length) is tight up to
+    the constant 1/log₂ φ ≈ 1.44.
+    @raise Invalid_argument if [k < 1]. *)
+val fibonacci : Slp.store -> int -> Slp.id

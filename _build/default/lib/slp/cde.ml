@@ -1,0 +1,84 @@
+type t =
+  | Doc of string
+  | Node of Slp.id
+  | Concat of t * t
+  | Extract of t * int * int
+  | Delete of t * int * int
+  | Insert of t * t * int
+  | Copy of t * int * int * int
+
+let rec eval db e =
+  let store = Doc_db.store db in
+  match e with
+  | Doc name -> Doc_db.find db name
+  | Node id -> id
+  | Concat (a, b) -> Balance.concat store (eval db a) (eval db b)
+  | Extract (a, i, j) -> Balance.extract store (eval db a) i j
+  | Delete (a, i, j) ->
+      let a = eval db a in
+      let n = Slp.len store a in
+      if i < 1 || j < i || j > n then
+        invalid_arg (Printf.sprintf "Cde.eval: delete range [%d..%d] out of bounds (length %d)" i j n);
+      let left = if i = 1 then None else Some (Balance.extract store a 1 (i - 1)) in
+      let right = if j = n then None else Some (Balance.extract store a (j + 1) n) in
+      (match (left, right) with
+      | None, None -> invalid_arg "Cde.eval: delete would produce the empty document"
+      | Some x, None | None, Some x -> x
+      | Some l, Some r -> Balance.concat store l r)
+  | Insert (a, b, k) ->
+      let a = eval db a and b = eval db b in
+      let n = Slp.len store a in
+      if k < 1 || k > n + 1 then
+        invalid_arg (Printf.sprintf "Cde.eval: insert position %d out of bounds (length %d)" k n);
+      let left, right = Balance.split store a (k - 1) in
+      let mid =
+        match left with None -> b | Some l -> Balance.concat store l b
+      in
+      (match right with None -> mid | Some r -> Balance.concat store mid r)
+  | Copy (a, i, j, k) ->
+      let a' = eval db a in
+      let piece = Balance.extract store a' i j in
+      eval db (Insert (Node a', Node piece, k))
+
+let materialize db name e =
+  let id = eval db e in
+  Doc_db.add db name id;
+  id
+
+let rec size = function
+  | Doc _ | Node _ -> 1
+  | Concat (a, b) -> 1 + size a + size b
+  | Extract (a, _, _) | Delete (a, _, _) -> 1 + size a
+  | Insert (a, b, _) -> 1 + size a + size b
+  | Copy (a, _, _, _) -> 1 + size a
+
+let rec reference_eval lookup = function
+  | Doc name -> lookup name
+  | Node _ -> invalid_arg "Cde.reference_eval: explicit nodes have no string form"
+  | Concat (a, b) -> reference_eval lookup a ^ reference_eval lookup b
+  | Extract (a, i, j) ->
+      let s = reference_eval lookup a in
+      if i < 1 || j < i || j > String.length s then invalid_arg "Cde.reference_eval: extract range";
+      String.sub s (i - 1) (j - i + 1)
+  | Delete (a, i, j) ->
+      let s = reference_eval lookup a in
+      if i < 1 || j < i || j > String.length s then invalid_arg "Cde.reference_eval: delete range";
+      String.sub s 0 (i - 1) ^ String.sub s j (String.length s - j)
+  | Insert (a, b, k) ->
+      let s = reference_eval lookup a and t = reference_eval lookup b in
+      if k < 1 || k > String.length s + 1 then invalid_arg "Cde.reference_eval: insert position";
+      String.sub s 0 (k - 1) ^ t ^ String.sub s (k - 1) (String.length s - k + 1)
+  | Copy (a, i, j, k) ->
+      let s = reference_eval lookup a in
+      if i < 1 || j < i || j > String.length s then invalid_arg "Cde.reference_eval: copy range";
+      let piece = String.sub s (i - 1) (j - i + 1) in
+      String.sub s 0 (k - 1) ^ piece ^ String.sub s (k - 1) (String.length s - k + 1)
+
+let rec pp ppf = function
+  | Doc name -> Format.pp_print_string ppf name
+  | Node id -> Format.fprintf ppf "#%d" id
+  | Concat (a, b) -> Format.fprintf ppf "concat(%a, %a)" pp a pp b
+  | Extract (a, i, j) -> Format.fprintf ppf "extract(%a, %d, %d)" pp a i j
+  | Delete (a, i, j) -> Format.fprintf ppf "delete(%a, %d, %d)" pp a i j
+  | Insert (a, b, k) -> Format.fprintf ppf "insert(%a, %a, %d)" pp a pp b k
+  | Copy (a, i, j, k) -> Format.fprintf ppf "copy(%a, %d, %d, %d)" pp a i j k

@@ -1,0 +1,48 @@
+(** Complex document editing (§4.3, [40]).
+
+    CDE-expressions combine stored documents with the basic operations
+
+    {v
+      concat(D, D')      extract(D, i, j)     delete(D, i, j)
+      insert(D, D', k)   copy(D, i, j, k)
+    v}
+
+    ([i..j] inclusive, 1-based; [insert] places D' so that it starts at
+    position [k] of D).  Evaluating a CDE-expression over a strongly
+    balanced SLP creates only O(|φ| · log d) new nodes and keeps strong
+    balance — the paper's headline update bound — because every basic
+    operation reduces to the AVL {!Balance.concat}/{!Balance.split}
+    primitives. *)
+
+type t =
+  | Doc of string  (** a named document of the database *)
+  | Node of Slp.id  (** an explicit node *)
+  | Concat of t * t
+  | Extract of t * int * int
+  | Delete of t * int * int
+  | Insert of t * t * int
+  | Copy of t * int * int * int
+
+(** [eval db e] evaluates [e] over the database, returning the node of
+    the resulting document.  The node is *not* added to the database
+    (the "query once, then drop the new nodes" mode at the end of
+    §4.3); use {!materialize} to keep it.
+    @raise Invalid_argument on out-of-range positions or an empty
+    result (SLPs derive non-empty documents), [Not_found] on unknown
+    document names. *)
+val eval : Doc_db.t -> t -> Slp.id
+
+(** [materialize db name e] evaluates and designates the result as
+    document [name] — the update task "modify S so that it describes
+    DDB ∪ {eval(φ)}". *)
+val materialize : Doc_db.t -> string -> t -> Slp.id
+
+(** [size e] is |φ| — the number of operations plus leaves. *)
+val size : t -> int
+
+(** [reference_eval lookup e] evaluates [e] over plain strings ([lookup]
+    resolves names) — the O(d)-per-operation baseline the benchmarks
+    compare against, and the oracle for correctness tests. *)
+val reference_eval : (string -> string) -> t -> string
+
+val pp : Format.formatter -> t -> unit

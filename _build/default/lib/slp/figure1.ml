@@ -1,0 +1,37 @@
+type t = {
+  db : Doc_db.t;
+  a1 : Slp.id;
+  a2 : Slp.id;
+  a3 : Slp.id;
+  b : Slp.id;
+  c : Slp.id;
+  d : Slp.id;
+  e : Slp.id;
+  f : Slp.id;
+}
+
+let build () =
+  let db = Doc_db.create () in
+  let store = Doc_db.store db in
+  let ta = Slp.leaf store 'a' and tb = Slp.leaf store 'b' and tc = Slp.leaf store 'c' in
+  let e = Slp.pair store ta tb in
+  let f = Slp.pair store tb tc in
+  let c = Slp.pair store f ta in
+  let b = Slp.pair store e c in
+  let a3 = Slp.pair store e b in
+  let a1 = Slp.pair store a3 c in
+  let d = Slp.pair store c b in
+  let a2 = Slp.pair store c d in
+  Doc_db.add db "D1" a1;
+  Doc_db.add db "D2" a2;
+  Doc_db.add db "D3" a3;
+  { db; a1; a2; a3; b; c; d; e; f }
+
+let extend fig =
+  let store = Doc_db.store fig.db in
+  let g = Slp.pair store fig.d fig.b in
+  let a4 = Slp.pair store fig.a2 fig.a1 in
+  let a5 = Slp.pair store fig.b g in
+  Doc_db.add fig.db "D4" a4;
+  Doc_db.add fig.db "D5" a5;
+  (a4, a5)

@@ -1,0 +1,35 @@
+(** The example SLP of Figure 1 of the paper, reconstructed exactly.
+
+    Solid part: nodes E = (Tₐ, T_b), F = (T_b, T_c), C = (F, Tₐ),
+    B = (E, C), A3 = (E, B), A1 = (A3, C), D = (C, B), A2 = (C, D),
+    with designated documents
+
+    {v
+      𝔇(A1) = ababbcabca   𝔇(A2) = bcabcaabbca   𝔇(A3) = ababbca
+    v}
+
+    and the orders/balances reported in §4.1: ord F = ord E = 2,
+    ord C = 3, ord B = 4, ord D = ord A3 = 5, ord A1 = ord A2 = 6; all
+    nodes balanced except bal A1 = 2 and bal A2 = bal A3 = −2.
+
+    Grey extension (§4.3): G = (D, B), A4 = (A2, A1), A5 = (B, G) with
+    𝔇(A4) = 𝔇(A2)·𝔇(A1) and 𝔇(A5) = abbcabcaabbcaabbca. *)
+
+type t = {
+  db : Doc_db.t;  (** documents "D1", "D2", "D3" designated *)
+  a1 : Slp.id;
+  a2 : Slp.id;
+  a3 : Slp.id;
+  b : Slp.id;
+  c : Slp.id;
+  d : Slp.id;
+  e : Slp.id;
+  f : Slp.id;
+}
+
+(** [build ()] constructs the solid part of the figure. *)
+val build : unit -> t
+
+(** [extend fig] adds the grey part and designates "D4" and "D5";
+    returns [(a4, a5)]. *)
+val extend : t -> Slp.id * Slp.id

@@ -1,0 +1,95 @@
+let magic = "SLPDB1\n"
+
+(* unsigned LEB128 *)
+let write_varint oc n =
+  let rec go n =
+    if n < 0x80 then output_byte oc n
+    else begin
+      output_byte oc (0x80 lor (n land 0x7f));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Serialize: negative varint";
+  go n
+
+let read_varint ic =
+  let rec go shift acc =
+    let b = try input_byte ic with End_of_file -> failwith "Serialize: truncated file" in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let write_channel db oc =
+  output_string oc magic;
+  let store = Doc_db.store db in
+  (* topological numbering of reachable nodes, children first *)
+  let file_id = Hashtbl.create 256 in
+  let order = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun name ->
+      Slp.iter_reachable store (Doc_db.find db name) (fun id ->
+          if not (Hashtbl.mem file_id id) then begin
+            Hashtbl.add file_id id !count;
+            incr count;
+            order := id :: !order
+          end))
+    (Doc_db.names db);
+  let nodes = List.rev !order in
+  write_varint oc !count;
+  List.iter
+    (fun id ->
+      match Slp.node store id with
+      | Slp.Leaf c ->
+          output_byte oc 0;
+          output_char oc c
+      | Slp.Pair (l, r) ->
+          output_byte oc 1;
+          write_varint oc (Hashtbl.find file_id l);
+          write_varint oc (Hashtbl.find file_id r))
+    nodes;
+  let names = Doc_db.names db in
+  write_varint oc (List.length names);
+  List.iter
+    (fun name ->
+      write_varint oc (String.length name);
+      output_string oc name;
+      write_varint oc (Hashtbl.find file_id (Doc_db.find db name)))
+    names
+
+let read_channel ic =
+  let header = really_input_string ic (String.length magic) in
+  if header <> magic then failwith "Serialize: bad magic (not an SLPDB file)";
+  let db = Doc_db.create () in
+  let store = Doc_db.store db in
+  let count = read_varint ic in
+  let ids = Array.make (max count 1) (-1) in
+  for i = 0 to count - 1 do
+    match input_byte ic with
+    | 0 -> ids.(i) <- Slp.leaf store (input_char ic)
+    | 1 ->
+        let l = read_varint ic in
+        let r = read_varint ic in
+        if l >= i || r >= i then failwith "Serialize: node references a later node";
+        ids.(i) <- Slp.pair store ids.(l) ids.(r)
+    | _ -> failwith "Serialize: bad node tag"
+    | exception End_of_file -> failwith "Serialize: truncated file"
+  done;
+  let ndocs = read_varint ic in
+  for _ = 1 to ndocs do
+    let len = read_varint ic in
+    let name = really_input_string ic len in
+    let root = read_varint ic in
+    if root >= count then failwith "Serialize: document root out of range";
+    Doc_db.add db name ids.(root)
+  done;
+  db
+
+let write_file db path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel db oc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

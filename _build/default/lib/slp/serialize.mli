@@ -1,0 +1,34 @@
+(** Persistence for SLP document databases.
+
+    A compressed document database is the natural at-rest format for
+    the §4 pipeline: compress once, store the SLP, evaluate spanners on
+    it forever after.  This module writes a {!Doc_db.t} to a compact
+    binary file and reads it back.
+
+    Format (little-endian, all integers as LEB128-style varints):
+
+    {v
+      magic "SLPDB1\n"
+      node count
+      per node: tag 0 (leaf) + byte, or tag 1 (pair) + left id + right id
+      document count
+      per document: name length + name bytes + root node id
+    v}
+
+    Node ids in the file are ordered topologically (children first), so
+    reading is a single pass; hash-consing on load re-shares structure
+    with anything already in the target store. *)
+
+(** [write_file db path] serialises the database (only nodes reachable
+    from designated documents are written). *)
+val write_file : Doc_db.t -> string -> unit
+
+(** [read_file path] loads a database into a fresh store.
+    @raise Failure on a malformed or truncated file. *)
+val read_file : string -> Doc_db.t
+
+(** [write_channel db oc] / [read_channel ic] are the channel-level
+    variants. *)
+val write_channel : Doc_db.t -> out_channel -> unit
+
+val read_channel : in_channel -> Doc_db.t

@@ -1,0 +1,138 @@
+module Vec = Spanner_util.Vec
+
+type id = int
+
+type node = Leaf of char | Pair of id * id
+
+(* Per-node derived length and order are stored alongside so that
+   every accessor is O(1). *)
+type cell = { node : node; len : int; order : int }
+
+type store = {
+  cells : cell Vec.t;
+  cons : (int * int, id) Hashtbl.t; (* hash-consing of pairs *)
+  char_leaves : (char, id) Hashtbl.t;
+}
+
+let create_store () =
+  { cells = Vec.create (); cons = Hashtbl.create 256; char_leaves = Hashtbl.create 16 }
+
+let cell store id = Vec.get store.cells id
+
+let node store id = (cell store id).node
+
+let len store id = (cell store id).len
+
+let order store id = (cell store id).order
+
+let leaf store c =
+  match Hashtbl.find_opt store.char_leaves c with
+  | Some id -> id
+  | None ->
+      let id = Vec.push store.cells { node = Leaf c; len = 1; order = 1 } in
+      Hashtbl.add store.char_leaves c id;
+      id
+
+let pair store l r =
+  match Hashtbl.find_opt store.cons (l, r) with
+  | Some id -> id
+  | None ->
+      let cl = cell store l and cr = cell store r in
+      let id =
+        Vec.push store.cells
+          { node = Pair (l, r); len = cl.len + cr.len; order = 1 + max cl.order cr.order }
+      in
+      Hashtbl.add store.cons (l, r) id;
+      id
+
+let balance store id =
+  match node store id with
+  | Leaf _ -> 0
+  | Pair (l, r) -> order store l - order store r
+
+let store_size store = Vec.length store.cells
+
+let iter_reachable store id f =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      (match node store id with
+      | Leaf _ -> ()
+      | Pair (l, r) ->
+          visit l;
+          visit r);
+      f id
+    end
+  in
+  visit id
+
+let reachable_size store id =
+  let count = ref 0 in
+  iter_reachable store id (fun _ -> incr count);
+  !count
+
+let char_at store id i =
+  if i < 1 || i > len store id then
+    invalid_arg (Printf.sprintf "Slp.char_at: position %d out of range (length %d)" i (len store id));
+  let rec go id i =
+    match node store id with
+    | Leaf c -> c
+    | Pair (l, r) ->
+        let ll = len store l in
+        if i <= ll then go l i else go r (i - ll)
+  in
+  go id i
+
+let to_string store id =
+  let buf = Buffer.create (len store id) in
+  let rec go id =
+    match node store id with
+    | Leaf c -> Buffer.add_char buf c
+    | Pair (l, r) ->
+        go l;
+        go r
+  in
+  go id;
+  Buffer.contents buf
+
+let extract_string store id i j =
+  let n = len store id in
+  if i < 1 || j < i || j > n + 1 then
+    invalid_arg (Printf.sprintf "Slp.extract_string: bad range [%d,%d⟩ (length %d)" i j n);
+  let buf = Buffer.create (j - i) in
+  (* Emit 𝔇(id)[lo..hi-1] where positions are relative 1-based. *)
+  let rec go id lo hi =
+    if hi >= lo then
+      match node store id with
+      | Leaf c -> if lo <= 1 && hi >= 1 then Buffer.add_char buf c
+      | Pair (l, r) ->
+          let ll = len store l in
+          if lo <= ll then go l lo (min hi ll);
+          if hi > ll then go r (max 1 (lo - ll)) (hi - ll)
+  in
+  go id i (j - 1);
+  Buffer.contents buf
+
+let of_string store s =
+  if String.length s = 0 then invalid_arg "Slp.of_string: empty document";
+  let acc = ref (leaf store s.[0]) in
+  for i = 1 to String.length s - 1 do
+    acc := pair store !acc (leaf store s.[i])
+  done;
+  !acc
+
+let is_c_shallow store ~c id =
+  let ok = ref true in
+  iter_reachable store id (fun id ->
+      let n = len store id in
+      if n >= 2 && Float.of_int (order store id) > c *. (log (Float.of_int n) /. log 2.0) then
+        ok := false);
+  !ok
+
+let is_strongly_balanced store id =
+  let ok = ref true in
+  iter_reachable store id (fun id ->
+      let b = balance store id in
+      if b < -1 || b > 1 then ok := false);
+  !ok

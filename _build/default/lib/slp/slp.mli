@@ -1,0 +1,83 @@
+(** Straight-line programs (§4): hash-consed DAGs of binary
+    concatenation nodes over character leaves.
+
+    An SLP lives inside a {!store} (an arena of nodes).  Every node
+    represents the document 𝔇(node) obtained by recursively
+    concatenating its children (Figure 1 of the paper).  Nodes are
+    hash-consed: structurally equal nodes are shared, which is where
+    the compression comes from — in the best case a node of derived
+    length 2^k needs only k nodes (see {!Builder.power}).
+
+    All operations that "modify" a document actually add nodes; a
+    store is persistent in the functional sense even though the arena
+    is a mutable buffer. *)
+
+type store
+
+type id = int
+
+type node = Leaf of char | Pair of id * id
+
+(** [create_store ()] is an empty arena. *)
+val create_store : unit -> store
+
+(** [leaf store c] is the (unique) leaf node for character [c]. *)
+val leaf : store -> char -> id
+
+(** [pair store l r] is the (hash-consed) node deriving 𝔇(l)·𝔇(r). *)
+val pair : store -> id -> id -> id
+
+(** [node store id] inspects a node. *)
+val node : store -> id -> node
+
+(** [len store id] is |𝔇(id)|, maintained per node (O(1)). *)
+val len : store -> id -> int
+
+(** [order store id] is the order of the node (§4.1): leaves have
+    order 1; an inner node has order 1 + max of its children — i.e.
+    1 + the longest path to a leaf. *)
+val order : store -> id -> int
+
+(** [balance store id] is bal(id) = order(left) − order(right) for an
+    inner node (§4.1); 0 for a leaf. *)
+val balance : store -> id -> int
+
+(** [store_size store] is the total number of nodes in the arena. *)
+val store_size : store -> int
+
+(** [reachable_size store id] is |S| for the sub-SLP rooted at [id]:
+    the number of distinct reachable nodes. *)
+val reachable_size : store -> id -> int
+
+(** [char_at store id i] is 𝔇(id) at 1-based position [i], in time
+    O(order id).
+    @raise Invalid_argument if out of range. *)
+val char_at : store -> id -> int -> char
+
+(** [to_string store id] decompresses the whole document — O(|𝔇(id)|)
+    time and space; the operation every compressed-evaluation
+    result of §4 is measured against. *)
+val to_string : store -> id -> string
+
+(** [extract_string store id i j] is the factor 𝔇(id)[i..j−1] (1-based,
+    half-open like spans), without decompressing the rest. *)
+val extract_string : store -> id -> int -> int -> string
+
+(** [of_string store s] is a left-comb SLP for [s] with no sharing —
+    the degenerate baseline; see {!Builder} for the real builders.
+    @raise Invalid_argument on the empty string (SLPs derive non-empty
+    documents). *)
+val of_string : store -> string -> id
+
+(** [iter_reachable store id f] applies [f] to every reachable node id,
+    children before parents (a topological order). *)
+val iter_reachable : store -> id -> (id -> unit) -> unit
+
+(** [is_c_shallow store ~c id] tests order(A) ≤ c·log₂|𝔇(A)| for the
+    root and every reachable inner node of derived length ≥ 2
+    (§4.1). *)
+val is_c_shallow : store -> c:float -> id -> bool
+
+(** [is_strongly_balanced store id] tests bal ∈ {−1, 0, 1} for [id]
+    and all descendants (§4.1). *)
+val is_strongly_balanced : store -> id -> bool

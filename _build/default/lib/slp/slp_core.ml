@@ -1,0 +1,43 @@
+open Spanner_core
+
+type t = { core : Core_spanner.t; engine : Slp_spanner.engine; hash : Slp_hash.t }
+
+let create core store =
+  {
+    core;
+    engine = Slp_spanner.create core.Core_spanner.automaton store;
+    hash = Slp_hash.create store;
+  }
+
+let selections_hold t id tuple =
+  List.for_all
+    (fun z ->
+      let spans =
+        Variable.Set.fold
+          (fun x acc -> match Span_tuple.find tuple x with None -> acc | Some s -> s :: acc)
+          z []
+      in
+      match spans with
+      | [] | [ _ ] -> true
+      | first :: rest ->
+          let range s = (Span.left s, Span.right s) in
+          List.for_all (fun s -> Slp_hash.factor_equal t.hash id (range first) (range s)) rest)
+    t.core.Core_spanner.selections
+
+let eval t id =
+  let result = ref (Span_relation.empty (Core_spanner.schema t.core)) in
+  Slp_spanner.iter t.engine id (fun tuple ->
+      if selections_hold t id tuple then
+        result :=
+          Span_relation.add !result (Span_tuple.project t.core.Core_spanner.projection tuple));
+  !result
+
+let nonempty_on t id =
+  let exception Found in
+  try
+    Slp_spanner.iter t.engine id (fun tuple ->
+        if selections_hold t id tuple then raise Found);
+    false
+  with Found -> true
+
+let count t id = Span_relation.cardinal (eval t id)

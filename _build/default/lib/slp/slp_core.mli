@@ -1,0 +1,36 @@
+(** Core spanners over SLP-compressed documents.
+
+    Combines the two §4 pipelines with the §2.3 normal form: the core
+    spanner π_Y(ς=_Z1 … ς=_Zk(⟦M⟧)) is evaluated on a compressed
+    document by
+
+    + enumerating ⟦M⟧'s tuples with the compressed engine
+      ({!Slp_spanner}, no decompression),
+    + filtering the string-equality selections with O(log |D|)
+      fingerprint comparisons ({!Slp_hash}, no decompression),
+    + projecting to the visible schema.
+
+    This goes beyond the survey's explicit scope (which treats regular
+    spanners over SLPs) but is the natural composition of its parts,
+    and the selection filter inherits the core-spanner worst case: the
+    number of automaton tuples explored may be exponential (§2.4). *)
+
+open Spanner_core
+
+type t
+
+(** [create core store] prepares engines for the core spanner's
+    automaton part and a fingerprint cache over [store]. *)
+val create : Core_spanner.t -> Slp.store -> t
+
+(** [eval t id] is the core spanner's relation on 𝔇(id), computed
+    without decompressing. *)
+val eval : t -> Slp.id -> Span_relation.t
+
+(** [nonempty_on t id] decides non-emptiness lazily (first satisfying
+    automaton tuple wins). *)
+val nonempty_on : t -> Slp.id -> bool
+
+(** [count t id] is the number of result tuples (after selections and
+    projection — requires full evaluation, unlike the regular case). *)
+val count : t -> Slp.id -> int

@@ -1,0 +1,70 @@
+(* Double polynomial fingerprints modulo primes below 2^31 (products
+   fit in 63-bit native ints), matching Spanner_util.Strhash. *)
+
+let m1 = 2147483647
+let m2 = 2147483629
+let b1 = 131
+let b2 = 137
+
+type t = {
+  store : Slp.store;
+  memo : (Slp.id, int * int) Hashtbl.t;
+  pow_memo : (int, int * int) Hashtbl.t; (* len → (b1^len mod m1, b2^len mod m2) *)
+}
+
+let create store = { store; memo = Hashtbl.create 256; pow_memo = Hashtbl.create 64 }
+
+let rec modpow base m e = if e = 0 then 1 else
+    let half = modpow base m (e / 2) in
+    let sq = half * half mod m in
+    if e land 1 = 1 then sq * base mod m else sq
+
+let pows h len =
+  match Hashtbl.find_opt h.pow_memo len with
+  | Some p -> p
+  | None ->
+      let p = (modpow b1 m1 len, modpow b2 m2 len) in
+      Hashtbl.add h.pow_memo len p;
+      p
+
+(* H(uv) = H(u)·B^|v| + H(v) *)
+let combine h (h1, h2) (g1, g2) vlen =
+  let p1, p2 = pows h vlen in
+  (((h1 * p1) + g1) mod m1, ((h2 * p2) + g2) mod m2)
+
+let rec node_hash h id =
+  match Hashtbl.find_opt h.memo id with
+  | Some v -> v
+  | None ->
+      let v =
+        match Slp.node h.store id with
+        | Slp.Leaf c -> (Char.code c + 1, Char.code c + 1)
+        | Slp.Pair (l, r) ->
+            combine h (node_hash h l) (node_hash h r) (Slp.len h.store r)
+      in
+      Hashtbl.add h.memo id v;
+      v
+
+let factor_hash h id i j =
+  let n = Slp.len h.store id in
+  if i < 1 || j < i || j > n + 1 then
+    invalid_arg (Printf.sprintf "Slp_hash.factor_hash: bad range [%d,%d⟩ (length %d)" i j n);
+  (* fh over 0-based half-open [lo, hi) relative to the node *)
+  let rec fh id lo hi =
+    if lo >= hi then (0, 0)
+    else if lo = 0 && hi = Slp.len h.store id then node_hash h id
+    else
+      match Slp.node h.store id with
+      | Slp.Leaf _ -> node_hash h id (* lo=0, hi=1 handled above; unreachable *)
+      | Slp.Pair (l, r) ->
+          let ll = Slp.len h.store l in
+          if hi <= ll then fh l lo hi
+          else if lo >= ll then fh r (lo - ll) (hi - ll)
+          else combine h (fh l lo ll) (fh r 0 (hi - ll)) (hi - ll)
+  in
+  fh id (i - 1) (j - 1)
+
+let factor_equal h id (i, j) (i', j') =
+  j - i = j' - i' && ((i = i' && j = j') || factor_hash h id i j = factor_hash h id i' j')
+
+let cached_nodes h = Hashtbl.length h.memo

@@ -1,0 +1,33 @@
+(** Karp–Rabin fingerprints of SLP-compressed documents.
+
+    Rolling hashes compose over concatenation
+    (H(uv) = H(u)·B^|v| + H(v)), so a fingerprint per SLP *node* can be
+    computed bottom-up in O(|S|) and the fingerprint of an arbitrary
+    factor 𝔇(A)[i..j⟩ in O(order A) — O(log |D|) on balanced SLPs —
+    by decomposing the factor along the DAG.
+
+    This is the "algorithmics on compressed strings" primitive (§4,
+    footnote 5) that lets the *string-equality selection* of core
+    spanners run over compressed documents without decompression: two
+    factors are compared in O(log |D|) instead of O(factor length).
+    Used by {!Slp_core}. *)
+
+type t
+
+(** [create store] is an empty fingerprint cache over [store]. *)
+val create : Slp.store -> t
+
+(** [node_hash h id] is the fingerprint of 𝔇(id), memoised per node. *)
+val node_hash : t -> Slp.id -> int * int
+
+(** [factor_hash h id i j] is the fingerprint of 𝔇(id)[i..j⟩ (1-based,
+    half-open, like spans).
+    @raise Invalid_argument if the range is out of bounds. *)
+val factor_hash : t -> Slp.id -> int -> int -> int * int
+
+(** [factor_equal h id (i, j) (i', j')] tests 𝔇(id)[i..j⟩ = 𝔇(id)[i'..j'⟩
+    in O(order id) (Monte-Carlo: double 31-bit fingerprints). *)
+val factor_equal : t -> Slp.id -> int * int -> int * int -> bool
+
+(** [cached_nodes h] is the number of memoised node fingerprints. *)
+val cached_nodes : t -> int

@@ -1,0 +1,221 @@
+open Spanner_core
+module Charset = Spanner_fa.Charset
+module Bitmatrix = Spanner_util.Bitmatrix
+module Bitset = Spanner_util.Bitset
+module Vec = Spanner_util.Vec
+
+type engine = {
+  auto : Evset.t; (* deterministic *)
+  store : Slp.store;
+  pure : (Slp.id, Bitmatrix.t) Hashtbl.t;
+  mixed : (Slp.id, Bitmatrix.t) Hashtbl.t;
+  pure_leaf : (char, Bitmatrix.t) Hashtbl.t;
+  mixed_leaf : (char, Bitmatrix.t) Hashtbl.t;
+  counts : (Slp.id * int * int, int) Hashtbl.t; (* mixed-run counts *)
+}
+
+let create e store =
+  let auto = if Evset.is_deterministic e then e else Evset.determinize e in
+  {
+    auto;
+    store;
+    pure = Hashtbl.create 256;
+    mixed = Hashtbl.create 256;
+    pure_leaf = Hashtbl.create 8;
+    mixed_leaf = Hashtbl.create 8;
+    counts = Hashtbl.create 256;
+  }
+
+let vars engine = Evset.vars engine.auto
+
+let nstates engine = Evset.size engine.auto
+
+let letter_matrix engine c =
+  match Hashtbl.find_opt engine.pure_leaf c with
+  | Some m -> m
+  | None ->
+      let n = nstates engine in
+      let m = Bitmatrix.create n in
+      for q = 0 to n - 1 do
+        Evset.iter_letter_arcs engine.auto q (fun cs dst ->
+            if Charset.mem cs c then Bitmatrix.set m q dst)
+      done;
+      Hashtbl.add engine.pure_leaf c m;
+      m
+
+let mixed_leaf_matrix engine c =
+  match Hashtbl.find_opt engine.mixed_leaf c with
+  | Some m -> m
+  | None ->
+      let n = nstates engine in
+      let set_step = Bitmatrix.create n in
+      for q = 0 to n - 1 do
+        Evset.iter_set_arcs engine.auto q (fun _ dst -> Bitmatrix.set set_step q dst)
+      done;
+      let m = Bitmatrix.mul set_step (letter_matrix engine c) in
+      Hashtbl.add engine.mixed_leaf c m;
+      m
+
+let rec pure_matrix engine id =
+  match Hashtbl.find_opt engine.pure id with
+  | Some m -> m
+  | None ->
+      let m =
+        match Slp.node engine.store id with
+        | Slp.Leaf c -> letter_matrix engine c
+        | Slp.Pair (l, r) -> Bitmatrix.mul (pure_matrix engine l) (pure_matrix engine r)
+      in
+      Hashtbl.add engine.pure id m;
+      m
+
+let rec mixed_matrix engine id =
+  match Hashtbl.find_opt engine.mixed id with
+  | Some m -> m
+  | None ->
+      let m =
+        match Slp.node engine.store id with
+        | Slp.Leaf c -> mixed_leaf_matrix engine c
+        | Slp.Pair (l, r) ->
+            let full_r = Bitmatrix.union (pure_matrix engine r) (mixed_matrix engine r) in
+            Bitmatrix.union
+              (Bitmatrix.mul (mixed_matrix engine l) full_r)
+              (Bitmatrix.mul (pure_matrix engine l) (mixed_matrix engine r))
+      in
+      Hashtbl.add engine.mixed id m;
+      m
+
+let prepare engine id =
+  ignore (pure_matrix engine id);
+  ignore (mixed_matrix engine id)
+
+let matrices_computed engine = Hashtbl.length engine.pure + Hashtbl.length engine.mixed
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+
+(* Enumerate every run p→q over node [id] that places ≥ 1 marker.
+   Picks (0-based boundary, marker set) accumulate in [picks]; [k] is
+   invoked once per complete run.  Matrices guarantee every recursive
+   branch taken yields at least one run, so there is no dead search. *)
+let enum_mixed engine picks id0 p0 q0 offset0 k0 =
+  let n = nstates engine in
+  let rec go id p q offset k =
+    match Slp.node engine.store id with
+    | Slp.Leaf c ->
+        Evset.iter_set_arcs engine.auto p (fun s p' ->
+            if Bitmatrix.get (letter_matrix engine c) p' q then begin
+              ignore (Vec.push picks (offset, s));
+              k ();
+              ignore (Vec.pop picks)
+            end)
+    | Slp.Pair (l, r) ->
+        let m = Slp.len engine.store l in
+        let pure_l = pure_matrix engine l and mixed_l = mixed_matrix engine l in
+        let pure_r = pure_matrix engine r and mixed_r = mixed_matrix engine r in
+        for mid = 0 to n - 1 do
+          if Bitmatrix.get mixed_l p mid && Bitmatrix.get pure_r mid q then
+            go l p mid offset k;
+          if Bitmatrix.get pure_l p mid && Bitmatrix.get mixed_r mid q then
+            go r mid q (offset + m) k;
+          if Bitmatrix.get mixed_l p mid && Bitmatrix.get mixed_r mid q then
+            go l p mid offset (fun () -> go r mid q (offset + m) k)
+        done
+  in
+  go id0 p0 q0 offset0 k0
+
+let tuple_of_picks picks extra =
+  let opens = Hashtbl.create 4 in
+  let tuple = ref Span_tuple.empty in
+  let apply (boundary, s) =
+    Marker.Set.iter
+      (function
+        | Marker.Open x -> Hashtbl.replace opens x (boundary + 1)
+        | Marker.Close x ->
+            let left = Option.value ~default:(boundary + 1) (Hashtbl.find_opt opens x) in
+            tuple := Span_tuple.bind !tuple x (Span.make left (boundary + 1)))
+      s
+  in
+  Vec.iter apply picks;
+  (match extra with Some pick -> apply pick | None -> ());
+  !tuple
+
+let iter engine id f =
+  prepare engine id;
+  let auto = engine.auto in
+  let n = nstates engine in
+  let doc_len = Slp.len engine.store id in
+  let init = Evset.initial auto in
+  let pure_root = pure_matrix engine id and mixed_root = mixed_matrix engine id in
+  let picks = Vec.create () in
+  for q = 0 to n - 1 do
+    let reach_pure = Bitmatrix.get pure_root init q in
+    let reach_mixed = Bitmatrix.get mixed_root init q in
+    if reach_pure || reach_mixed then begin
+      (* runs ending at q, then the trailing boundary. *)
+      let endings = ref [] in
+      if Evset.is_final auto q then endings := None :: !endings;
+      Evset.iter_set_arcs auto q (fun s q' ->
+          if Evset.is_final auto q' then endings := Some (doc_len, s) :: !endings);
+      List.iter
+        (fun ending ->
+          if reach_pure then f (tuple_of_picks picks ending);
+          if reach_mixed then
+            enum_mixed engine picks id init q 0 (fun () -> f (tuple_of_picks picks ending)))
+        !endings
+    end
+  done
+
+let cardinal engine id =
+  prepare engine id;
+  let auto = engine.auto in
+  let n = nstates engine in
+  (* mixed-run counts per (node, p, q), memoised. *)
+  let rec count id p q =
+    match Hashtbl.find_opt engine.counts (id, p, q) with
+    | Some c -> c
+    | None ->
+        let c =
+          match Slp.node engine.store id with
+          | Slp.Leaf ch ->
+              let total = ref 0 in
+              Evset.iter_set_arcs auto p (fun _ p' ->
+                  if Bitmatrix.get (letter_matrix engine ch) p' q then incr total);
+              !total
+          | Slp.Pair (l, r) ->
+              let pure_l = pure_matrix engine l and mixed_l = mixed_matrix engine l in
+              let pure_r = pure_matrix engine r and mixed_r = mixed_matrix engine r in
+              let total = ref 0 in
+              for mid = 0 to n - 1 do
+                if Bitmatrix.get mixed_l p mid && Bitmatrix.get pure_r mid q then
+                  total := !total + count l p mid;
+                if Bitmatrix.get pure_l p mid && Bitmatrix.get mixed_r mid q then
+                  total := !total + count r mid q;
+                if Bitmatrix.get mixed_l p mid && Bitmatrix.get mixed_r mid q then
+                  total := !total + (count l p mid * count r mid q)
+              done;
+              !total
+        in
+        Hashtbl.add engine.counts (id, p, q) c;
+        c
+  in
+  let init = Evset.initial auto in
+  let pure_root = pure_matrix engine id and mixed_root = mixed_matrix engine id in
+  let total = ref 0 in
+  for q = 0 to n - 1 do
+    if Bitmatrix.get pure_root init q || Bitmatrix.get mixed_root init q then begin
+      let endings = ref 0 in
+      if Evset.is_final auto q then incr endings;
+      Evset.iter_set_arcs auto q (fun _ q' -> if Evset.is_final auto q' then incr endings);
+      let runs =
+        (if Bitmatrix.get pure_root init q then 1 else 0)
+        + if Bitmatrix.get mixed_root init q then count id init q else 0
+      in
+      total := !total + (runs * !endings)
+    end
+  done;
+  !total
+
+let to_relation engine id =
+  let r = ref (Span_relation.empty (vars engine)) in
+  iter engine id (fun t -> r := Span_relation.add !r t);
+  !r

@@ -1,0 +1,60 @@
+(** Regular-spanner evaluation over SLP-compressed documents
+    (§4.2, [39]).
+
+    The engine combines the two ideas the paper describes:
+
+    - {b matrices along the DAG}: for every SLP node [A], boolean
+      matrices over the states of a *deterministic* extended
+      vset-automaton record which state pairs are connected by reading
+      𝔇(A) — one matrix for marker-free runs ([Pure_A]) and one for
+      runs that place at least one marker ([Mixed_A]), composed as
+      [Pure_AB = Pure_A·Pure_B] and
+      [Mixed_AB = Mixed_A·Full_B ∪ Pure_A·Mixed_B].
+      Preprocessing is therefore O(|S|) matrix products — linear in
+      the *compressed* size, never in |𝔇(A)|.
+
+    - {b enumeration by partial decompression}: a result tuple is
+      produced by descending only into the nodes where its markers
+      lie; marker-free stretches are skipped through the matrices.
+      On a c-shallow SLP each of the ≤ 2k+1 descents costs O(log |D|)
+      — the paper's O(log |D|) delay (§4.2).
+
+    Determinism of the automaton makes runs bijective with result
+    tuples, so the enumeration is duplicate-free without any
+    deduplication state.
+
+    Matrices are memoised per node: documents sharing nodes share
+    preprocessing, and nodes created by CDE updates (§4.3) pay only
+    for themselves — evaluating a spanner after an update costs
+    O(log d) new matrices, which is the incremental-maintenance bound
+    of [40]. *)
+
+open Spanner_core
+
+type engine
+
+(** [create e store] builds an engine for the spanner ⟦e⟧ (the
+    automaton is determinised internally unless it already is). *)
+val create : Evset.t -> Slp.store -> engine
+
+(** [vars engine] is the spanner's variable set. *)
+val vars : engine -> Variable.Set.t
+
+(** [prepare engine id] forces the matrices of every node reachable
+    from [id] — the preprocessing phase, O(number of new nodes). *)
+val prepare : engine -> Slp.id -> unit
+
+(** [iter engine id f] enumerates ⟦e⟧(𝔇(id)) without repetition,
+    calling [f] once per tuple. *)
+val iter : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
+
+(** [cardinal engine id] counts |⟦e⟧(𝔇(id))| by dynamic programming
+    over run counts — no enumeration, O(|S|·|Q|²) after preparation. *)
+val cardinal : engine -> Slp.id -> int
+
+(** [to_relation engine id] materialises the result. *)
+val to_relation : engine -> Slp.id -> Span_relation.t
+
+(** [matrices_computed engine] is the number of memoised node
+    matrices (preprocessing bookkeeping for the experiments). *)
+val matrices_computed : engine -> int

@@ -1,0 +1,1 @@
+lib/util/strhash.ml: Array Char Printf String

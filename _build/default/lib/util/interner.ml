@@ -1,0 +1,21 @@
+type t = { table : (string, int) Hashtbl.t; names : string Vec.t }
+
+let create () = { table = Hashtbl.create 16; names = Vec.create () }
+
+let intern t name =
+  match Hashtbl.find_opt t.table name with
+  | Some id -> id
+  | None ->
+      let id = Vec.push t.names name in
+      Hashtbl.add t.table name id;
+      id
+
+let find t name = Hashtbl.find_opt t.table name
+
+let name t id =
+  if id < 0 || id >= Vec.length t.names then invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
+  Vec.get t.names id
+
+let count t = Vec.length t.names
+
+let names t = Vec.to_list t.names

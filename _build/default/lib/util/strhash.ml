@@ -1,0 +1,51 @@
+(* Two independent polynomial rolling hashes modulo Mersenne-ish primes
+   below 2^31, so products fit in OCaml's 63-bit native ints. *)
+
+let m1 = 2147483647 (* 2^31 - 1 *)
+let m2 = 2147483629
+let b1 = 131
+let b2 = 137
+
+type t = {
+  doc : string;
+  prefix1 : int array; (* prefix1.(i) = hash of doc[0..i) mod m1 *)
+  prefix2 : int array;
+  pow1 : int array; (* pow1.(i) = b1^i mod m1 *)
+  pow2 : int array;
+}
+
+let make doc =
+  let n = String.length doc in
+  let prefix1 = Array.make (n + 1) 0 and prefix2 = Array.make (n + 1) 0 in
+  let pow1 = Array.make (n + 1) 1 and pow2 = Array.make (n + 1) 1 in
+  for i = 0 to n - 1 do
+    let c = Char.code doc.[i] + 1 in
+    prefix1.(i + 1) <- ((prefix1.(i) * b1) + c) mod m1;
+    prefix2.(i + 1) <- ((prefix2.(i) * b2) + c) mod m2;
+    pow1.(i + 1) <- pow1.(i) * b1 mod m1;
+    pow2.(i + 1) <- pow2.(i) * b2 mod m2
+  done;
+  { doc; prefix1; prefix2; pow1; pow2 }
+
+let length h = String.length h.doc
+
+let check h i len =
+  if i < 0 || len < 0 || i + len > String.length h.doc then
+    invalid_arg
+      (Printf.sprintf "Strhash: range [%d, %d+%d) out of bounds (length %d)" i i len
+         (String.length h.doc))
+
+let hash_sub h i len =
+  check h i len;
+  let h1 = (h.prefix1.(i + len) - (h.prefix1.(i) * h.pow1.(len) mod m1) + (m1 * m1)) mod m1 in
+  let h2 = (h.prefix2.(i + len) - (h.prefix2.(i) * h.pow2.(len) mod m2) + (m2 * m2)) mod m2 in
+  (h1, h2)
+
+let equal_sub h i j len =
+  check h i len;
+  check h j len;
+  i = j || (hash_sub h i len = hash_sub h j len)
+
+let equal_span h ~a:(i, j) ~b:(i', j') =
+  let len = j - i and len' = j' - i' in
+  len = len' && equal_sub h i i' len

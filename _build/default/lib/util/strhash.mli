@@ -1,0 +1,29 @@
+(** Constant-time substring equality via double rolling hashes.
+
+    Section 3.3 of the paper notes that refl-spanner model checking runs
+    in time linear in |D| "by using standard string data-structures":
+    when the automaton follows a reference arc for variable [x], the
+    algorithm must compare a factor of the document against the content
+    of span [t(x)] in O(1).  This module provides that primitive with
+    two independent polynomial hashes (collision probability ~ 1/2^60 on
+    adversarial-free inputs), plus an exact fallback used by tests. *)
+
+type t
+
+(** [make doc] preprocesses [doc] in O(|doc|). *)
+val make : string -> t
+
+(** [length h] is the length of the underlying document. *)
+val length : t -> int
+
+(** [equal_sub h i j len] tests [doc[i..i+len) = doc[j..j+len)]
+    (0-based offsets) in O(1). *)
+val equal_sub : t -> int -> int -> int -> bool
+
+(** [equal_span h ~a:(i, j) ~b:(i', j')] tests equality of the factors
+    addressed by two 0-based half-open offset intervals. *)
+val equal_span : t -> a:int * int -> b:int * int -> bool
+
+(** [hash_sub h i len] is a 2-tuple hash of [doc[i..i+len)], usable as
+    a dictionary key for grouping equal factors. *)
+val hash_sub : t -> int -> int -> int * int

@@ -1,0 +1,88 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  mutable dummy : 'a option; (* element used to pad the backing array *)
+}
+
+let create () = { data = [||]; size = 0; dummy = None }
+
+let make n x = { data = Array.make (max n 1) x; size = n; dummy = Some x }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (size %d)" i v.size)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let capacity = Array.length v.data in
+  if v.size = capacity then begin
+    let capacity' = if capacity = 0 then 8 else 2 * capacity in
+    let data' = Array.make capacity' x in
+    Array.blit v.data 0 data' 0 v.size;
+    v.data <- data'
+  end
+
+let push v x =
+  grow v x;
+  if v.dummy = None then v.dummy <- Some x;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1;
+  v.size - 1
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty";
+  v.size <- v.size - 1;
+  let x = v.data.(v.size) in
+  (match v.dummy with Some d -> v.data.(v.size) <- d | None -> ());
+  x
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.size - 1)
+
+let clear v = v.size <- 0
+
+let truncate v n = if n >= 0 && n < v.size then v.size <- n
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.size - 1) []
+
+let to_array v = Array.sub v.data 0 v.size
+
+let of_list xs =
+  let v = create () in
+  List.iter (fun x -> ignore (push v x)) xs;
+  v
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0

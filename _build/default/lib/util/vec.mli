@@ -1,0 +1,66 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not yet ship [Dynarray]; this is a small, safe
+    equivalent used throughout the library for building automata and
+    SLP node tables incrementally. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. *)
+val create : unit -> 'a t
+
+(** [make n x] is a vector holding [n] copies of [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [length v] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [is_empty v] is [length v = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [last v] is the last element without removing it.
+    @raise Invalid_argument on an empty vector. *)
+val last : 'a t -> 'a
+
+(** [clear v] removes all elements (capacity is retained). *)
+val clear : 'a t -> unit
+
+(** [truncate v n] drops all elements at index [n] and above; no-op if
+    [length v <= n]. *)
+val truncate : 'a t -> int -> unit
+
+(** [iter f v] applies [f] to every element, in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f v] is [iter] with the index. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold_left f init v] folds over the elements in index order. *)
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+(** [to_list v] is the elements as a list, in index order. *)
+val to_list : 'a t -> 'a list
+
+(** [to_array v] is a fresh array of the elements. *)
+val to_array : 'a t -> 'a array
+
+(** [of_list xs] is a vector with the elements of [xs]. *)
+val of_list : 'a list -> 'a t
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64 + xoshiro256 "starstar").
+
+    Every workload generator in the benchmark harness draws from this
+    PRNG with a fixed seed so that benches and tests are reproducible
+    across runs and machines.  The stdlib [Random] is avoided because
+    its sequence is not guaranteed stable across OCaml versions. *)
+
+type t
+
+(** [create seed] is a generator seeded deterministically from [seed]. *)
+val create : int -> t
+
+(** [next t] is the next 64-bit value (as a native int, top bit
+    cleared). *)
+val next : t -> int
+
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [choose t arr] is a uniformly chosen element of [arr]. *)
+val choose : t -> 'a array -> 'a
+
+(** [string t alphabet len] is a random string of length [len] over
+    the characters of [alphabet]. *)
+val string : t -> string -> int -> string

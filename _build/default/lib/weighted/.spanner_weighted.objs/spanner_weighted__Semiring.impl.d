@@ -1,0 +1,1 @@
+lib/weighted/semiring.ml: Bool Format Int Option

@@ -1,0 +1,1 @@
+lib/weighted/semiring.mli: Format

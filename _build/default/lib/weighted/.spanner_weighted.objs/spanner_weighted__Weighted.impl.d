@@ -1,0 +1,1 @@
+lib/weighted/weighted.ml: Array Enumerate Evset List Marker Ref_word Semiring Span Span_relation Span_tuple Spanner_core Spanner_fa String Variable

@@ -1,0 +1,1 @@
+lib/weighted/weighted.mli: Evset Marker Semiring Span_tuple Spanner_core

@@ -1,0 +1,92 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Boolean = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let compare = Bool.compare
+  let pp ppf b = Format.pp_print_bool ppf b
+end
+
+module Count = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let plus = ( + )
+  let times = ( * )
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf n = Format.pp_print_int ppf n
+end
+
+module Min_plus = struct
+  type t = int option (* None = ∞ *)
+
+  let zero = None
+  let one = Some 0
+
+  let plus a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+
+  let times a b =
+    match (a, b) with None, _ | _, None -> None | Some a, Some b -> Some (a + b)
+
+  let equal = Option.equal Int.equal
+
+  let compare a b =
+    (* ∞ sorts last *)
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> 1
+    | Some _, None -> -1
+    | Some a, Some b -> Int.compare a b
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "∞"
+    | Some n -> Format.pp_print_int ppf n
+end
+
+module Max_plus = struct
+  type t = int option (* None = −∞ *)
+
+  let zero = None
+  let one = Some 0
+
+  let plus a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (max a b)
+
+  let times a b =
+    match (a, b) with None, _ | _, None -> None | Some a, Some b -> Some (a + b)
+
+  let equal = Option.equal Int.equal
+
+  let compare a b =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some a, Some b -> Int.compare a b
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "-∞"
+    | Some n -> Format.pp_print_int ppf n
+end

@@ -1,0 +1,45 @@
+(** Semirings for weighted spanners ([8], "Weight Annotation in
+    Information Extraction", cited in §1).
+
+    A commutative semiring (K, ⊕, ⊗, 0, 1): ⊕ aggregates across
+    alternative runs, ⊗ multiplies along a run. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** neutral for ⊕ and absorbing for ⊗ *)
+
+  val one : t
+  (** neutral for ⊗ *)
+
+  val plus : t -> t -> t
+
+  val times : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** any total order compatible with {!equal}; used to present
+      weighted relations deterministically and to pick "best"
+      annotations *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The Boolean semiring ({false, true}, ∨, ∧): weighted evaluation
+    degenerates to ordinary spanner evaluation. *)
+module Boolean : S with type t = bool
+
+(** The counting semiring (ℕ, +, ×): the weight of a tuple is its
+    number of accepting runs — the ambiguity degree of the extraction
+    (provenance counting). *)
+module Count : S with type t = int
+
+(** The tropical semiring (ℕ ∪ {∞}, min, +): the weight of a tuple is
+    the cost of its cheapest accepting run — best-match extraction. *)
+module Min_plus : S with type t = int option
+(** [None] is ∞ (the semiring zero). *)
+
+(** The max-plus (Viterbi-style) semiring (ℕ ∪ {−∞}, max, +). *)
+module Max_plus : S with type t = int option

@@ -1,0 +1,48 @@
+(** Weighted document spanners ([8], cited in §1): K-annotators.
+
+    A weighted spanner maps each (document, tuple) pair to a semiring
+    value: the ⊕-sum over all accepting runs producing the tuple of the
+    ⊗-product of the arc weights along the run.  Instantiations:
+
+    - {!Semiring.Boolean}: ordinary spanners;
+    - {!Semiring.Count}: how many runs produce a tuple (the ambiguity
+      of the extraction — a provenance measure);
+    - {!Semiring.Min_plus} / {!Semiring.Max_plus}: cheapest/most
+      confident extraction, with weights as costs/scores.
+
+    Weights are assigned to the arcs of an extended vset-automaton:
+    per character read and per marker-set taken. *)
+
+open Spanner_core
+
+module Make (K : Semiring.S) : sig
+  type t
+
+  (** [of_evset e ~letter_weight ~set_weight] annotates the automaton's
+      arcs.  [letter_weight c] is the cost of reading [c];
+      [set_weight s] the cost of taking a set arc labelled [s]. *)
+  val of_evset :
+    Evset.t -> letter_weight:(char -> K.t) -> set_weight:(Marker.Set.t -> K.t) -> t
+
+  (** [uniform e] weights every arc {!K.one}: tuple weights become run
+      counts under {!Semiring.Count}, and acceptance under
+      {!Semiring.Boolean}. *)
+  val uniform : Evset.t -> t
+
+  (** [tuple_weight w doc t] is ⟦w⟧(doc)(t) — the ⊕ over accepting runs
+      consistent with [t], in time O(|doc|·|Q|²). *)
+  val tuple_weight : t -> string -> Span_tuple.t -> K.t
+
+  (** [total_weight w doc] is the ⊕ over *all* accepting runs on [doc]
+      (the aggregate annotation of the whole result). *)
+  val total_weight : t -> string -> K.t
+
+  (** [weighted_relation w doc] pairs every tuple of the underlying
+      spanner's result with its weight, sorted by weight
+      ({!K.compare}), then tuple. *)
+  val weighted_relation : t -> string -> (Span_tuple.t * K.t) list
+
+  (** [best w doc] is a tuple with the {!K.compare}-least weight
+      (e.g. the cheapest extraction under {!Semiring.Min_plus}). *)
+  val best : t -> string -> (Span_tuple.t * K.t) option
+end

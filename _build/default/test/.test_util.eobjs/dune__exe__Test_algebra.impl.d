@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Core_spanner Decision Evset List Printf Regex_formula Span Span_relation Span_tuple Spanner_core String Variable

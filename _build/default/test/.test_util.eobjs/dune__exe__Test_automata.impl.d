@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Decision Enumerate Evset Format Hashtbl List Marker Printf Ref_word Regex_formula Seq Span Span_relation Span_tuple Spanner_core String Variable Vset

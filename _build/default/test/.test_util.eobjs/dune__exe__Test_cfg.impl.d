@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cf_spanner Cfg Evset Fun List Marker Printf Regex_formula Span Span_relation Span_tuple Spanner_cfg Spanner_core Spanner_fa String Variable

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Consolidate Fmt Format List Location Marker Ref_word Regex_formula Span Span_relation Span_tuple Spanner_core Spanner_fa Spanner_util String Variable

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Algebra Array Core_spanner Datalog Evset List Printf Regex_formula Span Span_relation Span_tuple Spanner_core Spanner_datalog String Variable

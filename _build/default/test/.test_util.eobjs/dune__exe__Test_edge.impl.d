@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Char Consolidate Enumerate Evset Format Hashtbl List Printf Regex_formula Span Span_relation Span_tuple Spanner_core Spanner_refl Spanner_slp Spanner_util String Variable

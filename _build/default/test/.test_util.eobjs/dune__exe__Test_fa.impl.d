@@ -1,0 +1,1 @@
+test/test_fa.ml: Alcotest Char Charset Derivative Dfa List Nfa Regex Spanner_fa Spanner_util To_regex

@@ -1,0 +1,1 @@
+test/test_refl.ml: Alcotest Algebra Core_spanner List Refl_automaton Refl_regex Refl_spanner Refl_word Regex_formula Span Span_relation Span_tuple Spanner_core Spanner_refl Variable

@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Evset List Regex_formula Span Span_relation Spanner_core Spanner_fa Split Variable

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitmatrix Bitset Interner List Spanner_util Strhash String Vec Xoshiro

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Evset List Regex_formula Semiring Span Span_relation Span_tuple Spanner_core Spanner_weighted Variable Weighted

@@ -1,0 +1,7 @@
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab
+  $ spanner_cli enum '.*!x{..}.*' abcd -n 2
+  $ spanner_cli analyze '!x{a+}(!y{b})?'
+  $ spanner_cli analyze '(!x{a})*'
+  $ spanner_cli refl '!x{[a-z]+};&x' 'abc;abc' -c
+  $ spanner_cli slpeval '[ab]*!x{ab}[ab]*' abababab -n 2
+  $ spanner_cli eval '!x{' a

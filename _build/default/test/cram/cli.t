@@ -1,0 +1,57 @@
+Example 1.1 of the paper through the CLI:
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab
+  | x       | y       | z       |
+  |---------+---------+---------|
+  | [1,2⟩ | [2,3⟩ | [3,8⟩ |
+  | [1,4⟩ | [4,5⟩ | [5,8⟩ |
+  | [1,5⟩ | [5,6⟩ | [6,8⟩ |
+  | [1,7⟩ | [7,8⟩ | [8,8⟩ |
+  4 tuple(s)
+
+Enumeration with a limit:
+
+  $ spanner_cli enum '.*!x{..}.*' abcd -n 2
+  3 result(s); preprocessing: 11 nodes, 13 edges
+  (x ↦ [1,3⟩)
+  (x ↦ [2,4⟩)
+
+Static analysis:
+
+  $ spanner_cli analyze '!x{a+}(!y{b})?'
+  formula: !x{a+}!y{b}?
+  variables: {x, y}
+  functionality: schemaless (some variable optional)
+  automaton states (extended form): 14
+  satisfiable: true
+  hierarchical: true
+  witness: "a" with (x ↦ [1,2⟩)
+
+Ill-formed formulas are reported:
+
+  $ spanner_cli analyze '(!x{a})*'
+  formula: !x{a}*
+  variables: {x}
+  ill-formed: variable x bound under an iteration
+  [1]
+
+Refl-spanners with references:
+
+  $ spanner_cli refl '!x{[a-z]+};&x' 'abc;abc' -c
+  | x             |
+  |---------------|
+  | [1,4⟩ "abc" |
+  1 tuple(s)
+
+Evaluation over the compressed document:
+
+  $ spanner_cli slpeval '[ab]*!x{ab}[ab]*' abababab -n 2
+  |D| = 8, SLP nodes = 5, matrices = 10, results = 4
+  (x ↦ [7,9⟩)
+  (x ↦ [5,7⟩)
+
+Parse errors exit with code 2:
+
+  $ spanner_cli eval '!x{' a
+  parse error at offset 3: expected '}'
+  [2]

@@ -1,0 +1,304 @@
+(* Tests for the spanner algebra, core spanners and the
+   core-simplification lemma (§2.3), plus the §2.4 hardness-mechanism
+   encodings: pattern matching with variables, regular-language
+   intersection emptiness, and the word-equation relations ~com and
+   ~cyc. *)
+
+open Spanner_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+let vs = Variable.set_of_list
+
+let t bindings = Span_tuple.of_list (List.map (fun (x, i, j) -> (v x, Span.make i j)) bindings)
+
+let docs =
+  [ ""; "a"; "b"; "ab"; "ba"; "aa"; "aab"; "aba"; "abab"; "abba"; "aabaa"; "abaaab"; "bbaabb" ]
+
+(* ------------------------------------------------------------------ *)
+(* Algebra basics *)
+
+let algebra_schema_regular () =
+  let e =
+    Algebra.Project
+      ( vs [ v "x" ],
+        Algebra.Join (Algebra.formula "!x{a+}!y{b+}", Algebra.formula "!x{a+}[ab]*") )
+  in
+  check Alcotest.int "schema after projection" 1 (Variable.Set.cardinal (Algebra.schema e));
+  check Alcotest.bool "regular" true (Algebra.is_regular e);
+  let sel = Algebra.Select (vs [ v "x" ], e) in
+  check Alcotest.bool "not regular with select" false (Algebra.is_regular sel);
+  Alcotest.check_raises "compile_regular rejects select"
+    (Invalid_argument "Algebra.compile_regular: expression contains a string-equality selection")
+    (fun () -> ignore (Algebra.compile_regular sel));
+  check Alcotest.int "size" 5 (Algebra.size sel)
+
+let algebra_compile_regular () =
+  (* compiled automaton evaluates like the materialised algebra *)
+  let exprs =
+    [
+      Algebra.Union (Algebra.formula "!x{a}b", Algebra.formula "a!x{b}");
+      Algebra.Join (Algebra.formula "!x{a+}.*", Algebra.formula ".*!y{b+}");
+      Algebra.Project (vs [ v "x" ], Algebra.formula "!x{a*}!y{b*}");
+      Algebra.Union
+        ( Algebra.Project (vs [ v "x" ], Algebra.formula "!x{a}!y{b}"),
+          Algebra.Join (Algebra.formula "!x{a}b*", Algebra.formula "!x{a}b*") );
+    ]
+  in
+  List.iter
+    (fun e ->
+      let auto = Algebra.compile_regular e in
+      List.iter
+        (fun doc ->
+          if not (Span_relation.equal (Evset.eval auto doc) (Algebra.eval e doc)) then
+            Alcotest.failf "compile_regular differs on %S" doc)
+        docs)
+    exprs
+
+(* ------------------------------------------------------------------ *)
+(* Core simplification (§2.3) *)
+
+let simplification_cases : (string * Algebra.t) list =
+  [
+    ("plain selection", Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{[ab]*}[ab]*!y{a*b*}"));
+    ( "projection over selection",
+      Algebra.Project
+        (vs [ v "x" ], Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{[ab][ab]}.*!y{[ab][ab]}"))
+    );
+    ( "union of selections",
+      Algebra.Union
+        ( Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a+}!y{a+}"),
+          Algebra.formula "!x{b}!y{b}" ) );
+    ( "join with selection",
+      Algebra.Join
+        ( Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a*}b!y{a*}"),
+          Algebra.formula "!x{a*}b.*" ) );
+    ( "selection over join",
+      Algebra.Select
+        ( vs [ v "x"; v "y" ],
+          Algebra.Join (Algebra.formula "!x{a+}[ab]*", Algebra.formula "[ab]*!y{a+}") ) );
+    ( "nested unions",
+      Algebra.Union
+        ( Algebra.Union
+            ( Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a*}!y{a*}"),
+              Algebra.formula "b!x{a}!y{a}" ),
+          Algebra.Project
+            (vs [ v "x"; v "y" ], Algebra.Select (vs [ v "y"; v "z" ], Algebra.formula "!x{a}!y{b*}!z{b*}"))
+        ) );
+    ( "schemaless join with selection",
+      Algebra.Join
+        ( Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "(!x{a})?!y{a}b*"),
+          Algebra.formula "!x{a}[ab]*|[ab]*" ) );
+  ]
+
+let core_simplification_matches_algebra () =
+  List.iter
+    (fun (name, e) ->
+      let simplified = Core_spanner.simplify e in
+      check Alcotest.bool
+        (name ^ ": visible schema")
+        true
+        (Variable.Set.equal (Core_spanner.schema simplified) (Algebra.schema e));
+      List.iter
+        (fun doc ->
+          let reference = Algebra.eval e doc in
+          let via_simplified = Core_spanner.eval simplified doc in
+          if not (Span_relation.equal reference via_simplified) then
+            Alcotest.failf "%s differs on %S" name doc)
+        docs)
+    simplification_cases
+
+let simplified_form_shape () =
+  (* the lemma's normal form: one automaton, selections, a projection *)
+  let e =
+    Algebra.Union
+      ( Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a+}!y{a+}"),
+        Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{b+}!y{b+}") )
+  in
+  let s = Core_spanner.simplify e in
+  check Alcotest.int "two selection classes" 2 (List.length s.Core_spanner.selections);
+  (* all selection variables are hidden behind the projection *)
+  List.iter
+    (fun z ->
+      check Alcotest.bool "selection variables hidden" true
+        (Variable.Set.is_empty (Variable.Set.inter z s.Core_spanner.projection)))
+    s.Core_spanner.selections
+
+(* ------------------------------------------------------------------ *)
+(* §2.4: the hardness-mechanism encodings *)
+
+(* Pattern matching with variables: w ∈ {uu : u ∈ Σ*}? Encoded as
+   π_∅(ς={x1,x2}(x1{Σ*} x2{Σ*})). *)
+let copy_language () =
+  let e =
+    Algebra.Project
+      ( Variable.Set.empty,
+        Algebra.Select (vs [ v "x1"; v "x2" ], Algebra.formula "!x1{[ab]*}!x2{[ab]*}") )
+  in
+  let s = Core_spanner.simplify e in
+  let is_square doc = Core_spanner.nonempty_on s doc in
+  check Alcotest.bool "abab is a square" true (is_square "abab");
+  check Alcotest.bool "aa is a square" true (is_square "aa");
+  check Alcotest.bool "empty is a square" true (is_square "");
+  check Alcotest.bool "aba is not" false (is_square "aba");
+  check Alcotest.bool "abaaba is a square" true (is_square "abaaba");
+  check Alcotest.bool "odd length never" false (is_square "ababa")
+
+(* Intersection non-emptiness: ς={x1..xn}(x1{r1}...xn{rn}) is satisfiable
+   iff ∩L(ri) ≠ ∅. *)
+let intersection_nonemptiness () =
+  let build rs =
+    let formulas =
+      List.mapi (fun i r -> Printf.sprintf "!ix%d{%s}" i r) rs |> String.concat ""
+    in
+    let cls = vs (List.mapi (fun i _ -> v (Printf.sprintf "ix%d" i)) rs) in
+    Core_spanner.simplify (Algebra.Select (cls, Algebra.formula formulas))
+  in
+  let nonempty_inter = build [ "a[ab]*"; "[ab]*b"; "[ab][ab]" ] in
+  check Alcotest.bool "ab witnesses" true
+    (Core_spanner.satisfiable ~max_len:6 nonempty_inter = `Yes);
+  let empty_inter = build [ "a+"; "b+" ] in
+  (* a+ ∩ b+ = ∅: bounded search cannot certify emptiness, only Unknown *)
+  check Alcotest.bool "no witness found" true
+    (Core_spanner.satisfiable ~max_len:4 empty_inter = `Unknown)
+
+(* ~com (xy = yx) and ~cyc (xz = zy): the word-equation relations of
+   §2.4 expressed as core spanners, checked against direct string
+   predicates. *)
+let commutation_relation () =
+  (* S_com over doc = u v (x = prefix u, y = suffix v): u and v commute
+     iff both are powers of a common word.  Encode: doc = x y with
+     xy = yx, i.e. select on two shadow copies laid over the document:
+     x{...}y{...} with doc = xy and xy = yx ⟺ doc = yx as well.
+     We use the spanner x{Σ*} y{Σ*} (covering the doc) joined with
+     y'{Σ*} x'{Σ*} (covering the doc the other way) and selections
+     x = x', y = y'. *)
+  let e =
+    Algebra.Select
+      ( vs [ v "cx"; v "cx2" ],
+        Algebra.Select
+          ( vs [ v "cy"; v "cy2" ],
+            Algebra.Join
+              (Algebra.formula "!cx{[ab]*}!cy{[ab]*}", Algebra.formula "!cy2{[ab]*}!cx2{[ab]*}")
+          ) )
+  in
+  let s = Core_spanner.simplify e in
+  let commutes u w =
+    (* search for a tuple with cx = [1, |u|+1⟩ *)
+    let doc = u ^ w in
+    let r = Core_spanner.eval s doc in
+    List.exists
+      (fun tuple ->
+        match Span_tuple.find tuple (v "cx") with
+        | Some sp -> Span.left sp = 1 && Span.right sp = String.length u + 1
+        | None -> false)
+      (Span_relation.tuples r)
+  in
+  check Alcotest.bool "ab, abab commute" true (commutes "ab" "abab");
+  check Alcotest.bool "a, aa commute" true (commutes "a" "aa");
+  check Alcotest.bool "ab, ba do not" false (commutes "ab" "ba");
+  check Alcotest.bool "empty commutes" true (commutes "" "ab");
+  (* direct predicate: u v = v u *)
+  List.iter
+    (fun (u, w) ->
+      check Alcotest.bool
+        (Printf.sprintf "agreement on (%s, %s)" u w)
+        (u ^ w = w ^ u) (commutes u w))
+    [ ("a", "ab"); ("aa", "a"); ("ab", "ab"); ("ba", "baba"); ("b", "a") ]
+
+let cyclic_shift_relation () =
+  (* u ~cyc v iff u = w1 w2 and v = w2 w1.  Over doc = u#v: spanner
+     u1{Σ*} u2{Σ*} # v1{Σ*} v2{Σ*} with u1 = v2 and u2 = v1. *)
+  let e =
+    Algebra.Select
+      ( vs [ v "u1"; v "v2" ],
+        Algebra.Select
+          ( vs [ v "u2"; v "v1" ],
+            Algebra.formula "!u1{[ab]*}!u2{[ab]*}#!v1{[ab]*}!v2{[ab]*}" ) )
+  in
+  let s = Core_spanner.simplify e in
+  let cyc u w = Core_spanner.nonempty_on s (u ^ "#" ^ w) in
+  check Alcotest.bool "abc-style shift" true (cyc "aab" "aba");
+  check Alcotest.bool "identity shift" true (cyc "ab" "ab");
+  check Alcotest.bool "not a shift" false (cyc "aab" "abb");
+  check Alcotest.bool "full rotation" true (cyc "ab" "ba");
+  check Alcotest.bool "empty" true (cyc "" "")
+
+(* ------------------------------------------------------------------ *)
+(* Core-spanner decision problems *)
+
+let core_model_checking () =
+  let s =
+    Core_spanner.simplify
+      (Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula ".*!x{.+}.*!y{.+}.*"))
+  in
+  check Alcotest.bool "repeated ab found" true
+    (Core_spanner.model_check s "abcab" (t [ ("x", 1, 3); ("y", 4, 6) ]));
+  check Alcotest.bool "unequal rejected" false
+    (Core_spanner.model_check s "abcab" (t [ ("x", 1, 3); ("y", 3, 5) ]));
+  check Alcotest.bool "nonempty" true (Core_spanner.nonempty_on s "abcab");
+  check Alcotest.bool "empty on short" false (Core_spanner.nonempty_on s "ab")
+
+let core_static_analysis () =
+  let equal_pair = Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a+}b!y{a+}") in
+  let s = Core_spanner.simplify equal_pair in
+  check Alcotest.bool "satisfiable" true (Core_spanner.satisfiable ~max_len:4 s = `Yes);
+  let dead =
+    Core_spanner.simplify (Algebra.Select (vs [ v "x" ], Algebra.formula "!x{a}[]"))
+  in
+  check Alcotest.bool "dead automaton certified" true
+    (Core_spanner.satisfiable ~max_len:4 dead = `No);
+  (* containment of x(a)b in x(a or b)b *)
+  let sub = Core_spanner.simplify (Algebra.formula "!x{a}b") in
+  let super = Core_spanner.simplify (Algebra.formula "!x{a|b}b") in
+  check Alcotest.bool "bounded containment: no counterexample" true
+    (Core_spanner.contained_in ~max_len:4 sub super = `Unknown);
+  check Alcotest.bool "bounded containment: counterexample" true
+    (Core_spanner.contained_in ~max_len:4 super sub = `No);
+  check Alcotest.bool "equivalence: no" true (Core_spanner.equivalent ~max_len:4 super sub = `No)
+
+let core_decision_facade () =
+  let s =
+    Core_spanner.simplify (Algebra.Select (vs [ v "x"; v "y" ], Algebra.formula "!x{a+}!y{a+}"))
+  in
+  check Alcotest.bool "mc" true
+    (Decision.Core.model_checking s "aa" (t [ ("x", 1, 2); ("y", 2, 3) ]));
+  check Alcotest.bool "ne" true (Decision.Core.non_emptiness s "aa");
+  check Alcotest.bool "sat" true (Decision.Core.satisfiability ~max_len:4 s = `Yes);
+  check Alcotest.bool "hierarchical" true (Decision.Core.hierarchicality ~max_len:3 s = `Yes)
+
+let select_guard () =
+  let s = Core_spanner.of_regular (Evset.of_formula (Regex_formula.parse "!x{a}")) in
+  Alcotest.check_raises "selection on hidden variable"
+    (Invalid_argument "Core_spanner.select: selection variables must be visible") (fun () ->
+      ignore (Core_spanner.select (vs [ v "not_visible_zz" ]) s))
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "algebra",
+        [
+          tc "schema/regularity" `Quick algebra_schema_regular;
+          tc "compile_regular" `Quick algebra_compile_regular;
+        ] );
+      ( "core-simplification",
+        [
+          tc "matches materialised algebra" `Quick core_simplification_matches_algebra;
+          tc "normal form shape" `Quick simplified_form_shape;
+        ] );
+      ( "hardness-encodings (§2.4)",
+        [
+          tc "copy language / pattern matching" `Quick copy_language;
+          tc "intersection non-emptiness" `Quick intersection_nonemptiness;
+          tc "commutation ~com" `Quick commutation_relation;
+          tc "cyclic shift ~cyc" `Quick cyclic_shift_relation;
+        ] );
+      ( "core-decision",
+        [
+          tc "model checking / nonemptiness" `Quick core_model_checking;
+          tc "bounded static analysis" `Quick core_static_analysis;
+          tc "decision facade" `Quick core_decision_facade;
+          tc "select guard" `Quick select_guard;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for context-free spanners ([31], §2.1's "replace regular by
+   any language class"): grammar construction, the regular embedding
+   checked against the automaton evaluator, beyond-regular extraction
+   (Dyck groups, palindromes) checked against brute force, and the
+   decision procedures. *)
+
+open Spanner_core
+open Spanner_cfg
+module Charset = Spanner_fa.Charset
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+
+let relation =
+  Alcotest.testable (fun ppf r -> Span_relation.pp ?doc:None ppf r) Span_relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Grammar plumbing *)
+
+let builder_guards () =
+  let b = Cfg.Builder.create () in
+  let s = Cfg.Builder.fresh b "S" in
+  Cfg.Builder.add_rule b s [ Cfg.Nt 42 ];
+  Alcotest.check_raises "unknown nonterminal"
+    (Invalid_argument "Cfg.Builder.finish: unknown nonterminal 42") (fun () ->
+      ignore (Cfg.Builder.finish b ~start:s))
+
+let grammar_accessors () =
+  let b = Cfg.Builder.create () in
+  let s = Cfg.Builder.fresh b "S" in
+  let a = Cfg.Builder.fresh b "A" in
+  Cfg.Builder.add_rule b s [ Cfg.Nt a; Cfg.Mark (Marker.Open (v "x")) ];
+  Cfg.Builder.add_rule b a [ Cfg.Term (Charset.singleton 'q') ];
+  let g = Cfg.Builder.finish b ~start:s in
+  check Alcotest.int "nt_count" 2 (Cfg.nt_count g);
+  check Alcotest.string "nt_name" "A" (Cfg.nt_name g a);
+  check Alcotest.int "rules" 2 (List.length (Cfg.rules g));
+  check Alcotest.bool "vars" true (Variable.Set.mem (v "x") (Cfg.vars g));
+  check Alcotest.int "start" s (Cfg.start g)
+
+let binarize_shapes () =
+  let b = Cfg.Builder.create () in
+  let s = Cfg.Builder.fresh b "S" in
+  Cfg.Builder.add_rule b s
+    [ Cfg.Term (Charset.singleton 'a'); Cfg.Term (Charset.singleton 'b');
+      Cfg.Term (Charset.singleton 'c'); Cfg.Nt s ];
+  Cfg.Builder.add_rule b s [];
+  let bin = Cfg.binarize (Cfg.Builder.finish b ~start:s) in
+  check Alcotest.bool "chain nonterminals introduced" true (bin.Cfg.bnt_count > 1);
+  check Alcotest.int "one null" 1 (List.length bin.Cfg.nulls);
+  check Alcotest.int "three binary rules from the 4-symbol rhs" 3 (List.length bin.Cfg.pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Regular embedding: CF evaluator ≡ automaton evaluator *)
+
+let regular_embedding () =
+  let formulas =
+    [
+      "!x{[ab]*}!y{b}!z{[ab]*}";
+      "a(!x{b})?c";
+      "[ab]*!x{a[ab]}[ab]*";
+      "!x{a*}|!x{a}a*";
+      "!x{a+}!y{b+}";
+      ".*!x{..}.*";
+    ]
+  in
+  let docs = [ ""; "a"; "ab"; "ababbab"; "abc"; "ac"; "baab"; "aabb" ] in
+  List.iter
+    (fun fs ->
+      let cf = Cf_spanner.of_formula (Regex_formula.parse fs) in
+      let re = Evset.of_formula (Regex_formula.parse fs) in
+      List.iter
+        (fun doc ->
+          let r_cf = Cf_spanner.eval cf doc in
+          let r_re = Evset.eval re doc in
+          if not (Span_relation.equal r_cf r_re) then
+            Alcotest.failf "%s differs on %S" fs doc;
+          if Cf_spanner.nonempty_on cf doc <> not (Span_relation.is_empty r_re) then
+            Alcotest.failf "%s: nonempty_on differs on %S" fs doc;
+          List.iter
+            (fun t ->
+              if not (Cf_spanner.accepts_tuple cf doc t) then
+                Alcotest.failf "%s: member tuple rejected on %S" fs doc)
+            (Span_relation.tuples r_re))
+        docs)
+    formulas
+
+let model_checking_rejects () =
+  let cf = Cf_spanner.of_formula (Regex_formula.parse "!x{a+}b") in
+  check Alcotest.bool "yes" true
+    (Cf_spanner.accepts_tuple cf "aab" (Span_tuple.of_list [ (v "x", Span.make 1 3) ]));
+  check Alcotest.bool "wrong span" false
+    (Cf_spanner.accepts_tuple cf "aab" (Span_tuple.of_list [ (v "x", Span.make 1 2) ]));
+  check Alcotest.bool "foreign var" false
+    (Cf_spanner.accepts_tuple cf "aab"
+       (Span_tuple.of_list [ (v "zz_cfg_foreign", Span.make 1 2) ]));
+  check Alcotest.bool "span too big" false
+    (Cf_spanner.accepts_tuple cf "aab" (Span_tuple.of_list [ (v "x", Span.make 1 9) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Beyond-regular extraction *)
+
+let balanced_group s =
+  String.length s >= 2
+  && s.[0] = '('
+  && s.[String.length s - 1] = ')'
+  &&
+  let d = ref 0 and ok = ref true in
+  String.iteri
+    (fun i c ->
+      if c = '(' then incr d
+      else if c = ')' then begin
+        decr d;
+        if !d < 0 then ok := false;
+        if !d = 0 && i < String.length s - 1 then ok := false
+      end)
+    s;
+  !ok && !d = 0
+
+let dyck_vs_bruteforce () =
+  let dyck =
+    Cf_spanner.dyck_extractor ~x:(v "x") ~open_c:'(' ~close_c:')'
+      ~other:(Charset.of_string "ab")
+  in
+  List.iter
+    (fun doc ->
+      let got = Cf_spanner.eval dyck doc in
+      let expected = ref (Span_relation.empty (Variable.Set.singleton (v "x"))) in
+      for i = 1 to String.length doc do
+        for j = i to String.length doc do
+          if balanced_group (String.sub doc (i - 1) (j - i + 1)) then
+            expected :=
+              Span_relation.add !expected
+                (Span_tuple.of_list [ (v "x", Span.make i (j + 1)) ])
+        done
+      done;
+      check relation (Printf.sprintf "groups of %S" doc) !expected got)
+    [ "a(()(ab))b()"; "()"; "(("; "))(("; ""; "(a(b)a)(b)"; "((((a))))" ]
+
+let palindromes_vs_bruteforce () =
+  let pal = Cf_spanner.palindrome_extractor ~x:(v "x") in
+  let is_even_palindrome s =
+    let n = String.length s in
+    n > 0 && n mod 2 = 0
+    && List.for_all (fun i -> s.[i] = s.[n - 1 - i]) (List.init (n / 2) Fun.id)
+  in
+  List.iter
+    (fun doc ->
+      let got = Cf_spanner.eval pal doc in
+      let expected = ref (Span_relation.empty (Variable.Set.singleton (v "x"))) in
+      for i = 1 to String.length doc do
+        for j = i to String.length doc do
+          if is_even_palindrome (String.sub doc (i - 1) (j - i + 1)) then
+            expected :=
+              Span_relation.add !expected
+                (Span_tuple.of_list [ (v "x", Span.make i (j + 1)) ])
+        done
+      done;
+      check relation (Printf.sprintf "palindromes of %S" doc) !expected got)
+    [ "abbaab"; "aaaa"; "ab"; "a"; ""; "abab" ]
+
+let dyck_is_not_regular_note () =
+  (* sanity: the Dyck extractor accepts deeply nested groups that any
+     fixed-depth regular approximation would miss *)
+  let dyck =
+    Cf_spanner.dyck_extractor ~x:(v "x") ~open_c:'(' ~close_c:')' ~other:Charset.empty
+  in
+  let deep = String.make 30 '(' ^ String.make 30 ')' in
+  let r = Cf_spanner.eval dyck deep in
+  (* groups: ((((...)))) at every depth: exactly 30 *)
+  check Alcotest.int "30 nested groups" 30 (Span_relation.cardinal r);
+  check Alcotest.bool "whole doc is a group" true
+    (Span_relation.mem r (Span_tuple.of_list [ (v "x", Span.make 1 61) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Satisfiability *)
+
+let satisfiability () =
+  let sat = Cf_spanner.of_formula (Regex_formula.parse "!x{a+}") in
+  check Alcotest.bool "satisfiable" true (Cf_spanner.satisfiable sat);
+  let unsat = Cf_spanner.of_formula (Regex_formula.parse "!x{a}[]") in
+  check Alcotest.bool "unsatisfiable" false (Cf_spanner.satisfiable unsat);
+  (* a nonterminal that only derives itself is unproductive *)
+  let b = Cfg.Builder.create () in
+  let s = Cfg.Builder.fresh b "S" in
+  Cfg.Builder.add_rule b s [ Cfg.Nt s ];
+  check Alcotest.bool "self loop unproductive" false
+    (Cf_spanner.satisfiable (Cf_spanner.of_cfg (Cfg.Builder.finish b ~start:s)))
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "grammar",
+        [
+          tc "builder guards" `Quick builder_guards;
+          tc "accessors" `Quick grammar_accessors;
+          tc "binarisation" `Quick binarize_shapes;
+        ] );
+      ( "regular-embedding",
+        [
+          tc "eval = automaton eval" `Quick regular_embedding;
+          tc "model checking rejections" `Quick model_checking_rejects;
+        ] );
+      ( "beyond-regular",
+        [
+          tc "Dyck groups vs brute force" `Quick dyck_vs_bruteforce;
+          tc "palindromes vs brute force" `Quick palindromes_vs_bruteforce;
+          tc "deep nesting" `Quick dyck_is_not_regular_note;
+        ] );
+      ("decision", [ tc "satisfiability" `Quick satisfiability ]);
+    ]

@@ -1,0 +1,456 @@
+(* Unit tests for the basic spanner data model: spans, span tuples,
+   span relations, markers, subword-marked words, regex formulas. *)
+
+open Spanner_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+let vs = Variable.set_of_list
+let span = Alcotest.testable (Fmt.of_to_string Span.to_string) Span.equal
+
+let tuple =
+  Alcotest.testable (Fmt.of_to_string (Format.asprintf "%a" Span_tuple.pp)) Span_tuple.equal
+
+(* ------------------------------------------------------------------ *)
+(* Variable *)
+
+let variable_interning () =
+  check Alcotest.bool "same name same var" true (Variable.equal (v "x") (v "x"));
+  check Alcotest.bool "different names differ" false (Variable.equal (v "x") (v "y"));
+  check Alcotest.string "name roundtrip" "my_var1" (Variable.name (v "my_var1"));
+  Alcotest.check_raises "empty name" (Invalid_argument "Variable.of_string: malformed name \"\"")
+    (fun () -> ignore (v ""));
+  Alcotest.check_raises "digit start" (Invalid_argument "Variable.of_string: malformed name \"1x\"")
+    (fun () -> ignore (v "1x"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Variable.of_string: malformed name \"a-b\"")
+    (fun () -> ignore (v "a-b"))
+
+let variable_sets () =
+  let s = vs [ v "a"; v "b"; v "a" ] in
+  check Alcotest.int "dedup" 2 (Variable.Set.cardinal s);
+  check Alcotest.bool "mem" true (Variable.Set.mem (v "b") s)
+
+(* ------------------------------------------------------------------ *)
+(* Span *)
+
+let span_construction () =
+  let s = Span.make 2 5 in
+  check Alcotest.int "left" 2 (Span.left s);
+  check Alcotest.int "right" 5 (Span.right s);
+  check Alcotest.int "len" 3 (Span.len s);
+  check Alcotest.bool "nonempty" false (Span.is_empty s);
+  check Alcotest.bool "empty span" true (Span.is_empty (Span.make 3 3));
+  Alcotest.check_raises "inverted" (Invalid_argument "Span.make: invalid span [5,2⟩") (fun () ->
+      ignore (Span.make 5 2));
+  Alcotest.check_raises "zero position" (Invalid_argument "Span.make: invalid span [0,2⟩")
+    (fun () -> ignore (Span.make 0 2))
+
+let span_content () =
+  let doc = "ababbab" in
+  check Alcotest.string "paper Example 1.1 x" "a" (Span.content (Span.make 1 2) doc);
+  check Alcotest.string "whole doc" doc (Span.content (Span.make 1 8) doc);
+  check Alcotest.string "empty at end" "" (Span.content (Span.make 8 8) doc);
+  check Alcotest.bool "fits" true (Span.fits (Span.make 8 8) doc);
+  check Alcotest.bool "does not fit" false (Span.fits (Span.make 8 9) doc)
+
+let span_all () =
+  (* |Spans(D)| = (n+1)(n+2)/2 for |D| = n *)
+  check Alcotest.int "spans of length-3 doc" 10 (List.length (Span.all "abc"));
+  check Alcotest.int "spans of empty doc" 1 (List.length (Span.all ""))
+
+let span_predicates () =
+  let a = Span.make 1 5 and b = Span.make 2 4 and c = Span.make 3 7 and d = Span.make 5 6 in
+  check Alcotest.bool "contains" true (Span.contains a b);
+  check Alcotest.bool "not contains" false (Span.contains b a);
+  check Alcotest.bool "overlap" true (Span.overlapping a c);
+  check Alcotest.bool "overlap symmetric" true (Span.overlapping c a);
+  check Alcotest.bool "nested not overlapping" false (Span.overlapping a b);
+  check Alcotest.bool "disjoint" true (Span.disjoint a d);
+  check Alcotest.bool "disjoint not overlapping" false (Span.overlapping a d);
+  check Alcotest.bool "hierarchical nested" true (Span.hierarchical a b);
+  check Alcotest.bool "hierarchical disjoint" true (Span.hierarchical a d);
+  check Alcotest.bool "not hierarchical" false (Span.hierarchical a c);
+  check span "fuse" (Span.make 1 7) (Span.fuse a c);
+  (* touching spans are disjoint, not overlapping *)
+  check Alcotest.bool "touching disjoint" true (Span.disjoint (Span.make 1 3) (Span.make 3 5))
+
+let span_fusion_example () =
+  (* §3.2 worked example: t = ([1,3⟩, [2,6⟩, [3,7⟩), fusing x1 and x3
+     into y gives ([1,7⟩, [2,6⟩). *)
+  let t =
+    Span_tuple.of_list
+      [ (v "x1", Span.make 1 3); (v "x2", Span.make 2 6); (v "x3", Span.make 3 7) ]
+  in
+  let fused = Span_tuple.fuse (vs [ v "x1"; v "x3" ]) ~into:(v "fuse_y") t in
+  check (Alcotest.option span) "y" (Some (Span.make 1 7)) (Span_tuple.find fused (v "fuse_y"));
+  check (Alcotest.option span) "x2 kept" (Some (Span.make 2 6)) (Span_tuple.find fused (v "x2"));
+  check (Alcotest.option span) "x1 gone" None (Span_tuple.find fused (v "x1"))
+
+(* ------------------------------------------------------------------ *)
+(* Span_tuple *)
+
+let tuple_basics () =
+  let t = Span_tuple.bind Span_tuple.empty (v "x") (Span.make 1 2) in
+  check (Alcotest.option span) "bound" (Some (Span.make 1 2)) (Span_tuple.find t (v "x"));
+  check (Alcotest.option span) "unbound" None (Span_tuple.find t (v "y"));
+  check Alcotest.bool "functional on {x}" true (Span_tuple.is_functional_on t (vs [ v "x" ]));
+  check Alcotest.bool "not functional on {x,y}" false
+    (Span_tuple.is_functional_on t (vs [ v "x"; v "y" ]));
+  check Alcotest.int "domain" 1 (Variable.Set.cardinal (Span_tuple.domain t));
+  let t2 = Span_tuple.bind t (v "x") (Span.make 3 4) in
+  check (Alcotest.option span) "rebind overrides" (Some (Span.make 3 4))
+    (Span_tuple.find t2 (v "x"))
+
+let tuple_merge () =
+  let t1 = Span_tuple.of_list [ (v "x", Span.make 1 2); (v "y", Span.make 2 3) ] in
+  let t2 = Span_tuple.of_list [ (v "y", Span.make 2 3); (v "z", Span.make 3 4) ] in
+  check Alcotest.bool "compatible" true (Span_tuple.compatible t1 t2);
+  let m = Span_tuple.merge t1 t2 in
+  check Alcotest.int "merged domain" 3 (Variable.Set.cardinal (Span_tuple.domain m));
+  let t3 = Span_tuple.of_list [ (v "y", Span.make 9 9) ] in
+  check Alcotest.bool "incompatible" false (Span_tuple.compatible t1 t3);
+  Alcotest.check_raises "merge incompatible"
+    (Invalid_argument "Span_tuple.merge: incompatible tuples") (fun () ->
+      ignore (Span_tuple.merge t1 t3));
+  (* unbound variables are compatible with anything (schemaless) *)
+  let partial = Span_tuple.of_list [ (v "z", Span.make 1 1) ] in
+  check Alcotest.bool "partial compatible" true (Span_tuple.compatible t1 partial)
+
+let tuple_project_equality () =
+  let t = Span_tuple.of_list [ (v "x", Span.make 1 3); (v "y", Span.make 4 6); (v "z", Span.make 1 2) ] in
+  let p = Span_tuple.project (vs [ v "x"; v "z" ]) t in
+  check Alcotest.int "projected domain" 2 (Variable.Set.cardinal (Span_tuple.domain p));
+  (* string equality over "abcabc": x = "ab", y = "ab" *)
+  let doc = "abcabc" in
+  check Alcotest.bool "x = y contents" true
+    (Span_tuple.satisfies_equality t doc (vs [ v "x"; v "y" ]));
+  check Alcotest.bool "x != z contents" false
+    (Span_tuple.satisfies_equality t doc (vs [ v "x"; v "z" ]));
+  (* vacuous: at most one bound member *)
+  check Alcotest.bool "vacuous on unbound" true
+    (Span_tuple.satisfies_equality t doc (vs [ v "x"; v "unbound_w" ]))
+
+let tuple_hierarchical () =
+  let nested = Span_tuple.of_list [ (v "x", Span.make 1 5); (v "y", Span.make 2 3) ] in
+  check Alcotest.bool "nested ok" true (Span_tuple.hierarchical nested);
+  let overlap = Span_tuple.of_list [ (v "x", Span.make 1 4); (v "y", Span.make 2 6) ] in
+  check Alcotest.bool "overlap detected" false (Span_tuple.hierarchical overlap)
+
+let tuple_order () =
+  let t1 = Span_tuple.of_list [ (v "x", Span.make 1 2) ] in
+  let t2 = Span_tuple.of_list [ (v "x", Span.make 1 3) ] in
+  check Alcotest.bool "compare distinguishes" true (Span_tuple.compare t1 t2 <> 0);
+  check Alcotest.int "compare equal" 0
+    (Span_tuple.compare t1 (Span_tuple.of_list [ (v "x", Span.make 1 2) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Span_relation *)
+
+let relation_algebra () =
+  let x = v "x" and y = v "y" in
+  let r1 =
+    Span_relation.of_list (vs [ x ])
+      [ Span_tuple.of_list [ (x, Span.make 1 2) ]; Span_tuple.of_list [ (x, Span.make 2 3) ] ]
+  in
+  let r2 =
+    Span_relation.of_list (vs [ x; y ])
+      [
+        Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 5 6) ];
+        Span_tuple.of_list [ (x, Span.make 9 9); (y, Span.make 6 7) ];
+      ]
+  in
+  let j = Span_relation.join r1 r2 in
+  check Alcotest.int "join size" 1 (Span_relation.cardinal j);
+  check Alcotest.bool "join content" true
+    (Span_relation.mem j (Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 5 6) ]));
+  let u = Span_relation.union r1 r1 in
+  check Alcotest.int "idempotent union" 2 (Span_relation.cardinal u);
+  let p = Span_relation.project (vs [ y ]) r2 in
+  check Alcotest.int "projection schema" 1 (Variable.Set.cardinal (Span_relation.schema p));
+  check Alcotest.int "projection size" 2 (Span_relation.cardinal p)
+
+let relation_join_partial () =
+  (* schemaless join: an unbound shared variable joins with anything *)
+  let x = v "x" and y = v "y" in
+  let r1 =
+    Span_relation.of_list (vs [ x; y ]) [ Span_tuple.of_list [ (y, Span.make 1 1) ] ]
+  in
+  let r2 = Span_relation.of_list (vs [ x ]) [ Span_tuple.of_list [ (x, Span.make 2 3) ] ] in
+  let j = Span_relation.join r1 r2 in
+  check Alcotest.int "partial joins" 1 (Span_relation.cardinal j);
+  check Alcotest.bool "merged binds both" true
+    (Span_relation.mem j (Span_tuple.of_list [ (x, Span.make 2 3); (y, Span.make 1 1) ]))
+
+let relation_select () =
+  let x = v "x" and y = v "y" in
+  let doc = "abaab" in
+  let r =
+    Span_relation.of_list (vs [ x; y ])
+      [
+        Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 3 4) ];
+        Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 2 3) ];
+      ]
+  in
+  let s = Span_relation.select_equal doc (vs [ x; y ]) r in
+  check Alcotest.int "selection filters" 1 (Span_relation.cardinal s);
+  check Alcotest.bool "functional check" true (Span_relation.is_functional r);
+  let r' = Span_relation.add r (Span_tuple.of_list [ (x, Span.make 1 1) ]) in
+  check Alcotest.bool "partial tuple breaks functionality" false (Span_relation.is_functional r')
+
+let relation_schema_guard () =
+  let r = Span_relation.empty (vs [ v "x" ]) in
+  Alcotest.check_raises "foreign variable"
+    (Invalid_argument "Span_relation.add: tuple binds a variable outside the schema") (fun () ->
+      ignore (Span_relation.add r (Span_tuple.of_list [ (v "zz_not_in_schema", Span.make 1 1) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Marker *)
+
+let marker_order () =
+  let x = v "x" and y = v "y" in
+  check Alcotest.bool "open < close same var" true
+    (Marker.compare (Marker.Open x) (Marker.Close x) < 0);
+  check Alcotest.bool "open y < close x" true
+    (Marker.compare (Marker.Open y) (Marker.Close x) < 0);
+  check Alcotest.int "all markers count" 4 (List.length (Marker.all_markers (vs [ x; y ])));
+  check Alcotest.string "pp open" "⊢x" (Marker.to_string (Marker.Open x));
+  check Alcotest.string "pp close" "⊣x" (Marker.to_string (Marker.Close x));
+  check Alcotest.bool "is_open" true (Marker.is_open (Marker.Open x));
+  check Alcotest.bool "variable" true (Variable.equal x (Marker.variable (Marker.Close x)))
+
+let marker_sets () =
+  let x = v "x" and y = v "y" in
+  let s = Marker.Set.of_list [ Marker.Close y; Marker.Open x ] in
+  check Alcotest.int "set vars" 2 (Variable.Set.cardinal (Marker.set_variables s));
+  check Alcotest.string "pp_set" "{⊢x, ⊣y}" (Format.asprintf "%a" Marker.pp_set s)
+
+(* ------------------------------------------------------------------ *)
+(* Ref_word (subword-marked words) *)
+
+let ref_word_roundtrip () =
+  let doc = "abcacacbbaa" in
+  (* §2.1 example: x = [2,6⟩, y = [4,8⟩, z = [1,8⟩ *)
+  let t =
+    Span_tuple.of_list
+      [ (v "x", Span.make 2 6); (v "y", Span.make 4 8); (v "z", Span.make 1 8) ]
+  in
+  let w = Ref_word.of_doc_tuple doc t in
+  check Alcotest.string "e(w)" doc (Ref_word.doc w);
+  check tuple "st(w)" t (Ref_word.span_tuple w);
+  check Alcotest.string "rendering" "⊢za⊢xbc⊢yac⊣xac⊣y⊣zbbaa" (Ref_word.to_string w)
+
+let ref_word_of_string () =
+  let w = Ref_word.of_string "⊢za⊢xbc⊢yac⊣xac⊣y⊣zbbaa" in
+  check Alcotest.string "parse/print" "⊢za⊢xbc⊢yac⊣xac⊣y⊣zbbaa" (Ref_word.to_string w);
+  check Alcotest.string "doc" "abcacacbbaa" (Ref_word.doc w)
+
+let ref_word_validate () =
+  let ok w =
+    match Ref_word.validate (vs [ v "x"; v "y" ]) (Ref_word.of_string w) with
+    | Ref_word.Valid { functional } -> Some functional
+    | Ref_word.Invalid _ -> None
+  in
+  check (Alcotest.option Alcotest.bool) "functional" (Some true) (ok "⊢xa⊣x⊢yb⊣y");
+  check (Alcotest.option Alcotest.bool) "schemaless" (Some false) (ok "⊢xa⊣xb");
+  check (Alcotest.option Alcotest.bool) "empty spans ok" (Some true) (ok "⊢x⊣x⊢y⊣yab");
+  check (Alcotest.option Alcotest.bool) "close before open" None (ok "⊣xa⊢x");
+  check (Alcotest.option Alcotest.bool) "double open" None (ok "⊢x⊢xa⊣x");
+  check (Alcotest.option Alcotest.bool) "double close" None (ok "⊢xa⊣x⊣x");
+  check (Alcotest.option Alcotest.bool) "unclosed" None (ok "⊢xab");
+  check (Alcotest.option Alcotest.bool) "foreign variable" None (ok "⊢(zz1)a⊣(zz1)")
+
+let ref_word_canonical () =
+  (* ⊣x and ⊢y at the same boundary: canonical order puts opens first *)
+  let w1 = Ref_word.of_string "⊢xa⊣x⊢yb⊣y" in
+  let w2 = Ref_word.of_string "⊢xa⊢y⊣xb⊣y" in
+  check Alcotest.bool "same (doc, tuple)" true (Ref_word.represents_same w1 w2);
+  check Alcotest.bool "canonicalize w1 = canonicalize w2" true
+    (Ref_word.equal (Ref_word.canonicalize w1) (Ref_word.canonicalize w2));
+  check Alcotest.string "canonical order" "⊢xa⊢y⊣xb⊣y"
+    (Ref_word.to_string (Ref_word.canonicalize w1))
+
+let ref_word_extended () =
+  let w = Ref_word.of_string "⊢xa⊢y⊣xb⊣y" in
+  let doc, sets = Ref_word.to_extended w in
+  check Alcotest.string "extended doc" "ab" doc;
+  check Alcotest.int "boundary count" 3 (Array.length sets);
+  check Alcotest.int "boundary 0" 1 (Marker.Set.cardinal sets.(0));
+  check Alcotest.int "boundary 1" 2 (Marker.Set.cardinal sets.(1));
+  check Alcotest.int "boundary 2" 1 (Marker.Set.cardinal sets.(2));
+  let w' = Ref_word.of_extended doc sets in
+  check Alcotest.bool "roundtrip" true (Ref_word.represents_same w w')
+
+(* ------------------------------------------------------------------ *)
+(* Regex_formula *)
+
+let formula_parse () =
+  let f = Regex_formula.parse "!x{[ab]*}!y{b}!z{[ab]*}" in
+  check Alcotest.int "vars" 3 (Variable.Set.cardinal (Regex_formula.vars f));
+  check Alcotest.bool "total" true (Regex_formula.functionality f = Regex_formula.Total);
+  let printed = Regex_formula.to_string f in
+  let f' = Regex_formula.parse printed in
+  check Alcotest.string "print stable" printed (Regex_formula.to_string f')
+
+let formula_functionality () =
+  let fn s = Regex_formula.functionality (Regex_formula.parse s) in
+  check Alcotest.bool "total" true (fn "!x{a}b" = Regex_formula.Total);
+  check Alcotest.bool "alt both total" true (fn "!x{a}|!x{b}" = Regex_formula.Total);
+  check Alcotest.bool "opt schemaless" true (fn "(!x{a})?b" = Regex_formula.Schemaless);
+  check Alcotest.bool "alt one side schemaless" true (fn "!x{a}|b" = Regex_formula.Schemaless);
+  let ill s = match fn s with Regex_formula.Ill_formed _ -> true | _ -> false in
+  check Alcotest.bool "star over binding" true (ill "(!x{a})*");
+  check Alcotest.bool "plus over binding" true (ill "(!x{a})+");
+  check Alcotest.bool "concat duplicate" true (ill "!x{a}!x{b}");
+  check Alcotest.bool "self nesting" true (ill "!x{!x{a}}");
+  check Alcotest.bool "nested distinct ok" false (ill "!x{a!y{b}c}")
+
+let formula_errors () =
+  let fails s =
+    match Regex_formula.parse s with exception Spanner_fa.Regex.Parse_error _ -> true | _ -> false
+  in
+  check Alcotest.bool "unclosed binding" true (fails "!x{ab");
+  check Alcotest.bool "missing name" true (fails "!{ab}");
+  check Alcotest.bool "bare brace" true (fails "a}b");
+  check Alcotest.bool "reference not allowed in RGX" true (fails "!x{a}&x")
+
+
+(* ------------------------------------------------------------------ *)
+(* Consolidation (AQL-style, §1 motivation) *)
+
+let consolidation_policies () =
+  let x = v "x" in
+  let mk spans = Span_relation.of_list (vs [ x ])
+      (List.map (fun (i, j) -> Span_tuple.of_list [ (x, Span.make i j) ]) spans) in
+  let spans r =
+    List.map (fun t -> (Span.left (Span_tuple.get t x), Span.right (Span_tuple.get t x)))
+      (Span_relation.tuples r) in
+  let input = mk [ (1, 5); (2, 4); (4, 8); (6, 7); (10, 11) ] in
+  (* contained-within keeps maximal matches *)
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "maximal"
+    [ (1, 5); (4, 8); (10, 11) ]
+    (spans (Consolidate.consolidate Consolidate.Contained_within ~on:x input));
+  (* not-contained-within keeps the dominated ones *)
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "dominated"
+    [ (2, 4); (6, 7) ]
+    (spans (Consolidate.consolidate Consolidate.Not_contained_within ~on:x input));
+  (* left-to-right greedy: [1,5) wins, [4,8) overlaps it and dies,
+     [6,7) survives (disjoint from [1,5)), [10,11) survives *)
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "leftmost greedy"
+    [ (1, 5); (6, 7); (10, 11) ]
+    (spans (Consolidate.consolidate Consolidate.Left_to_right ~on:x input));
+  Alcotest.check_raises "foreign column"
+    (Invalid_argument "Consolidate.consolidate: the consolidation variable is not in the schema")
+    (fun () -> ignore (Consolidate.consolidate Consolidate.Contained_within
+                         ~on:(v "zz_cons") input))
+
+let consolidation_leftmost_ties () =
+  (* ties at the same left endpoint: longer span wins *)
+  let kept = Consolidate.dominant_spans Consolidate.Left_to_right
+      [ Span.make 1 3; Span.make 1 5; Span.make 4 6; Span.make 5 9 ] in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "ties"
+    [ (1, 5); (5, 9) ]
+    (List.map (fun s -> (Span.left s, Span.right s)) kept)
+
+let consolidation_exact_overlap () =
+  let x = v "x" and y = v "y" in
+  let r = Span_relation.of_list (vs [ x; y ])
+      [ Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 3 4) ];
+        Span_tuple.of_list [ (x, Span.make 1 2); (y, Span.make 5 6) ];
+        Span_tuple.of_list [ (x, Span.make 2 3); (y, Span.make 3 4) ] ] in
+  let out = Consolidate.consolidate Consolidate.Exact_overlap ~on:x r in
+  check Alcotest.int "one per x-span" 2 (Span_relation.cardinal out)
+
+
+(* ------------------------------------------------------------------ *)
+(* Location: line/column reporting *)
+
+let location_basics () =
+  let doc = "ab\ncde\n\nf" in
+  let idx = Location.make doc in
+  check Alcotest.int "line count" 4 (Location.line_count idx);
+  let pos i = let p = Location.position_of idx i in (p.Location.line, p.Location.column) in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "start" (1, 1) (pos 1);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "newline char" (1, 3) (pos 3);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "line 2" (2, 1) (pos 4);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "empty line" (3, 1) (pos 8);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "last line" (4, 1) (pos 9);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "eof boundary" (4, 2) (pos 10);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Location.position_of: position 11 out of range") (fun () ->
+      ignore (Location.position_of idx 11));
+  check Alcotest.string "range pp" "2:1-2:3"
+    (Format.asprintf "%a" (Location.pp_range idx) (Span.make 4 6))
+
+let location_exhaustive () =
+  (* cross-check against a naive scan on random documents *)
+  let rng = Spanner_util.Xoshiro.create 6 in
+  for _ = 1 to 30 do
+    let n = 1 + Spanner_util.Xoshiro.int rng 80 in
+    let doc = String.init n (fun _ ->
+        if Spanner_util.Xoshiro.int rng 4 = 0 then '\n' else 'x') in
+    let idx = Location.make doc in
+    let line = ref 1 and col = ref 1 in
+    for i = 1 to n + 1 do
+      let p = Location.position_of idx i in
+      if (p.Location.line, p.Location.column) <> (!line, !col) then
+        Alcotest.failf "mismatch at %d in %S" i doc;
+      if i <= n then
+        if doc.[i - 1] = '\n' then begin incr line; col := 1 end else incr col
+    done
+  done
+
+let () =
+  Alcotest.run "core-data-model"
+    [
+      ("variable", [ tc "interning" `Quick variable_interning; tc "sets" `Quick variable_sets ]);
+      ( "span",
+        [
+          tc "construction" `Quick span_construction;
+          tc "content" `Quick span_content;
+          tc "all spans" `Quick span_all;
+          tc "predicates" `Quick span_predicates;
+          tc "fusion (§3.2 example)" `Quick span_fusion_example;
+        ] );
+      ( "span_tuple",
+        [
+          tc "basics" `Quick tuple_basics;
+          tc "merge/compatibility" `Quick tuple_merge;
+          tc "project/equality" `Quick tuple_project_equality;
+          tc "hierarchical" `Quick tuple_hierarchical;
+          tc "ordering" `Quick tuple_order;
+        ] );
+      ( "span_relation",
+        [
+          tc "algebra" `Quick relation_algebra;
+          tc "schemaless join" `Quick relation_join_partial;
+          tc "string-equality selection" `Quick relation_select;
+          tc "schema guard" `Quick relation_schema_guard;
+        ] );
+      ("marker", [ tc "canonical order" `Quick marker_order; tc "sets" `Quick marker_sets ]);
+      ( "ref_word",
+        [
+          tc "roundtrip (§2.1 example)" `Quick ref_word_roundtrip;
+          tc "of_string" `Quick ref_word_of_string;
+          tc "validation" `Quick ref_word_validate;
+          tc "canonical marker order (§2.2)" `Quick ref_word_canonical;
+          tc "extended form (§2.2)" `Quick ref_word_extended;
+        ] );
+      ( "location",
+        [
+          tc "line/column basics" `Quick location_basics;
+          tc "exhaustive vs scan" `Quick location_exhaustive;
+        ] );
+      ( "consolidate",
+        [
+          tc "policies (AQL)" `Quick consolidation_policies;
+          tc "leftmost ties" `Quick consolidation_leftmost_ties;
+          tc "exact overlap" `Quick consolidation_exact_overlap;
+        ] );
+      ( "regex_formula",
+        [
+          tc "parsing" `Quick formula_parse;
+          tc "functionality analysis" `Quick formula_functionality;
+          tc "parse errors" `Quick formula_errors;
+        ] );
+    ]

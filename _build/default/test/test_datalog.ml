@@ -1,0 +1,196 @@
+(* Tests for datalog over regular spanners (RGXLog, [33]): validation,
+   non-recursive coverage of core spanners, recursion (transitive
+   closure), semi-naive fixpoint behaviour, and built-ins. *)
+
+open Spanner_core
+open Spanner_datalog
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validation () =
+  let reject rules =
+    match Datalog.make rules with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "unrestricted head" true
+    (reject [ { Datalog.head = ("p", [ "x" ]); body = [] } ]);
+  check Alcotest.bool "builtin on unbound" true
+    (reject [ { Datalog.head = ("p", []); body = [ Datalog.Content_eq ("x", "y") ] } ]);
+  check Alcotest.bool "arity mismatch" true
+    (reject
+       [
+         { Datalog.head = ("p", [ "x" ]); body = [ Datalog.Idb ("q", [ "x" ]) ] };
+         { Datalog.head = ("q", [ "x"; "y" ]); body = [ Datalog.Idb ("p", [ "x" ]); Datalog.Idb ("p", [ "y" ]) ] };
+       ]);
+  (* a correct program is accepted *)
+  let field = Evset.of_formula (Regex_formula.parse "!f{a+}") in
+  check Alcotest.bool "good program" false
+    (reject
+       [ { Datalog.head = ("p", [ "x" ]); body = [ Datalog.Spanner (field, [ (v "f", "x") ]) ] } ])
+
+(* ------------------------------------------------------------------ *)
+(* Non-recursive: core spanners as datalog (the [33] coverage claim) *)
+
+let covers_core_spanners () =
+  let fields = Evset.of_formula (Regex_formula.parse "[ab;]*;?!x{[ab]+};!y{[ab]+};[ab;]*") in
+  let p =
+    Datalog.make
+      [
+        {
+          Datalog.head = ("out", [ "x"; "y" ]);
+          body =
+            [
+              Datalog.Spanner (fields, [ (v "x", "x"); (v "y", "y") ]);
+              Datalog.Content_eq ("x", "y");
+            ];
+        };
+      ]
+  in
+  let core =
+    Core_spanner.simplify
+      (Algebra.Select (Variable.set_of_list [ v "x"; v "y" ], Algebra.Automaton fields))
+  in
+  List.iter
+    (fun doc ->
+      let r = Datalog.run p doc in
+      let reference = Core_spanner.eval core doc in
+      check Alcotest.int
+        (Printf.sprintf "same cardinality on %S" doc)
+        (Span_relation.cardinal reference)
+        (Datalog.fact_count r "out");
+      (* and the actual rows coincide *)
+      List.iter
+        (fun row ->
+          let tuple = Span_tuple.of_list [ (v "x", row.(0)); (v "y", row.(1)) ] in
+          if not (Span_relation.mem reference tuple) then
+            Alcotest.failf "spurious datalog fact on %S" doc)
+        (Datalog.facts r "out"))
+    [ "ab;ab;ba;ab;"; "a;b;"; ""; "ab;ba;"; "aa;aa;aa;" ]
+
+(* ------------------------------------------------------------------ *)
+(* Recursion *)
+
+let step_program () =
+  let step = Evset.of_formula (Regex_formula.parse "([ab]+;)*!x{[ab]+};!y{[ab]+};([ab]+;)*") in
+  Datalog.make
+    [
+      {
+        Datalog.head = ("eq_next", [ "x"; "y" ]);
+        body =
+          [
+            Datalog.Spanner (step, [ (v "x", "x"); (v "y", "y") ]);
+            Datalog.Content_eq ("x", "y");
+          ];
+      };
+      { Datalog.head = ("chain", [ "x"; "y" ]); body = [ Datalog.Idb ("eq_next", [ "x"; "y" ]) ] };
+      {
+        Datalog.head = ("chain", [ "x"; "z" ]);
+        body = [ Datalog.Idb ("chain", [ "x"; "y" ]); Datalog.Idb ("eq_next", [ "y"; "z" ]) ];
+      };
+    ]
+
+let transitive_closure () =
+  let p = step_program () in
+  (* fields: ab ab ab ba ba — eq_next pairs (1,2),(2,3),(4,5); chains
+     add (1,3) *)
+  let r = Datalog.run p "ab;ab;ab;ba;ba;" in
+  check Alcotest.int "eq_next" 3 (Datalog.fact_count r "eq_next");
+  check Alcotest.int "chain" 4 (Datalog.fact_count r "chain");
+  check Alcotest.bool "fixpoint took several rounds" true (Datalog.iterations r >= 3)
+
+let long_chain () =
+  (* k equal fields in a row: eq_next = k−1, chain = k(k−1)/2 *)
+  let p = step_program () in
+  let k = 8 in
+  let doc = String.concat "" (List.init k (fun _ -> "ab;")) in
+  let r = Datalog.run p doc in
+  check Alcotest.int "eq_next" (k - 1) (Datalog.fact_count r "eq_next");
+  check Alcotest.int "chain" (k * (k - 1) / 2) (Datalog.fact_count r "chain")
+
+let empty_fixpoint () =
+  let p = step_program () in
+  let r = Datalog.run p "a;b;a;" in
+  check Alcotest.int "no equal neighbours" 0 (Datalog.fact_count r "chain");
+  Alcotest.check_raises "unknown predicate" Not_found (fun () ->
+      ignore (Datalog.facts r "nonexistent"))
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins *)
+
+let adjacency () =
+  let token = Evset.of_formula (Regex_formula.parse "[ab]*!t{[ab]}[ab]*") in
+  let p =
+    Datalog.make
+      [
+        {
+          Datalog.head = ("bigram", [ "x"; "y" ]);
+          body =
+            [
+              Datalog.Spanner (token, [ (v "t", "x") ]);
+              Datalog.Spanner (token, [ (v "t", "y") ]);
+              Datalog.Adjacent ("x", "y");
+            ];
+        };
+      ]
+  in
+  let r = Datalog.run p "abab" in
+  (* 3 adjacent character pairs *)
+  check Alcotest.int "bigrams" 3 (Datalog.fact_count r "bigram");
+  List.iter
+    (fun row -> check Alcotest.int "adjacency holds" (Span.right row.(0)) (Span.left row.(1)))
+    (Datalog.facts r "bigram")
+
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax *)
+
+let surface_syntax () =
+  let program = Datalog.parse {|
+    % equal neighbours, then the closure
+    eq(x, y) :- <([ab]+;)*!x{[ab]+};!y{[ab]+};([ab]+;)*>(x, y), streq(x, y).
+    chain(x, y) :- eq(x, y).
+    chain(x, z) :- chain(x, y), eq(y, z).
+  |} in
+  let r = Datalog.run program "ab;ab;ab;ba;ba;" in
+  check Alcotest.int "eq" 3 (Datalog.fact_count r "eq");
+  check Alcotest.int "chain" 4 (Datalog.fact_count r "chain")
+
+let surface_syntax_bindings_and_adj () =
+  let p = Datalog.parse
+      {| bigram(x, y) :- <[ab]*!t{[ab]}[ab]*>(t=x), <[ab]*!t{[ab]}[ab]*>(t=y), adj(x, y). |}
+  in
+  let r = Datalog.run p "abab" in
+  check Alcotest.int "bigrams" 3 (Datalog.fact_count r "bigram")
+
+let surface_syntax_errors () =
+  let fails s = match Datalog.parse s with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "missing dot" true (fails "p(x) :- q(x)");
+  check Alcotest.bool "missing body" true (fails "p(x).");
+  check Alcotest.bool "streq arity" true (fails "p(x) :- <!x{a}>(x), streq(x).");
+  check Alcotest.bool "unterminated formula" true (fails "p(x) :- <!x{a}(x).")
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ("validation", [ tc "safety and arity checks" `Quick validation ]);
+      ("coverage", [ tc "core spanners as non-recursive programs" `Quick covers_core_spanners ]);
+      ( "recursion",
+        [
+          tc "transitive closure" `Quick transitive_closure;
+          tc "long chain counts" `Quick long_chain;
+          tc "empty fixpoint / unknown predicate" `Quick empty_fixpoint;
+        ] );
+      ("builtins", [ tc "adjacency" `Quick adjacency ]);
+      ( "syntax",
+        [
+          tc "program text" `Quick surface_syntax;
+          tc "bindings and adj" `Quick surface_syntax_bindings_and_adj;
+          tc "errors" `Quick surface_syntax_errors;
+        ] );
+    ]

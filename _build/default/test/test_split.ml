@@ -1,0 +1,116 @@
+(* Tests for split-correctness ([7]): splitters, distributed
+   evaluation, the composition automaton, and the decision procedure
+   via spanner equivalence. *)
+
+open Spanner_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+
+let spanner s = Evset.of_formula (Regex_formula.parse s)
+
+let docs = [ ""; "a"; ";"; "aa;a"; "a;aa;"; ";;aa"; "ab;ba;ab"; "aba"; "a;b;a;b" ]
+
+(* ------------------------------------------------------------------ *)
+(* Splitters *)
+
+let segments () =
+  let p = Split.segments_splitter ~sep:';' in
+  let spans doc = List.map (fun s -> (Span.left s, Span.right s)) (Split.splits p doc) in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "a;bb" [ (1, 2); (3, 5) ] (spans "a;bb");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "empty segments" [ (1, 1); (2, 2) ] (spans ";");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "no separator" [ (1, 3) ] (spans "ab")
+
+let windows () =
+  let p = Split.windows_splitter ~alphabet:(Spanner_fa.Charset.of_string "ab") ~size:2 in
+  check Alcotest.int "3 windows of length 2 in abab" 3 (List.length (Split.splits p "abab"));
+  check Alcotest.int "no window in short doc" 0 (List.length (Split.splits p "a"))
+
+let splitter_guard () =
+  Alcotest.check_raises "two variables rejected"
+    (Invalid_argument "Split.splitter: a splitter has exactly one variable") (fun () ->
+      ignore (Split.splitter (spanner "!x{a}!y{b}") (v "x")))
+
+(* ------------------------------------------------------------------ *)
+(* Composition correctness: compose = split_eval on every document *)
+
+let compose_matches_split_eval () =
+  let p = Split.segments_splitter ~sep:';' in
+  let spanners =
+    [ "[^;]*!x{a+}[^;]*"; "!x{[ab]*}"; "[^;]*!x{a}!y{b?}[^;]*"; "(!x{aa})?[^;]*" ]
+  in
+  List.iter
+    (fun ss ->
+      let s = spanner ss in
+      let composed = Split.compose p s in
+      List.iter
+        (fun doc ->
+          let via_compose = Evset.eval composed doc in
+          let via_split = Split.split_eval p s doc in
+          if not (Span_relation.equal via_compose via_split) then
+            Alcotest.failf "compose ≠ split_eval for %s on %S" ss doc)
+        docs)
+    spanners
+
+(* ------------------------------------------------------------------ *)
+(* Split-correctness: per-document and the decision procedure *)
+
+let per_document () =
+  let p = Split.segments_splitter ~sep:';' in
+  (* matches never cross ';' → correct on these documents *)
+  let local = spanner ".*!x{a+}.*" in
+  List.iter
+    (fun doc ->
+      if not (Split.split_correct_on p local doc) then
+        Alcotest.failf "expected split-correct on %S" doc)
+    docs;
+  (* matches that cross ';' break *)
+  let crossing = spanner ".*!x{a;a}.*" in
+  check Alcotest.bool "crossing spanner not split-correct on a;a" false
+    (Split.split_correct_on p crossing "a;a")
+
+let decision_procedure () =
+  let p = Split.segments_splitter ~sep:';' in
+  let local = spanner ".*!x{a+}.*" in
+  check Alcotest.bool "local spanner split-correct (all documents)" true
+    (Split.split_correct p local);
+  let crossing = spanner ".*!x{a;a}.*" in
+  check Alcotest.bool "crossing spanner rejected" false (Split.split_correct p crossing);
+  (* a spanner anchored to the whole document is not split-correct
+     either: on "a;a" it matches nothing per segment *)
+  let anchored = spanner "!x{.+;.+}" in
+  check Alcotest.bool "anchored spanner rejected" false (Split.split_correct p anchored)
+
+let windows_rarely_correct () =
+  let p = Split.windows_splitter ~alphabet:(Spanner_fa.Charset.of_string "ab") ~size:2 in
+  (* single-character extraction: every char is inside some window of a
+     length-≥2 doc, but NOT of a length-1 doc → not split-correct *)
+  let s = spanner "[ab]*!x{[ab]}[ab]*" in
+  check Alcotest.bool "not correct on short docs" false (Split.split_correct p s);
+  check Alcotest.bool "fails concretely on single char" false (Split.split_correct_on p s "a");
+  check Alcotest.bool "fine on longer docs" true (Split.split_correct_on p s "abab")
+
+let () =
+  Alcotest.run "split"
+    [
+      ( "splitters",
+        [
+          tc "segments" `Quick segments;
+          tc "windows" `Quick windows;
+          tc "guard" `Quick splitter_guard;
+        ] );
+      ("composition", [ tc "compose = split_eval" `Quick compose_matches_split_eval ]);
+      ( "split-correctness",
+        [
+          tc "per document" `Quick per_document;
+          tc "decision procedure ([7])" `Quick decision_procedure;
+          tc "window splitter counterexamples" `Quick windows_rarely_correct;
+        ] );
+    ]

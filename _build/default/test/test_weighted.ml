@@ -1,0 +1,199 @@
+(* Tests for weighted spanners ([8]): semiring laws, the Boolean
+   degeneration to ordinary semantics, run counting (ambiguity),
+   tropical best-match extraction, and the union-doubling law. *)
+
+open Spanner_core
+open Spanner_weighted
+module WB = Weighted.Make (Semiring.Boolean)
+module WC = Weighted.Make (Semiring.Count)
+module WMin = Weighted.Make (Semiring.Min_plus)
+module WMax = Weighted.Make (Semiring.Max_plus)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let v = Variable.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Semiring laws (spot checks on all instances) *)
+
+let semiring_laws () =
+  let module Check (K : Semiring.S) (N : sig
+    val name : string
+
+    val samples : K.t list
+  end) =
+  struct
+    let () =
+      List.iter
+        (fun a ->
+          if not (K.equal (K.plus a K.zero) a) then Alcotest.failf "%s: a⊕0 ≠ a" N.name;
+          if not (K.equal (K.times a K.one) a) then Alcotest.failf "%s: a⊗1 ≠ a" N.name;
+          if not (K.equal (K.times a K.zero) K.zero) then Alcotest.failf "%s: a⊗0 ≠ 0" N.name;
+          List.iter
+            (fun b ->
+              if not (K.equal (K.plus a b) (K.plus b a)) then
+                Alcotest.failf "%s: ⊕ not commutative" N.name;
+              if not (K.equal (K.times a b) (K.times b a)) then
+                Alcotest.failf "%s: ⊗ not commutative" N.name;
+              List.iter
+                (fun c ->
+                  if
+                    not
+                      (K.equal
+                         (K.times a (K.plus b c))
+                         (K.plus (K.times a b) (K.times a c)))
+                  then Alcotest.failf "%s: distributivity fails" N.name)
+                N.samples)
+            N.samples)
+        N.samples
+  end in
+  let module _ =
+    Check
+      (Semiring.Boolean)
+      (struct
+        let name = "bool"
+
+        let samples = [ true; false ]
+      end)
+  in
+  let module _ =
+    Check
+      (Semiring.Count)
+      (struct
+        let name = "count"
+
+        let samples = [ 0; 1; 2; 5 ]
+      end)
+  in
+  let module _ =
+    Check
+      (Semiring.Min_plus)
+      (struct
+        let name = "min-plus"
+
+        let samples = [ None; Some 0; Some 1; Some 7 ]
+      end)
+  in
+  let module _ =
+    Check
+      (Semiring.Max_plus)
+      (struct
+        let name = "max-plus"
+
+        let samples = [ None; Some 0; Some 1; Some 7 ]
+      end)
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Boolean degeneration: weighted = ordinary *)
+
+let boolean_degeneration () =
+  let formulas = [ "[ab]*!x{ab}[ab]*"; "!x{a*}!y{b*}"; "a(!x{b})?c" ] in
+  let docs = [ ""; "ab"; "abab"; "ac"; "abc"; "aabb" ] in
+  List.iter
+    (fun fs ->
+      let e = Evset.of_formula (Regex_formula.parse fs) in
+      let w = WB.uniform e in
+      List.iter
+        (fun doc ->
+          let r = Evset.eval e doc in
+          (* members weigh true *)
+          List.iter
+            (fun t ->
+              if not (WB.tuple_weight w doc t) then Alcotest.failf "%s/%S: member weighs false" fs doc)
+            (Span_relation.tuples r);
+          (* total = nonemptiness *)
+          if WB.total_weight w doc <> not (Span_relation.is_empty r) then
+            Alcotest.failf "%s/%S: total ≠ nonempty" fs doc)
+        docs)
+    formulas
+
+(* ------------------------------------------------------------------ *)
+(* Counting: ambiguity *)
+
+let count_deterministic_is_one () =
+  let e = Evset.determinize (Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*")) in
+  let w = WC.uniform e in
+  let doc = "ababab" in
+  let r = Evset.eval e doc in
+  List.iter
+    (fun t ->
+      check Alcotest.int "1 run per tuple (deterministic)" 1 (WC.tuple_weight w doc t))
+    (Span_relation.tuples r);
+  check Alcotest.int "total = #tuples" (Span_relation.cardinal r) (WC.total_weight w doc)
+
+let count_union_doubles () =
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let u = Evset.union e e in
+  let doc = "abab" in
+  let t = Span_tuple.of_list [ (v "x", Span.make 1 3) ] in
+  let base = WC.tuple_weight (WC.uniform e) doc t in
+  check Alcotest.bool "base positive" true (base > 0);
+  check Alcotest.int "union doubles tuple count" (2 * base)
+    (WC.tuple_weight (WC.uniform u) doc t);
+  check Alcotest.int "union doubles total" (2 * WC.total_weight (WC.uniform e) doc)
+    (WC.total_weight (WC.uniform u) doc)
+
+let count_nonmember_is_zero () =
+  let e = Evset.of_formula (Regex_formula.parse "!x{a+}b") in
+  let w = WC.uniform e in
+  check Alcotest.int "nonmember" 0
+    (WC.tuple_weight w "aab" (Span_tuple.of_list [ (v "x", Span.make 1 2) ]));
+  check Alcotest.int "foreign variable" 0
+    (WC.tuple_weight w "aab" (Span_tuple.of_list [ (v "zz_wt", Span.make 1 2) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tropical semirings: best-match extraction *)
+
+let minplus_costs () =
+  (* cost model: 'b' outside the match costs 1, everything else 0 —
+     prefer tuples in b-sparse contexts.  doc: the two matches of a+
+     sit before 0 and 2 b's respectively. *)
+  let e = Evset.determinize (Evset.of_formula (Regex_formula.parse "[ab]*!x{a+}[ab]*")) in
+  let w =
+    WMin.of_evset e
+      ~letter_weight:(fun c -> if c = 'b' then Some 1 else Some 0)
+      ~set_weight:(fun _ -> Some 0)
+  in
+  let doc = "abba" in
+  (* every run reads the whole doc: cost = #b = 2 for all tuples *)
+  check Alcotest.bool "uniform cost over full doc" true
+    (List.for_all (fun (_, k) -> k = Some 2) (WMin.weighted_relation w doc));
+  (* length-rewarding max-plus: set arcs free, letters inside x score…
+     letters are not position-aware here, so score total length: every
+     run scores |D|; check the aggregate *)
+  let wmax =
+    WMax.of_evset e ~letter_weight:(fun _ -> Some 1) ~set_weight:(fun _ -> Some 0)
+  in
+  check Alcotest.bool "max-plus total is |D|" true (WMax.total_weight wmax doc = Some 4)
+
+let weighted_relation_sorted () =
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let u = Evset.union e (Evset.union e e) in
+  let w = WC.uniform u in
+  let rel = WC.weighted_relation w "abab" in
+  check Alcotest.int "two tuples" 2 (List.length rel);
+  let weights = List.map snd rel in
+  check Alcotest.bool "sorted ascending" true (List.sort compare weights = weights);
+  (match WC.best w "abab" with
+  | Some (_, k) -> check Alcotest.int "best is least" (List.hd weights) k
+  | None -> Alcotest.fail "expected a best tuple")
+
+let () =
+  Alcotest.run "weighted"
+    [
+      ("semirings", [ tc "laws" `Quick semiring_laws ]);
+      ("boolean", [ tc "degenerates to ordinary semantics" `Quick boolean_degeneration ]);
+      ( "count",
+        [
+          tc "deterministic = 1 run/tuple" `Quick count_deterministic_is_one;
+          tc "union doubles" `Quick count_union_doubles;
+          tc "nonmembers weigh zero" `Quick count_nonmember_is_zero;
+        ] );
+      ( "tropical",
+        [
+          tc "min-plus costs" `Quick minplus_costs;
+          tc "weighted relation sorted / best" `Quick weighted_relation_sorted;
+        ] );
+    ]
