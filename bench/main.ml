@@ -19,6 +19,7 @@ module Slp_spanner = Spanner_slp.Slp_spanner
 module Figure1 = Spanner_slp.Figure1
 module Refl_spanner = Spanner_refl.Refl_spanner
 module X = Spanner_util.Xoshiro
+module Pool = Spanner_util.Pool
 module Nfa = Spanner_fa.Nfa
 module Regex = Spanner_fa.Regex
 open Tables
@@ -638,6 +639,59 @@ let e11_datalog () =
   note "expected shape: chain facts quadratic; rounds linear in the longest chain."
 
 (* ------------------------------------------------------------------ *)
+(* E12: compiled evaluation engine (§2.5 combined vs data complexity)  *)
+
+let e12_compiled_engine () =
+  section
+    "E12: compiled evaluation engine — spanner compilation hoisted out of the document pass (§2.5)";
+  let e = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let ct = Compiled.of_evset e in
+  let rng = X.create 23 in
+  let rows =
+    List.map
+      (fun k ->
+        let n = 1 lsl k in
+        let doc = X.string rng "ab" n in
+        let reference = best_of 3 (fun () -> ignore (Enumerate.Reference.prepare e doc)) in
+        let compiled = best_of 3 (fun () -> ignore (Compiled.prepare ct doc)) in
+        let c_ref = Enumerate.Reference.cardinal (Enumerate.Reference.prepare e doc) in
+        let c_cmp = Compiled.cardinal (Compiled.prepare ct doc) in
+        [
+          pretty_int n;
+          pretty_time reference;
+          pretty_time compiled;
+          Printf.sprintf "%.1fx" (reference /. max compiled 1e-9);
+          (if c_ref = c_cmp then pretty_int c_cmp else "MISMATCH");
+        ])
+      [ 10; 12; 14; 16; 17 ]
+  in
+  print_table
+    ~title:
+      "preprocessing [ab]*!x{ab}[ab]* — reference engine vs compiled tables (compilation \
+       excluded from the compiled column)"
+    ~header:[ "|D|"; "reference prepare"; "compiled prepare"; "speedup"; "tuples" ]
+    rows;
+  note "expected shape: both linear in |D|; compiled ahead by a constant factor (target >= 2x).";
+  let docs = Array.init 64 (fun i -> X.string rng "ab" (2048 + (61 * i))) in
+  let seq = best_of 3 (fun () -> ignore (Compiled.eval_all ~jobs:1 ct docs)) in
+  let rows =
+    List.map
+      (fun j ->
+        let t = best_of 3 (fun () -> ignore (Compiled.eval_all ~jobs:j ct docs)) in
+        [ string_of_int j; pretty_time t; Printf.sprintf "%.1fx" (seq /. max t 1e-9) ])
+      (List.sort_uniq compare [ 1; 2; 4; Pool.default_jobs () ])
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "batch eval_all over %d documents (%s chars total, one compiled spanner)"
+         (Array.length docs)
+         (pretty_int (Array.fold_left (fun acc d -> acc + String.length d) 0 docs)))
+    ~header:[ "domains"; "wall time"; "speedup vs 1" ]
+    rows;
+  note "expected shape: near-linear scaling until domains exceed cores (%d recommended here)."
+    (Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
 (* A: ablations of design choices                                      *)
 
 let a1_join_strategy () =
@@ -777,9 +831,19 @@ let bechamel_suite () =
   let e7_expr =
     Cde.Insert (Cde.Doc "base", Cde.Extract (Cde.Doc "base", e7_n / 4, e7_n / 2), e7_n / 3)
   in
+  let e1_ct = Compiled.of_evset e1_auto in
+  let e12_docs = Array.init 16 (fun i -> X.string rng "ab" (4096 + i)) in
   let tests =
     [
       Test.make ~name:"e1/prepare-4k" (Staged.stage (fun () -> Enumerate.prepare e1_auto doc4k));
+      Test.make ~name:"e1/reference-prepare-4k"
+        (Staged.stage (fun () -> Enumerate.Reference.prepare e1_auto doc4k));
+      Test.make ~name:"e1/compiled-prepare-4k"
+        (Staged.stage (fun () -> Compiled.prepare e1_ct doc4k));
+      Test.make ~name:"e12/batch-16x4k-seq"
+        (Staged.stage (fun () -> Compiled.eval_all ~jobs:1 e1_ct e12_docs));
+      Test.make ~name:"e12/batch-16x4k-par"
+        (Staged.stage (fun () -> Compiled.eval_all e1_ct e12_docs));
       Test.make ~name:"e2/core-eval-square-12"
         (Staged.stage (fun () -> Core_spanner.eval e2_core "abababababab"));
       Test.make ~name:"e4/refl-modelcheck-8k"
@@ -804,16 +868,52 @@ let bechamel_suite () =
   Hashtbl.iter
     (fun name ols_result ->
       let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ est ] -> pretty_time (est /. 1e9)
-        | _ -> "n/a"
+        match Analyze.OLS.estimates ols_result with Some [ est ] -> Some est | _ -> None
       in
-      rows := [ name; estimate ] :: !rows)
+      rows := (name, estimate) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   print_table ~title:"OLS time-per-run estimates" ~header:[ "benchmark"; "time/run" ]
-    (List.sort compare !rows)
+    (List.map
+       (fun (name, estimate) ->
+         [
+           name;
+           (match estimate with Some est -> pretty_time (est /. 1e9) | None -> "n/a");
+         ])
+       rows);
+  rows
+
+(* [write_json file rows] dumps the OLS estimates as a flat JSON object
+   mapping benchmark name to ns/run, for machine consumption
+   (regression tracking across commits). *)
+let write_json file rows =
+  let entries = List.filter_map (fun (name, est) -> Option.map (fun e -> (name, e)) est) rows in
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name ns
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  note "wrote %d OLS estimates (ns/run) to %s" (List.length entries) file
 
 let () =
+  let json_file = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a FILE operand (usage: main.exe [--json FILE])\n";
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s (usage: main.exe [--json FILE])\n" arg;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   note "Document Spanners — benchmark harness (see DESIGN.md section 2 and EXPERIMENTS.md)";
   figure1 ();
   e1_enumeration ();
@@ -827,8 +927,10 @@ let () =
   e9_core_over_slp ();
   e10_context_free ();
   e11_datalog ();
+  e12_compiled_engine ();
   a1_join_strategy ();
   a2_balanced_editing ();
   a3_equality_strategy ();
-  bechamel_suite ();
+  let ols_rows = bechamel_suite () in
+  (match !json_file with Some file -> write_json file ols_rows | None -> ());
   note "\nall experiments completed."

@@ -2,6 +2,7 @@
 
    Subcommands:
      eval     evaluate a regex-formula spanner on a document
+     batch    evaluate one spanner on many documents in parallel
      datalog  run a datalog-over-spanners program (RGXLog)
      enum     enumerate result tuples (optionally only the first k)
      refl     evaluate a refl-spanner (with &x references)
@@ -15,18 +16,20 @@ module Builder = Spanner_slp.Builder
 module Balance = Spanner_slp.Balance
 module Slp_spanner = Spanner_slp.Slp_spanner
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (* strip one trailing newline so shell-created files behave *)
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
 let read_document doc file =
   match (doc, file) with
   | Some d, None -> d
-  | None, Some path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      (* strip one trailing newline so shell-created files behave *)
-      if String.length s > 0 && s.[String.length s - 1] = '\n' then
-        String.sub s 0 (String.length s - 1)
-      else s
+  | None, Some path -> read_file path
   | Some _, Some _ -> failwith "give either DOC or --file, not both"
   | None, None -> failwith "missing document: give DOC or --file"
 
@@ -39,13 +42,34 @@ let parse_formula s =
 (* ------------------------------------------------------------------ *)
 (* eval *)
 
-let eval_cmd formula doc file contents =
+let eval_cmd formula doc file contents compiled =
   let document = read_document doc file in
-  let spanner = Evset.of_formula (parse_formula formula) in
-  let relation = Evset.eval spanner document in
+  let relation =
+    if compiled then Compiled.eval (Compiled.of_formula (parse_formula formula)) document
+    else Evset.eval (Evset.of_formula (parse_formula formula)) document
+  in
   if contents then Format.printf "%a" (Span_relation.pp ~doc:document) relation
   else Format.printf "%a" (Span_relation.pp ?doc:None) relation;
   Format.printf "%d tuple(s)@." (Span_relation.cardinal relation)
+
+(* ------------------------------------------------------------------ *)
+(* batch *)
+
+let batch_cmd formula files jobs =
+  if files = [] then failwith "missing documents: give at least one FILE";
+  let ct = Compiled.of_formula (parse_formula formula) in
+  Format.printf "compiled: %d states, %d byte classes, %d marker-set labels@."
+    (Compiled.states ct) (Compiled.classes ct) (Compiled.alphabet ct);
+  let docs = Array.of_list (List.map read_file files) in
+  let relations = Compiled.eval_all ?jobs ct docs in
+  let total = ref 0 in
+  List.iteri
+    (fun i file ->
+      let k = Span_relation.cardinal relations.(i) in
+      total := !total + k;
+      Format.printf "%s: %d tuple(s)@." file k)
+    files;
+  Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
 
 (* ------------------------------------------------------------------ *)
 (* enum *)
@@ -224,6 +248,22 @@ let contents_arg =
 let limit_arg =
   Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"K" ~doc:"Print at most $(docv) tuples.")
 
+let compiled_arg =
+  Arg.(
+    value & flag
+    & info [ "compiled" ]
+        ~doc:"Evaluate through the compiled engine (dense per-spanner transition tables).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Evaluate documents with $(docv) parallel domains (default: all cores).")
+
+let files_arg =
+  Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"Document files.")
+
 let catch f =
   try f () with Failure m ->
     Printf.eprintf "error: %s\n" m;
@@ -231,8 +271,14 @@ let catch f =
 
 let eval_term =
   Term.(
-    const (fun formula doc file contents -> catch (fun () -> eval_cmd formula doc file contents))
-    $ formula_arg $ doc_arg $ file_arg $ contents_arg)
+    const (fun formula doc file contents compiled ->
+        catch (fun () -> eval_cmd formula doc file contents compiled))
+    $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg)
+
+let batch_term =
+  Term.(
+    const (fun formula files jobs -> catch (fun () -> batch_cmd formula files jobs))
+    $ formula_arg $ files_arg $ jobs_arg)
 
 let enum_term =
   Term.(
@@ -282,6 +328,12 @@ let slpeval_term =
 let cmds =
   [
     Cmd.v (Cmd.info "eval" ~doc:"Evaluate a regex-formula spanner on a document.") eval_term;
+    Cmd.v
+      (Cmd.info "batch"
+         ~doc:
+           "Evaluate one spanner on many document files: compile once, run the \
+            linear-time document pass per file, in parallel across domains.")
+      batch_term;
     Cmd.v (Cmd.info "enum" ~doc:"Enumerate result tuples with the two-phase algorithm (§2.5).")
       enum_term;
     Cmd.v (Cmd.info "refl" ~doc:"Evaluate a refl-spanner (&x references, §3).") refl_term;

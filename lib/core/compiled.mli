@@ -1,0 +1,113 @@
+(** Compiled evaluation engine: spanner-only preprocessing (§2.5).
+
+    The two-phase enumeration of {!Enumerate} splits evaluation into a
+    preprocessing pass over the document and constant-delay output of
+    tuples, but its preprocessing re-derives spanner-level facts on
+    every document: marker-set labels are recollected by scanning
+    association lists, every character probes {!Spanner_fa.Charset}
+    membership per letter arc, and state subsets are interned through
+    hash-bucket list scans.  All of that depends only on the spanner —
+    it is {e combined} complexity in the sense of §2.5 ([10], [39]) —
+    so this module hoists it into a one-time compilation:
+
+    - the marker-set alphabet is interned into dense label ids;
+    - letter arcs become flat transition tables indexed by
+      [state × byte-class] ({!Spanner_fa.Charset.byte_classes}
+      collapses the 256 bytes into the few classes the spanner can
+      distinguish), with a single dense [int array] when the automaton
+      is letter-deterministic and a CSR offsets/targets pair
+      otherwise;
+    - set arcs become a CSR adjacency ([state → (label id, target)]).
+
+    The per-document pass ({!prepare}) is then array indexing only:
+    when every state fits in one machine word (any automaton with at
+    most [Sys.int_size] states), subsets are plain int bitmasks with
+    precompiled per-(state, class) successor masks — the hot path is
+    integer arithmetic and allocates nothing; larger automata fall
+    back to {!Spanner_util.Bitset} subsets interned by canonical
+    content key ({!Spanner_util.Bitset.key}).  The
+    enumeration machinery (trimmed product DAG, jump pointers,
+    duplicate-free cursor walk) is unchanged from {!Enumerate}, whose
+    public API is now a thin wrapper over this module.
+
+    Compiled tables are immutable after {!of_evset}, so one compiled
+    spanner may be shared by concurrent domains: {!eval_all} evaluates
+    a batch of documents in parallel through {!Spanner_util.Pool} —
+    the document-database workload of §4 (one spanner, many
+    documents), with deterministic output order. *)
+
+type t
+(** A compiled spanner: dense transition tables, shareable across
+    domains. *)
+
+(** [of_evset e] compiles [e] once.  O(|e| · 256) — combined
+    complexity, independent of any document. *)
+val of_evset : Evset.t -> t
+
+(** [of_formula f] is [of_evset (Evset.of_formula f)]. *)
+val of_formula : Regex_formula.t -> t
+
+(** {1 Compiled-table accessors (bench/CLI introspection)} *)
+
+val evset : t -> Evset.t
+val vars : t -> Variable.Set.t
+
+(** [states ct] is the number of automaton states. *)
+val states : t -> int
+
+(** [classes ct] is the number of byte classes (≤ 256). *)
+val classes : t -> int
+
+(** [alphabet ct] is the number of distinct marker-set labels. *)
+val alphabet : t -> int
+
+(** [is_letter_deterministic ct] tells whether the dense single-target
+    letter table is in use (at most one successor per state and byte). *)
+val is_letter_deterministic : t -> bool
+
+(** {1 Per-document preprocessing and enumeration} *)
+
+type prepared
+
+(** [prepare ct doc] runs the data-complexity pass: O(|doc|) array
+    lookups for a fixed spanner, producing the trimmed product DAG. *)
+val prepare : t -> string -> prepared
+
+(** [iter p f] calls [f] exactly once per result tuple. *)
+val iter : prepared -> (Span_tuple.t -> unit) -> unit
+
+(** [to_seq p] enumerates the tuples on demand (persistent). *)
+val to_seq : prepared -> Span_tuple.t Seq.t
+
+(** [first p] is the first tuple, if any, without full enumeration. *)
+val first : prepared -> Span_tuple.t option
+
+(** [cardinal p] is the number of result tuples, O(1) after
+    preparation (path counts are accumulated during the trim pass). *)
+val cardinal : prepared -> int
+
+(** [to_relation p] materialises the result relation. *)
+val to_relation : prepared -> Span_relation.t
+
+(** Preprocessing statistics; O(1) — counts are recorded at
+    {!prepare} time. *)
+type stats = {
+  nodes : int;  (** useful product nodes *)
+  edges : int;  (** useful product edges *)
+  boundaries : int;  (** |doc| + 1 *)
+}
+
+val stats : prepared -> stats
+
+(** {1 Whole-document and batch evaluation} *)
+
+(** [eval ct doc] is ⟦ct⟧(doc) through prepare + enumerate. *)
+val eval : t -> string -> Span_relation.t
+
+(** [eval_all ?jobs ct docs] evaluates every document of [docs],
+    [jobs] domains at a time (default
+    {!Spanner_util.Pool.default_jobs}; [~jobs:1] is sequential).
+    Results are in input order and identical for every [jobs] — the
+    per-document computation is deterministic and shares only the
+    immutable compiled tables. *)
+val eval_all : ?jobs:int -> t -> string array -> Span_relation.t array

@@ -16,9 +16,17 @@
     one result tuple, so the depth-first traversal needs no duplicate
     elimination; the enumeration stack keeps only nodes with unexplored
     branches, so the walk from one result to the next never retraces
-    exhausted regions. *)
+    exhausted regions.
 
-type prepared
+    Since the introduction of the compiled engine, this module is a
+    thin wrapper over {!Compiled}: each call compiles the spanner into
+    dense transition tables and runs the array-indexed document pass.
+    Callers that evaluate one spanner over many documents should use
+    {!Compiled} directly to pay the (spanner-only) compilation once.
+    The pre-compilation engine is retained as {!Reference} for
+    differential testing and benchmarking. *)
+
+type prepared = Compiled.prepared
 
 (** [prepare e doc] runs the preprocessing phase.  O(|doc|) for a
     fixed spanner. *)
@@ -30,9 +38,8 @@ val iter : prepared -> (Span_tuple.t -> unit) -> unit
 (** [to_seq p] enumerates the tuples on demand. *)
 val to_seq : prepared -> Span_tuple.t Seq.t
 
-(** [cardinal p] is the number of result tuples, computed in time
-    linear in the size of the product DAG (no enumeration) by dynamic
-    programming over path counts. *)
+(** [cardinal p] is the number of result tuples, O(1) after
+    preparation (path counts are accumulated during the trim pass). *)
 val cardinal : prepared -> int
 
 (** [to_relation e doc] materialises ⟦e⟧(doc) through the enumeration
@@ -42,7 +49,8 @@ val to_relation : Evset.t -> string -> Span_relation.t
 (** [first p] is the first tuple, if any, without full enumeration. *)
 val first : prepared -> Span_tuple.t option
 
-(** Preprocessing statistics, for the benchmark harness. *)
+(** Preprocessing statistics, for the benchmark harness; O(1) —
+    counts are recorded at {!prepare} time. *)
 type stats = {
   nodes : int;  (** useful product nodes *)
   edges : int;  (** useful product edges *)
@@ -50,3 +58,18 @@ type stats = {
 }
 
 val stats : prepared -> stats
+
+(** The original engine, before spanner compilation: marker-set labels
+    are recollected by list scans, letters probe charset membership
+    per arc, and subsets are interned through hash buckets.  Same
+    semantics and same product DAG as the compiled engine — kept as a
+    differential-testing oracle and as the benchmark baseline for the
+    compiled path. *)
+module Reference : sig
+  type prepared
+
+  val prepare : Evset.t -> string -> prepared
+  val iter : prepared -> (Span_tuple.t -> unit) -> unit
+  val cardinal : prepared -> int
+  val to_relation : Evset.t -> string -> Span_relation.t
+end

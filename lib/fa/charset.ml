@@ -77,6 +77,37 @@ let choose cs =
 
 let equal a b = Array.for_all2 ( = ) a b
 
+let to_table cs = Array.init 256 (fun code -> mem cs (Char.chr code))
+
+(* Successive refinement: one pass per charset, splitting every class
+   that the charset cuts (members get a fresh class id, non-members
+   keep the old one).  O(256) per charset. *)
+let byte_classes sets =
+  let class_of = Array.make 256 0 in
+  let count = ref 1 in
+  List.iter
+    (fun cs ->
+      let members = Array.make !count 0 and totals = Array.make !count 0 in
+      Array.iteri
+        (fun code c ->
+          totals.(c) <- totals.(c) + 1;
+          if mem cs (Char.chr code) then members.(c) <- members.(c) + 1)
+        class_of;
+      let fresh = Array.make (Array.length members) (-1) in
+      Array.iteri
+        (fun c m ->
+          if m > 0 && m < totals.(c) then begin
+            fresh.(c) <- !count;
+            incr count
+          end)
+        members;
+      Array.iteri
+        (fun code c ->
+          if fresh.(c) >= 0 && mem cs (Char.chr code) then class_of.(code) <- fresh.(c))
+        class_of)
+    sets;
+  (class_of, !count)
+
 let pp ppf cs =
   if equal cs full then Format.pp_print_string ppf "."
   else

@@ -51,6 +51,20 @@ val choose : t -> char option
 (** [equal a b] is extensional equality. *)
 val equal : t -> t -> bool
 
+(** [to_table cs] is the dense membership table of [cs]: a 256-entry
+    array with [t.(Char.code c) = mem cs c].  Used to materialise
+    byte-indexed transition tables from charset-labelled arcs. *)
+val to_table : t -> bool array
+
+(** [byte_classes sets] partitions the 256 bytes into equivalence
+    classes with respect to [sets]: two bytes land in the same class
+    iff no charset of [sets] separates them.  Returns
+    [(class_of, count)] where [class_of] has 256 entries mapping each
+    byte to its class in [0..count-1].  Transition tables indexed by
+    class instead of byte are equivalent ([mem] is constant on every
+    class) and typically far smaller. *)
+val byte_classes : t list -> int array * int
+
 (** [pp ppf cs] prints a compact, regex-like rendering such as
     [[a-cx]]. *)
 val pp : Format.formatter -> t -> unit

@@ -36,3 +36,13 @@ val total_len : t -> int
 (** [compressed_size db] is the number of distinct nodes reachable
     from any designated document — the |S| of the shared SLP. *)
 val compressed_size : t -> int
+
+(** [eval_all ?jobs db ct] evaluates the compiled spanner [ct] on
+    every document of the database, in insertion order: the
+    one-spanner/many-documents workload of §4.  Documents are
+    decompressed sequentially (the store is shared and mutable), then
+    evaluated in parallel by [jobs] domains
+    ({!Spanner_core.Compiled.eval_all}); the result list is
+    deterministic and independent of [jobs]. *)
+val eval_all :
+  ?jobs:int -> t -> Spanner_core.Compiled.t -> (string * Spanner_core.Span_relation.t) list

@@ -63,5 +63,10 @@ val clear : t -> unit
 (** [hash s] is a content hash, compatible with {!equal}. *)
 val hash : t -> int
 
+(** [key s] is the canonical content key of [s]: two bitsets of equal
+    capacity have equal keys iff they are {!equal}.  Intended as a
+    hashtable key for interning state subsets without bucket scans. *)
+val key : t -> string
+
 (** [compare a b] is a total order compatible with {!equal}. *)
 val compare : t -> t -> int

@@ -1,0 +1,43 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Dynamic work claiming: workers race on [next] for the lowest
+   unclaimed index.  Each slot of [results] is written by exactly one
+   domain, and [Domain.join] publishes those writes to the caller, so
+   no per-slot synchronisation is needed. *)
+let mapi ?jobs f a =
+  let n = Array.length a in
+  let jobs = min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n in
+  if jobs <= 1 then Array.mapi f a
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f i a.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              (* keep the first failure; losers keep their exception
+                 silent — the batch is aborted either way *)
+              ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+        Array.map
+          (function
+            | Some y -> y
+            | None -> assert false (* every index below [n] was claimed *))
+          results
+  end
+
+let map ?jobs f a = mapi ?jobs (fun _ x -> f x) a

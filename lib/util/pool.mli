@@ -1,0 +1,26 @@
+(** A small work pool over OCaml 5 domains (stdlib only).
+
+    Built for the document-database workload: one spanner, many
+    documents, every document independent.  Work items are claimed
+    from a shared atomic counter, so long documents do not stall the
+    short ones behind a static partition, and each result is written
+    to its input's slot — output order is deterministic regardless of
+    scheduling.
+
+    Worker functions must be safe to run concurrently: they may only
+    share immutable data (compiled spanner tables, input strings) and
+    must not touch mutable global state. *)
+
+(** [default_jobs ()] is the recommended parallelism for this machine
+    ({!Domain.recommended_domain_count}), at least 1. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f a] is [Array.map f a], evaluated by [jobs] domains
+    (default {!default_jobs}; clamped to [Array.length a]; [jobs <= 1]
+    runs sequentially in the calling domain).  The result array is in
+    input order.  If any [f x] raises, one such exception is re-raised
+    in the calling domain after all workers have stopped. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi ?jobs f a] is {!map} with the element index. *)
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array

@@ -9,6 +9,27 @@ Example 1.1 of the paper through the CLI:
   | [1,7⟩ | [7,8⟩ | [8,8⟩ |
   4 tuple(s)
 
+The compiled engine produces the same table:
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --compiled
+  | x       | y       | z       |
+  |---------+---------+---------|
+  | [1,2⟩ | [2,3⟩ | [3,8⟩ |
+  | [1,4⟩ | [4,5⟩ | [5,8⟩ |
+  | [1,5⟩ | [5,6⟩ | [6,8⟩ |
+  | [1,7⟩ | [7,8⟩ | [8,8⟩ |
+  4 tuple(s)
+
+Batch evaluation compiles once and evaluates many documents:
+
+  $ printf ababbab > d1.txt && printf abab > d2.txt && printf bbbb > d3.txt
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt --jobs 2
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  d1.txt: 4 tuple(s)
+  d2.txt: 2 tuple(s)
+  d3.txt: 4 tuple(s)
+  3 document(s), 10 tuple(s) total
+
 Enumeration with a limit:
 
   $ spanner_cli enum '.*!x{..}.*' abcd -n 2
