@@ -8,7 +8,8 @@
      refl     evaluate a refl-spanner (with &x references)
      analyze  static analysis of a spanner (§2.4)
      compress compress a document into an SLP and report statistics
-     slpeval  evaluate a spanner over the compressed form (§4.2)    *)
+     slpeval  evaluate a spanner over the compressed form (§4.2)
+     edit     apply CDE edits and re-evaluate incrementally (§4.3)  *)
 
 open Spanner_core
 module Slp = Spanner_slp.Slp
@@ -187,6 +188,46 @@ let slpeval_cmd formula doc file limit =
    with Exit -> ())
 
 (* ------------------------------------------------------------------ *)
+(* edit *)
+
+let edit_cmd formula doc file exprs capacity show =
+  let document = read_document doc file in
+  if String.length document = 0 then failwith "SLPs derive non-empty documents";
+  let db = Spanner_slp.Doc_db.create () in
+  ignore (Spanner_slp.Doc_db.add_string db "doc" document);
+  let store = Spanner_slp.Doc_db.store db in
+  let ct = Compiled.of_formula (parse_formula formula) in
+  let session = Spanner_incr.Incr.create ?cache_capacity:capacity ct db in
+  let report label id relation =
+    Format.printf "%s |D| = %d, %d tuple(s)@." label (Slp.len store id)
+      (Span_relation.cardinal relation)
+  in
+  let bad msg =
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  in
+  report "doc:" (Spanner_slp.Doc_db.find db "doc") (Spanner_incr.Incr.eval_doc session "doc");
+  let last = ref None in
+  List.iteri
+    (fun k src ->
+      let e = try Spanner_slp.Cde.parse src with Invalid_argument msg -> bad msg in
+      match Spanner_incr.Incr.edit session "doc" e with
+      | id, relation ->
+          report (Format.asprintf "edit %d: %a ->" (k + 1) Spanner_slp.Cde.pp e) id relation;
+          last := Some relation
+      | exception Invalid_argument msg -> bad msg
+      | exception Not_found -> bad ("unknown document name in " ^ src))
+    exprs;
+  (match (show, !last) with
+  | true, Some relation -> Format.printf "%a" (Span_relation.pp ?doc:None) relation
+  | _ -> ());
+  let st = Spanner_incr.Incr.stats session in
+  Format.printf "cache: %d hits, %d misses, %d evictions, %d entries (capacity %d), %d nodes created@."
+    st.Spanner_incr.Incr.hits st.Spanner_incr.Incr.misses st.Spanner_incr.Incr.evictions
+    st.Spanner_incr.Incr.entries st.Spanner_incr.Incr.capacity
+    st.Spanner_incr.Incr.nodes_created
+
+(* ------------------------------------------------------------------ *)
 (* datalog *)
 
 let datalog_cmd program_file doc file query =
@@ -325,6 +366,30 @@ let slpeval_term =
     const (fun formula doc file limit -> catch (fun () -> slpeval_cmd formula doc file limit))
     $ formula_arg $ doc_arg $ file_arg $ limit_arg)
 
+let exprs_arg =
+  Arg.(
+    value & pos_right 1 string []
+    & info [] ~docv:"EXPR"
+        ~doc:
+          "CDE-expressions applied in order; each re-designates document $(b,doc). Syntax: \
+           concat(e, e), extract(e, i, j), delete(e, i, j), insert(e, e, k), copy(e, i, j, k) \
+           over document names.")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "capacity" ] ~docv:"N" ~doc:"Cache at most $(docv) per-node summaries (LRU).")
+
+let show_arg =
+  Arg.(value & flag & info [ "show" ] ~doc:"Print the relation after the last edit.")
+
+let edit_term =
+  Term.(
+    const (fun formula doc file exprs capacity show ->
+        catch (fun () -> edit_cmd formula doc file exprs capacity show))
+    $ formula_arg $ doc_arg $ file_arg $ exprs_arg $ capacity_arg $ show_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "eval" ~doc:"Evaluate a regex-formula spanner on a document.") eval_term;
@@ -346,6 +411,12 @@ let cmds =
     Cmd.v
       (Cmd.info "slpeval" ~doc:"Evaluate a spanner over the SLP-compressed document (§4.2).")
       slpeval_term;
+    Cmd.v
+      (Cmd.info "edit"
+         ~doc:
+           "Apply complex document edits and re-evaluate incrementally: per-node transition \
+            summaries are cached, so each edit recomputes only the nodes it created (§4.3).")
+      edit_term;
   ]
 
 let () =

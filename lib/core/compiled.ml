@@ -1,4 +1,5 @@
 module Bitset = Spanner_util.Bitset
+module Bitmatrix = Spanner_util.Bitmatrix
 module Vec = Spanner_util.Vec
 module Pool = Spanner_util.Pool
 module Charset = Spanner_fa.Charset
@@ -152,6 +153,59 @@ let states ct = ct.nstates
 let classes ct = ct.nclasses
 let alphabet ct = Array.length ct.labels
 let is_letter_deterministic ct = ct.deterministic
+let initial ct = ct.initial
+let is_final_state ct q = ct.final.(q)
+let label_markers ct lbl = ct.labels.(lbl)
+
+let iter_set_arcs ct q f =
+  for k = ct.set_off.(q) to ct.set_off.(q + 1) - 1 do
+    f ct.set_lbl.(k) ct.set_dst.(k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-factor transition summaries: the state→state behaviour of the
+   automaton over one derived factor, composable along SLP
+   concatenation nodes (§4.2/§4.3).  [pure] relates p to q when some
+   run over the factor reads only letters; [mixed] when some run also
+   takes ≥ 1 set arc.  At most one set arc precedes each letter (the
+   normal form every engine here assumes), so a terminal's mixed
+   matrix is one set step followed by the letter step.                 *)
+
+type summary = { pure : Bitmatrix.t; mixed : Bitmatrix.t }
+
+let letter_matrix ct c =
+  let cls = ct.class_of.(Char.code c) in
+  let m = Bitmatrix.create ct.nstates in
+  if ct.deterministic then
+    for q = 0 to ct.nstates - 1 do
+      let dst = ct.letter_det.((q * ct.nclasses) + cls) in
+      if dst >= 0 then Bitmatrix.set m q dst
+    done
+  else
+    for q = 0 to ct.nstates - 1 do
+      let cell = (q * ct.nclasses) + cls in
+      for k = ct.letter_off.(cell) to ct.letter_off.(cell + 1) - 1 do
+        Bitmatrix.set m q ct.letter_dst.(k)
+      done
+    done;
+  m
+
+let summary_of_terminal ct c =
+  let pure = letter_matrix ct c in
+  let set_step = Bitmatrix.create ct.nstates in
+  for q = 0 to ct.nstates - 1 do
+    iter_set_arcs ct q (fun _ dst -> Bitmatrix.set set_step q dst)
+  done;
+  { pure; mixed = Bitmatrix.mul set_step pure }
+
+let summary_compose l r =
+  {
+    pure = Bitmatrix.mul l.pure r.pure;
+    mixed =
+      Bitmatrix.union
+        (Bitmatrix.mul l.mixed (Bitmatrix.union r.pure r.mixed))
+        (Bitmatrix.mul l.pure r.mixed);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Per-document preprocessing: the product DAG of Enumerate, built

@@ -65,6 +65,46 @@ val alphabet : t -> int
     letter table is in use (at most one successor per state and byte). *)
 val is_letter_deterministic : t -> bool
 
+(** [initial ct] is the initial state. *)
+val initial : t -> int
+
+(** [is_final_state ct q] tests finality of state [q]. *)
+val is_final_state : t -> int -> bool
+
+(** [iter_set_arcs ct q f] applies [f label_id dst] to each set arc
+    leaving [q], in compiled (CSR) order. *)
+val iter_set_arcs : t -> int -> (int -> int -> unit) -> unit
+
+(** [label_markers ct lbl] is the marker set interned as label [lbl]
+    (see {!alphabet}). *)
+val label_markers : t -> int -> Marker.Set.t
+
+(** {1 Per-factor transition summaries}
+
+    The behaviour of the compiled automaton over one document factor,
+    as a pair of boolean state×state matrices: [pure] relates [p] to
+    [q] when some run over the factor from [p] to [q] reads letters
+    only; [mixed] when some such run also takes at least one set arc
+    (placing markers).  Summaries form a monoid under
+    {!summary_compose}, with {!summary_of_terminal} on single
+    characters — exactly the shape needed to evaluate a spanner
+    bottom-up over an SLP and to reuse cached summaries of shared
+    nodes under complex document editing (§4.2–4.3; the incremental
+    subsystem {!Spanner_incr.Incr} builds on these). *)
+
+type summary = { pure : Spanner_util.Bitmatrix.t; mixed : Spanner_util.Bitmatrix.t }
+
+(** [summary_of_terminal ct c] is the summary of the one-character
+    factor [c]: the letter step, and one optional preceding set arc
+    for the mixed part.  O(states²/word + set arcs). *)
+val summary_of_terminal : t -> char -> summary
+
+(** [summary_compose l r] is the summary of the concatenation X·Y from
+    the summaries of X and Y: pure runs compose pure parts; a mixed
+    run places a marker in X or in Y (or both).  Three boolean matrix
+    products. *)
+val summary_compose : summary -> summary -> summary
+
 (** {1 Per-document preprocessing and enumeration} *)
 
 type prepared

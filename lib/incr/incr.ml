@@ -1,0 +1,145 @@
+open Spanner_core
+module Slp = Spanner_slp.Slp
+module Doc_db = Spanner_slp.Doc_db
+module Cde = Spanner_slp.Cde
+module Lru = Spanner_util.Lru
+module Bitmatrix = Spanner_util.Bitmatrix
+module Vec = Spanner_util.Vec
+
+type session = {
+  ct : Compiled.t;
+  db : Doc_db.t;
+  cache : (Slp.id, Compiled.summary) Lru.t;
+  mutable created : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  nodes_created : int;
+}
+
+let create ?(cache_capacity = 65536) ct db =
+  let s = { ct; db; cache = Lru.create ~capacity:cache_capacity (); created = 0 } in
+  Slp.on_new_node (Doc_db.store db) (fun id ->
+      s.created <- s.created + 1;
+      (* A fresh id cannot have a summary yet; dropping defensively
+         keeps the cache sound even if ids were ever recycled. *)
+      Lru.remove s.cache id);
+  s
+
+let compiled s = s.ct
+let database s = s.db
+
+let rec summary s id =
+  match Lru.find s.cache id with
+  | Some sum -> sum
+  | None ->
+      let sum =
+        match Slp.node (Doc_db.store s.db) id with
+        | Slp.Leaf c -> Compiled.summary_of_terminal s.ct c
+        | Slp.Pair (l, r) -> Compiled.summary_compose (summary s l) (summary s r)
+      in
+      Lru.add s.cache id sum;
+      sum
+
+(* Pick lists are (0-based boundary, label id); identical to the
+   compiled engine's representation, decoded through the interned
+   marker-set alphabet. *)
+let tuple_of_picks ct picks extra =
+  let opens = Hashtbl.create 4 in
+  let tuple = ref Span_tuple.empty in
+  let apply (boundary, lbl) =
+    Marker.Set.iter
+      (function
+        | Marker.Open x -> Hashtbl.replace opens x (boundary + 1)
+        | Marker.Close x ->
+            let left = Option.value ~default:(boundary + 1) (Hashtbl.find_opt opens x) in
+            tuple := Span_tuple.bind !tuple x (Span.make left (boundary + 1)))
+      (Compiled.label_markers ct lbl)
+  in
+  Vec.iter apply picks;
+  (match extra with Some pick -> apply pick | None -> ());
+  !tuple
+
+(* Enumerate the marker-placing runs init→q over node [id], guided by
+   the summary matrices so that every branch taken yields at least one
+   run (the §4.2 scheme of Slp_spanner, over compiled tables).  [f] may
+   see the same tuple along several runs when the compiled automaton is
+   nondeterministic; [eval] collects into a relation, which dedups. *)
+let iter_runs s id f =
+  let ct = s.ct in
+  let store = Doc_db.store s.db in
+  let n = Compiled.states ct in
+  let init = Compiled.initial ct in
+  let doc_len = Slp.len store id in
+  let picks = Vec.create () in
+  let rec go id p q offset k =
+    match Slp.node store id with
+    | Slp.Leaf _ ->
+        (* pure summary of a leaf = the letter step matrix *)
+        let letter = (summary s id).Compiled.pure in
+        Compiled.iter_set_arcs ct p (fun lbl p' ->
+            if Bitmatrix.get letter p' q then begin
+              ignore (Vec.push picks (offset, lbl));
+              k ();
+              ignore (Vec.pop picks)
+            end)
+    | Slp.Pair (l, r) ->
+        let m = Slp.len store l in
+        let sl = summary s l and sr = summary s r in
+        for mid = 0 to n - 1 do
+          if Bitmatrix.get sl.Compiled.mixed p mid && Bitmatrix.get sr.Compiled.pure mid q then
+            go l p mid offset k;
+          if Bitmatrix.get sl.Compiled.pure p mid && Bitmatrix.get sr.Compiled.mixed mid q then
+            go r mid q (offset + m) k;
+          if Bitmatrix.get sl.Compiled.mixed p mid && Bitmatrix.get sr.Compiled.mixed mid q then
+            go l p mid offset (fun () -> go r mid q (offset + m) k)
+        done
+  in
+  let root = summary s id in
+  for q = 0 to n - 1 do
+    let reach_pure = Bitmatrix.get root.Compiled.pure init q in
+    let reach_mixed = Bitmatrix.get root.Compiled.mixed init q in
+    if reach_pure || reach_mixed then begin
+      (* runs ending at q, then the trailing boundary's optional set arc *)
+      let endings = ref [] in
+      if Compiled.is_final_state ct q then endings := None :: !endings;
+      Compiled.iter_set_arcs ct q (fun lbl q' ->
+          if Compiled.is_final_state ct q' then endings := Some (doc_len, lbl) :: !endings);
+      List.iter
+        (fun ending ->
+          if reach_pure then f (tuple_of_picks ct picks ending);
+          if reach_mixed then go id init q 0 (fun () -> f (tuple_of_picks ct picks ending)))
+        !endings
+    end
+  done
+
+let eval s id =
+  let r = ref (Span_relation.empty (Compiled.vars s.ct)) in
+  iter_runs s id (fun tuple -> r := Span_relation.add !r tuple);
+  !r
+
+let eval_doc s name = eval s (Doc_db.find s.db name)
+
+let eval_all s = List.map (fun name -> (name, eval_doc s name)) (Doc_db.names s.db)
+
+let edit s name e =
+  let id = Cde.materialize s.db name e in
+  (id, eval s id)
+
+let stats s =
+  let l = Lru.stats s.cache in
+  {
+    hits = l.Lru.hits;
+    misses = l.Lru.misses;
+    evictions = l.Lru.evictions;
+    entries = Lru.length s.cache;
+    capacity = Lru.capacity s.cache;
+    nodes_created = s.created;
+  }
+
+let reset_stats s = Lru.reset_stats s.cache

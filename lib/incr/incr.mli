@@ -1,0 +1,90 @@
+(** Incremental evaluation: spanner results that survive CDE edits
+    (§4.3, [40]; "Dynamic Complexity of Document Spanners").
+
+    The compiled engine ({!Spanner_core.Compiled}) re-runs its full
+    per-document pass after every edit, although a complex document
+    edit over a strongly balanced SLP creates only O(|φ|·log d) new
+    nodes — all the structure below those nodes is shared with the
+    pre-edit document.  This module caches, per (compiled spanner, SLP
+    node), the node's transition summary
+    ({!Spanner_core.Compiled.summary}: the state→state behaviour of
+    the automaton over the node's derived factor), so that evaluating
+    a spanner on a document reduces to combining cached summaries
+    bottom-up; after an edit, only the freshly created nodes are ever
+    computed, and re-evaluation costs O(new nodes · states³/word)
+    plus the output.
+
+    A {!session} binds one compiled spanner to one document database
+    and holds a bounded LRU cache ({!Spanner_util.Lru}) keyed by node
+    id.  Because the database's documents share nodes of one store
+    (Figure 1: A1, A2 and A3 share almost everything), a single cache
+    serves every document — evaluating A3 after A1 is pure cache
+    hits.  A node-creation hook ({!Spanner_slp.Slp.on_new_node})
+    counts the nodes each edit creates and drops any stale cache entry
+    under a fresh id.
+
+    Evaluation enumerates runs through the summary matrices exactly
+    like {!Spanner_slp.Slp_spanner} (§4.2), but over the compiled
+    tables and the shared cache.  Results are collected into a
+    relation, so a nondeterministic compiled automaton (which may
+    yield the same tuple along several runs) is handled by set
+    semantics. *)
+
+open Spanner_core
+module Slp = Spanner_slp.Slp
+module Doc_db = Spanner_slp.Doc_db
+module Cde = Spanner_slp.Cde
+
+type session
+
+(** Cache statistics: LRU counters plus the session-lifetime node
+    creation count (every node the store created since {!create},
+    whether or not an edit of this session caused it). *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** summaries currently cached *)
+  capacity : int;
+  nodes_created : int;
+}
+
+(** [create ?cache_capacity ct db] is a session evaluating [ct] over
+    the documents of [db], with a summary cache of at most
+    [cache_capacity] nodes (default 65536). *)
+val create : ?cache_capacity:int -> Compiled.t -> Doc_db.t -> session
+
+val compiled : session -> Compiled.t
+val database : session -> Doc_db.t
+
+(** [summary s id] is the cached (or freshly computed and cached)
+    transition summary of node [id]. *)
+val summary : session -> Slp.id -> Compiled.summary
+
+(** [eval s id] is ⟦ct⟧(𝔇(id)), computed from cached summaries;
+    only nodes missing from the cache are (recursively) summarised. *)
+val eval : session -> Slp.id -> Span_relation.t
+
+(** [eval_doc s name] is [eval] on the designated document [name].
+    @raise Not_found on unknown names. *)
+val eval_doc : session -> string -> Span_relation.t
+
+(** [eval_all s] evaluates every document of the database in
+    designation order — {!Doc_db.eval_all} without decompression,
+    sharing one cache across all documents. *)
+val eval_all : session -> (string * Span_relation.t) list
+
+(** [edit s name e] applies the CDE-expression [e], designates the
+    result as document [name] ({!Cde.materialize}), and returns the
+    new node together with its re-evaluated relation.  Cost: the edit
+    (O(|e|·log d) new nodes) + fresh summaries for exactly those
+    nodes + output enumeration.
+    @raise Invalid_argument on out-of-range positions (with the
+    offending positions), [Not_found] on unknown document names. *)
+val edit : session -> string -> Cde.t -> Slp.id * Span_relation.t
+
+val stats : session -> stats
+
+(** [reset_stats s] zeroes hit/miss/eviction counters (cache contents
+    are kept — the point of measuring a warm re-evaluation). *)
+val reset_stats : session -> unit

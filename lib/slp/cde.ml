@@ -13,7 +13,13 @@ let rec eval db e =
   | Doc name -> Doc_db.find db name
   | Node id -> id
   | Concat (a, b) -> Balance.concat store (eval db a) (eval db b)
-  | Extract (a, i, j) -> Balance.extract store (eval db a) i j
+  | Extract (a, i, j) ->
+      let a = eval db a in
+      let n = Slp.len store a in
+      if i < 1 || j < i || j > n then
+        invalid_arg
+          (Printf.sprintf "Cde.eval: extract range [%d..%d] out of bounds (length %d)" i j n);
+      Balance.extract store a i j
   | Delete (a, i, j) ->
       let a = eval db a in
       let n = Slp.len store a in
@@ -37,6 +43,13 @@ let rec eval db e =
       (match right with None -> mid | Some r -> Balance.concat store mid r)
   | Copy (a, i, j, k) ->
       let a' = eval db a in
+      let n = Slp.len store a' in
+      if i < 1 || j < i || j > n then
+        invalid_arg
+          (Printf.sprintf "Cde.eval: copy range [%d..%d] out of bounds (length %d)" i j n);
+      if k < 1 || k > n + 1 then
+        invalid_arg
+          (Printf.sprintf "Cde.eval: copy position %d out of bounds (length %d)" k n);
       let piece = Balance.extract store a' i j in
       eval db (Insert (Node a', Node piece, k))
 
@@ -73,6 +86,95 @@ let rec reference_eval lookup = function
       if i < 1 || j < i || j > String.length s then invalid_arg "Cde.reference_eval: copy range";
       let piece = String.sub s (i - 1) (j - i + 1) in
       String.sub s 0 (k - 1) ^ piece ^ String.sub s (k - 1) (String.length s - k + 1)
+
+let parse s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "Cde.parse: %s at offset %d" msg !pos) in
+  let skip_ws () =
+    while !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let is_word c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.'
+  in
+  let word () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < len && is_word s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a document name or operation";
+    String.sub s start (!pos - start)
+  in
+  let int_arg () =
+    let w = word () in
+    match int_of_string_opt w with
+    | Some n -> n
+    | None -> fail (Printf.sprintf "expected an integer, got %S" w)
+  in
+  let rec expr () =
+    let name = word () in
+    skip_ws ();
+    if peek () <> Some '(' then Doc name
+    else begin
+      incr pos;
+      let e =
+        match name with
+        | "concat" ->
+            let a = expr () in
+            expect ',';
+            let b = expr () in
+            Concat (a, b)
+        | "extract" ->
+            let a = expr () in
+            expect ',';
+            let i = int_arg () in
+            expect ',';
+            let j = int_arg () in
+            Extract (a, i, j)
+        | "delete" ->
+            let a = expr () in
+            expect ',';
+            let i = int_arg () in
+            expect ',';
+            let j = int_arg () in
+            Delete (a, i, j)
+        | "insert" ->
+            let a = expr () in
+            expect ',';
+            let b = expr () in
+            expect ',';
+            let k = int_arg () in
+            Insert (a, b, k)
+        | "copy" ->
+            let a = expr () in
+            expect ',';
+            let i = int_arg () in
+            expect ',';
+            let j = int_arg () in
+            expect ',';
+            let k = int_arg () in
+            Copy (a, i, j, k)
+        | _ -> fail (Printf.sprintf "unknown operation %S" name)
+      in
+      expect ')';
+      e
+    end
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> len then fail "trailing input";
+  e
 
 let rec pp ppf = function
   | Doc name -> Format.pp_print_string ppf name

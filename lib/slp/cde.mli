@@ -45,4 +45,12 @@ val size : t -> int
     compare against, and the oracle for correctness tests. *)
 val reference_eval : (string -> string) -> t -> string
 
+(** [parse s] reads a CDE-expression in the concrete syntax printed by
+    {!pp}: a bare word is a document name, and the five operations are
+    written [concat(e, e)], [extract(e, i, j)], [delete(e, i, j)],
+    [insert(e, e, k)] and [copy(e, i, j, k)].  Explicit [Node] ids
+    have no written form.
+    @raise Invalid_argument (with the offset) on a syntax error. *)
+val parse : string -> t
+
 val pp : Format.formatter -> t -> unit

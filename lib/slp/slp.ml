@@ -12,10 +12,20 @@ type store = {
   cells : cell Vec.t;
   cons : (int * int, id) Hashtbl.t; (* hash-consing of pairs *)
   char_leaves : (char, id) Hashtbl.t;
+  mutable hooks : (id -> unit) list; (* node-creation observers *)
 }
 
 let create_store () =
-  { cells = Vec.create (); cons = Hashtbl.create 256; char_leaves = Hashtbl.create 16 }
+  {
+    cells = Vec.create ();
+    cons = Hashtbl.create 256;
+    char_leaves = Hashtbl.create 16;
+    hooks = [];
+  }
+
+let on_new_node store f = store.hooks <- f :: store.hooks
+
+let notify store id = List.iter (fun f -> f id) store.hooks
 
 let cell store id = Vec.get store.cells id
 
@@ -31,6 +41,7 @@ let leaf store c =
   | None ->
       let id = Vec.push store.cells { node = Leaf c; len = 1; order = 1 } in
       Hashtbl.add store.char_leaves c id;
+      notify store id;
       id
 
 let pair store l r =
@@ -43,6 +54,7 @@ let pair store l r =
           { node = Pair (l, r); len = cl.len + cr.len; order = 1 + max cl.order cr.order }
       in
       Hashtbl.add store.cons (l, r) id;
+      notify store id;
       id
 
 let balance store id =

@@ -73,6 +73,13 @@ val of_string : store -> string -> id
     children before parents (a topological order). *)
 val iter_reachable : store -> id -> (id -> unit) -> unit
 
+(** [on_new_node store f] registers [f] to be called with the id of
+    every node subsequently created in [store] (hash-consing hits do
+    not create nodes and do not fire).  Used by per-node caches
+    ({!Spanner_incr.Incr}) to track which nodes an edit created and to
+    drop any stale entry under a fresh id. *)
+val on_new_node : store -> (id -> unit) -> unit
+
 (** [is_c_shallow store ~c id] tests order(A) ≤ c·log₂|𝔇(A)| for the
     root and every reachable inner node of derived length ≥ 2
     (§4.1). *)

@@ -1,0 +1,104 @@
+(* Hash table over an intrusive doubly-linked recency list: the list
+   head is the most recently used entry, the tail the eviction
+   candidate.  Links are options so no sentinel values of type 'k/'v
+   are needed. *)
+
+type ('k, 'v) entry = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) entry option; (* towards the head (more recent) *)
+  mutable next : ('k, 'v) entry option; (* towards the tail (less recent) *)
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+(* Defined after [stats] so the unqualified counter fields below refer
+   to this record. *)
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable head : ('k, 'v) entry option;
+  mutable tail : ('k, 'v) entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be at least 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t e =
+  (match e.prev with None -> t.head <- e.next | Some p -> p.next <- e.next);
+  (match e.next with None -> t.tail <- e.prev | Some n -> n.prev <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_head t e =
+  e.next <- t.head;
+  (match t.head with None -> t.tail <- Some e | Some h -> h.prev <- Some e);
+  t.head <- Some e
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      unlink t e;
+      push_head t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table e.key;
+      t.evictions <- t.evictions + 1
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some e ->
+      e.value <- v;
+      unlink t e;
+      push_head t e
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_tail t;
+      let e = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.table k e;
+      push_head t e)
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let stats t : stats = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

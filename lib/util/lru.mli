@@ -1,0 +1,50 @@
+(** Bounded least-recently-used cache with usage statistics.
+
+    Backing store for the incremental evaluation subsystem
+    ({!Spanner_incr.Incr}): per-SLP-node transition summaries are
+    memoised here, and the hit/miss/eviction counters are what the
+    CLI and benchmarks report.  The structure is a hash table over an
+    intrusive doubly-linked recency list, so every operation is O(1)
+    expected time. *)
+
+type ('k, 'v) t
+
+(** Cumulative usage counters since creation (or the last
+    {!reset_stats}).  Explicit {!remove}s are not counted as
+    evictions. *)
+type stats = { hits : int; misses : int; evictions : int }
+
+(** [create ~capacity ()] is an empty cache holding at most [capacity]
+    entries; inserting into a full cache evicts the least recently
+    used one.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> unit -> ('k, 'v) t
+
+(** [capacity t] is the bound given at creation. *)
+val capacity : ('k, 'v) t -> int
+
+(** [length t] is the number of entries currently cached. *)
+val length : ('k, 'v) t -> int
+
+(** [find t k] is the cached value for [k], refreshing its recency;
+    counts one hit or one miss. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [mem t k] tests presence without touching recency or counters. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [add t k v] binds [k] to [v] as the most recently used entry,
+    replacing any previous binding; evicts the least recently used
+    entry if the cache is full. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [remove t k] drops [k]'s entry if present (not an eviction). *)
+val remove : ('k, 'v) t -> 'k -> unit
+
+(** [clear t] drops every entry; counters are kept. *)
+val clear : ('k, 'v) t -> unit
+
+val stats : ('k, 'v) t -> stats
+
+(** [reset_stats t] zeroes the counters, keeping the entries. *)
+val reset_stats : ('k, 'v) t -> unit

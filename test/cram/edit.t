@@ -1,0 +1,32 @@
+Incremental evaluation: a document is loaded once, then CDE edits are
+applied one after another, re-evaluating the spanner from cached
+per-node summaries after each:
+
+  $ spanner_cli edit '!x{[ab]*}!y{b}!z{[ab]*}' ababbab \
+  >   'insert(doc, extract(doc, 1, 2), 4)' 'delete(doc, 1, 2)'
+  doc: |D| = 7, 4 tuple(s)
+  edit 1: insert(doc, extract(doc, 1, 2), 4) -> |D| = 9, 5 tuple(s)
+  edit 2: delete(doc, 1, 2) -> |D| = 7, 4 tuple(s)
+  cache: 443 hits, 14 misses, 0 evictions, 14 entries (capacity 65536), 9 nodes created
+
+--show prints the final relation, and --capacity bounds the summary
+cache:
+
+  $ spanner_cli edit '!x{[ab]*}!y{b}!z{[ab]*}' ababbab 'delete(doc, 3, 4)' \
+  >   --show --capacity 8
+  doc: |D| = 7, 4 tuple(s)
+  edit 1: delete(doc, 3, 4) -> |D| = 5, 3 tuple(s)
+  | x       | y       | z       |
+  |---------+---------+---------|
+  | [1,2⟩ | [2,3⟩ | [3,6⟩ |
+  | [1,3⟩ | [3,4⟩ | [4,6⟩ |
+  | [1,5⟩ | [5,6⟩ | [6,6⟩ |
+  cache: 224 hits, 8 misses, 0 evictions, 8 entries (capacity 8), 1 nodes created
+
+Out-of-range edits report the offending positions and exit with
+code 2:
+
+  $ spanner_cli edit '!x{b}' ab 'delete(doc, 5, 9)'
+  doc: |D| = 2, 0 tuple(s)
+  error: Cde.eval: delete range [5..9] out of bounds (length 2)
+  [2]

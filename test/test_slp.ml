@@ -231,6 +231,100 @@ let cde_materialize () =
   check Alcotest.bool "total_len" true (Doc_db.total_len db > 0);
   check Alcotest.bool "compressed_size positive" true (Doc_db.compressed_size db > 0)
 
+let doc_db_replace () =
+  (* re-designating an existing name must not double-count it *)
+  let db = Doc_db.create () in
+  let store = Doc_db.store db in
+  ignore (Doc_db.add_string db "d" "abcabc");
+  ignore (Doc_db.add_string db "other" "bb");
+  let id2 = Slp.of_string store "xyzw" in
+  Doc_db.add db "d" id2;
+  check Alcotest.(list string) "names not duplicated" [ "d"; "other" ] (Doc_db.names db);
+  check Alcotest.int "find returns the replacement" id2 (Doc_db.find db "d");
+  check Alcotest.int "total_len counts the replacement once" (4 + 2) (Doc_db.total_len db);
+  (* compressed_size counts nodes reachable from the *current*
+     designations only — same count as a db built directly with them *)
+  let fresh = Doc_db.create () in
+  Doc_db.add fresh "d" (Slp.of_string (Doc_db.store fresh) "xyzw");
+  ignore (Doc_db.add_string fresh "other" "bb");
+  check Alcotest.int "compressed_size = fresh db with final contents"
+    (Doc_db.compressed_size fresh) (Doc_db.compressed_size db);
+  (* replacing with the same id again is also idempotent *)
+  Doc_db.add db "d" id2;
+  check Alcotest.(list string) "still not duplicated" [ "d"; "other" ] (Doc_db.names db)
+
+let cde_boundaries () =
+  let db = Doc_db.create () in
+  let store = Doc_db.store db in
+  ignore (Doc_db.add_string db "d" "abcde");
+  let n = 5 in
+  let d = Cde.Doc "d" in
+  let s e = Slp.to_string store (Cde.eval db e) in
+  (* positions 1 and |D| (and |D|+1 where an insertion point) are valid *)
+  check Alcotest.string "extract [1..n]" "abcde" (s (Cde.Extract (d, 1, n)));
+  check Alcotest.string "extract [n..n]" "e" (s (Cde.Extract (d, n, n)));
+  check Alcotest.string "delete [1..1]" "bcde" (s (Cde.Delete (d, 1, 1)));
+  check Alcotest.string "delete [n..n]" "abcd" (s (Cde.Delete (d, n, n)));
+  check Alcotest.string "insert at 1" "abcdeabcde" (s (Cde.Insert (d, d, 1)));
+  check Alcotest.string "insert at n+1" "abcdeabcde" (s (Cde.Insert (d, d, n + 1)));
+  check Alcotest.string "copy to n+1" "abcdeab" (s (Cde.Copy (d, 1, 2, n + 1)));
+  (* position |D|+1 in a range, position 0, and |D|+2 as an insertion
+     point all fail, with the offending positions in the message *)
+  Alcotest.check_raises "extract past end"
+    (Invalid_argument "Cde.eval: extract range [1..6] out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Extract (d, 1, n + 1))));
+  Alcotest.check_raises "extract at 0"
+    (Invalid_argument "Cde.eval: extract range [0..3] out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Extract (d, 0, 3))));
+  Alcotest.check_raises "extract inverted"
+    (Invalid_argument "Cde.eval: extract range [4..2] out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Extract (d, 4, 2))));
+  Alcotest.check_raises "delete past end"
+    (Invalid_argument "Cde.eval: delete range [5..6] out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Delete (d, n, n + 1))));
+  Alcotest.check_raises "insert past n+1"
+    (Invalid_argument "Cde.eval: insert position 7 out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Insert (d, d, n + 2))));
+  Alcotest.check_raises "insert at 0"
+    (Invalid_argument "Cde.eval: insert position 0 out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Insert (d, d, 0))));
+  Alcotest.check_raises "copy bad range"
+    (Invalid_argument "Cde.eval: copy range [3..7] out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Copy (d, 3, n + 2, 1))));
+  Alcotest.check_raises "copy bad position"
+    (Invalid_argument "Cde.eval: copy position 7 out of bounds (length 5)") (fun () ->
+      ignore (Cde.eval db (Cde.Copy (d, 1, 2, n + 2))))
+
+let cde_parse () =
+  let roundtrip e =
+    let printed = Format.asprintf "%a" Cde.pp e in
+    check Alcotest.bool (Printf.sprintf "roundtrip %s" printed) true (Cde.parse printed = e)
+  in
+  roundtrip (Cde.Doc "doc");
+  roundtrip (Cde.Concat (Cde.Doc "a", Cde.Doc "b"));
+  roundtrip (Cde.Extract (Cde.Doc "d", 1, 12));
+  roundtrip (Cde.Delete (Cde.Concat (Cde.Doc "x", Cde.Doc "y"), 2, 3));
+  roundtrip (Cde.Insert (Cde.Doc "d", Cde.Extract (Cde.Doc "d", 5, 9), 4));
+  roundtrip (Cde.Copy (Cde.Insert (Cde.Doc "a", Cde.Doc "b", 1), 1, 2, 3));
+  (* whitespace is free; negative integers parse (and fail later, in
+     eval, with the offending positions) *)
+  check Alcotest.bool "whitespace" true
+    (Cde.parse " extract( d ,\n 1 , 2 ) " = Cde.Extract (Cde.Doc "d", 1, 2));
+  check Alcotest.bool "negative int" true
+    (Cde.parse "extract(d, -1, 2)" = Cde.Extract (Cde.Doc "d", -1, 2));
+  Alcotest.check_raises "unknown operation"
+    (Invalid_argument "Cde.parse: unknown operation \"frobnicate\" at offset 11") (fun () ->
+      ignore (Cde.parse "frobnicate(d, 1, 2)"));
+  Alcotest.check_raises "trailing input"
+    (Invalid_argument "Cde.parse: trailing input at offset 17") (fun () ->
+      ignore (Cde.parse "extract(d, 1, 2) x"));
+  Alcotest.check_raises "missing paren"
+    (Invalid_argument "Cde.parse: expected ')' at offset 15") (fun () ->
+      ignore (Cde.parse "extract(d, 1, 2"));
+  Alcotest.check_raises "non-integer argument"
+    (Invalid_argument "Cde.parse: expected an integer, got \"one\" at offset 14") (fun () ->
+      ignore (Cde.parse "extract(d, one, 2)"))
+
 (* ------------------------------------------------------------------ *)
 (* Accept (§4.2) *)
 
@@ -510,6 +604,9 @@ let () =
           tc "operations vs reference" `Quick cde_operations;
           tc "guards" `Quick cde_guards;
           tc "materialize" `Quick cde_materialize;
+          tc "replacing a designation" `Quick doc_db_replace;
+          tc "boundary positions" `Quick cde_boundaries;
+          tc "parse" `Quick cde_parse;
         ] );
       ( "accept",
         [

@@ -213,6 +213,82 @@ let interner_roundtrip () =
   check (Alcotest.list Alcotest.string) "names in order" [ "alpha"; "beta" ] (Interner.names t)
 
 (* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let lru_basic () =
+  let t = Lru.create ~capacity:3 () in
+  check Alcotest.int "capacity" 3 (Lru.capacity t);
+  check Alcotest.int "fresh length" 0 (Lru.length t);
+  check (Alcotest.option Alcotest.string) "miss" None (Lru.find t 1);
+  Lru.add t 1 "one";
+  Lru.add t 2 "two";
+  check (Alcotest.option Alcotest.string) "hit" (Some "one") (Lru.find t 1);
+  Lru.add t 1 "uno";
+  check Alcotest.int "replace keeps length" 2 (Lru.length t);
+  check (Alcotest.option Alcotest.string) "replaced" (Some "uno") (Lru.find t 1);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Lru.create: capacity must be at least 1") (fun () ->
+      ignore (Lru.create ~capacity:0 ()))
+
+let lru_eviction_order () =
+  let t = Lru.create ~capacity:3 () in
+  Lru.add t 'a' 0;
+  Lru.add t 'b' 1;
+  Lru.add t 'c' 2;
+  (* touch 'a': 'b' becomes the least recently used *)
+  ignore (Lru.find t 'a');
+  Lru.add t 'd' 3;
+  check Alcotest.bool "b evicted" false (Lru.mem t 'b');
+  check Alcotest.bool "a kept" true (Lru.mem t 'a');
+  check Alcotest.bool "c kept" true (Lru.mem t 'c');
+  check Alcotest.bool "d kept" true (Lru.mem t 'd');
+  check Alcotest.int "evictions counted" 1 (Lru.stats t).Lru.evictions;
+  (* replacing an existing key when full must not evict *)
+  Lru.add t 'c' 9;
+  check Alcotest.int "replace is not an eviction" 1 (Lru.stats t).Lru.evictions;
+  check Alcotest.int "length at capacity" 3 (Lru.length t)
+
+let lru_stats () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.add t 1 "x";
+  ignore (Lru.find t 1);
+  ignore (Lru.find t 1);
+  ignore (Lru.find t 2);
+  ignore (Lru.mem t 2);
+  (* mem is counter-neutral *)
+  let s = Lru.stats t in
+  check Alcotest.int "hits" 2 s.Lru.hits;
+  check Alcotest.int "misses" 1 s.Lru.misses;
+  check Alcotest.int "evictions" 0 s.Lru.evictions;
+  (* remove is not an eviction; clear keeps counters *)
+  Lru.remove t 1;
+  check Alcotest.int "length after remove" 0 (Lru.length t);
+  Lru.add t 3 "y";
+  Lru.clear t;
+  check Alcotest.int "length after clear" 0 (Lru.length t);
+  check Alcotest.int "counters kept" 2 (Lru.stats t).Lru.hits;
+  Lru.reset_stats t;
+  let s = Lru.stats t in
+  check Alcotest.int "reset hits" 0 s.Lru.hits;
+  check Alcotest.int "reset misses" 0 s.Lru.misses;
+  check Alcotest.int "reset evictions" 0 s.Lru.evictions
+
+let lru_churn () =
+  (* keys 0..9 round-robin through a 4-entry cache: the working set
+     never fits, so every find misses and every add evicts *)
+  let t = Lru.create ~capacity:4 () in
+  for round = 1 to 3 do
+    for k = 0 to 9 do
+      (match Lru.find t k with None -> Lru.add t k (k * round) | Some _ -> ());
+      if Lru.length t > 4 then Alcotest.failf "over capacity at key %d" k
+    done
+  done;
+  let s = Lru.stats t in
+  check Alcotest.int "all misses" 30 s.Lru.misses;
+  check Alcotest.int "no hits" 0 s.Lru.hits;
+  check Alcotest.int "evictions" 26 s.Lru.evictions
+
+(* ------------------------------------------------------------------ *)
 (* Xoshiro *)
 
 let xoshiro_deterministic () =
@@ -271,6 +347,13 @@ let () =
           tc "bounds" `Quick strhash_bounds;
         ] );
       ("interner", [ tc "roundtrip" `Quick interner_roundtrip ]);
+      ( "lru",
+        [
+          tc "basic" `Quick lru_basic;
+          tc "eviction order" `Quick lru_eviction_order;
+          tc "stats" `Quick lru_stats;
+          tc "churn" `Quick lru_churn;
+        ] );
       ( "xoshiro",
         [ tc "deterministic" `Quick xoshiro_deterministic; tc "ranges" `Quick xoshiro_ranges ] );
     ]
