@@ -21,6 +21,7 @@ module Incr = Spanner_incr.Incr
 module Refl_spanner = Spanner_refl.Refl_spanner
 module X = Spanner_util.Xoshiro
 module Pool = Spanner_util.Pool
+module Limits = Spanner_util.Limits
 module Nfa = Spanner_fa.Nfa
 module Regex = Spanner_fa.Regex
 open Tables
@@ -766,6 +767,57 @@ let e13_incremental () =
   List.rev !json
 
 (* ------------------------------------------------------------------ *)
+(* E14: resource-governance overhead (DESIGN.md §2c)                   *)
+
+let e14_robustness () =
+  section
+    "E14: resource governance — amortized budget probes on the evaluation hot path \
+     (target: < 5% overhead under a generous budget)";
+  let ct = Compiled.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  (* A *generous* budget, not [Limits.none]: every axis is bounded so
+     every probe does real work (including the gettimeofday deadline
+     probe every ~4K steps) without ever tripping. *)
+  let generous =
+    Limits.make ~fuel:1_000_000_000 ~time_ms:3_600_000 ~max_states:1_000_000
+      ~max_tuples:1_000_000_000 ()
+  in
+  let rng = X.create 47 in
+  let json = ref [] in
+  let rows =
+    List.map
+      (fun k ->
+        let n = 1 lsl k in
+        let doc = X.string rng "ab" n in
+        let free = best_of 5 (fun () -> ignore (Compiled.eval ct doc)) in
+        let governed = best_of 5 (fun () -> ignore (Compiled.eval ~limits:generous ct doc)) in
+        let overhead = 100.0 *. ((governed /. max free 1e-9) -. 1.0) in
+        let c_free = Span_relation.cardinal (Compiled.eval ct doc) in
+        let c_gov = Span_relation.cardinal (Compiled.eval ~limits:generous ct doc) in
+        json :=
+          (Printf.sprintf "e14/eval-governed-%d" n, Some (governed *. 1e9))
+          :: (Printf.sprintf "e14/eval-free-%d" n, Some (free *. 1e9))
+          :: !json;
+        [
+          pretty_int n;
+          pretty_time free;
+          pretty_time governed;
+          Printf.sprintf "%+.1f%%" overhead;
+          (if c_free = c_gov then pretty_int c_gov else "MISMATCH");
+        ])
+      [ 12; 14; 16 ]
+  in
+  print_table
+    ~title:
+      "Compiled.eval [ab]*!x{ab}[ab]* — ungoverned vs a generous 4-axis budget (fuel, \
+       deadline, states, tuples all bounded, none tripping)"
+    ~header:[ "|D|"; "free"; "governed"; "overhead"; "tuples" ]
+    rows;
+  note
+    "expected shape: overhead a few percent at worst (one increment + compare per step; \
+     clock probed every ~4096 steps) and shrinking as output work dominates.";
+  List.rev !json
+
+(* ------------------------------------------------------------------ *)
 (* A: ablations of design choices                                      *)
 
 let a1_join_strategy () =
@@ -1003,6 +1055,7 @@ let () =
   e11_datalog ();
   e12_compiled_engine ();
   let e13_rows = e13_incremental () in
+  let e14_rows = e14_robustness () in
   a1_join_strategy ();
   a2_balanced_editing ();
   a3_equality_strategy ();
@@ -1010,6 +1063,7 @@ let () =
   (match !json_file with
   | Some file ->
       write_json file ols_rows;
-      write_json "BENCH_incr.json" e13_rows
+      write_json "BENCH_incr.json" e13_rows;
+      write_json "BENCH_robust.json" e14_rows
   | None -> ());
   note "\nall experiments completed."

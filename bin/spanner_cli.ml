@@ -16,6 +16,14 @@ module Slp = Spanner_slp.Slp
 module Builder = Spanner_slp.Builder
 module Balance = Spanner_slp.Balance
 module Slp_spanner = Spanner_slp.Slp_spanner
+module Limits = Spanner_util.Limits
+
+(* Exit-code contract: 0 ok; 1 evaluation failure / some documents of
+   a batch failed; 2 usage, parse, or corrupt-input error; 3 resource
+   limit exceeded (see Limits.exit_code). *)
+exception Usage of string
+
+let usage msg = raise (Usage msg)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -31,8 +39,8 @@ let read_document doc file =
   match (doc, file) with
   | Some d, None -> d
   | None, Some path -> read_file path
-  | Some _, Some _ -> failwith "give either DOC or --file, not both"
-  | None, None -> failwith "missing document: give DOC or --file"
+  | Some _, Some _ -> usage "give either DOC or --file, not both"
+  | None, None -> usage "missing document: give DOC or --file"
 
 let parse_formula s =
   try Regex_formula.parse s
@@ -43,11 +51,11 @@ let parse_formula s =
 (* ------------------------------------------------------------------ *)
 (* eval *)
 
-let eval_cmd formula doc file contents compiled =
+let eval_cmd formula doc file contents compiled limits =
   let document = read_document doc file in
   let relation =
-    if compiled then Compiled.eval (Compiled.of_formula (parse_formula formula)) document
-    else Evset.eval (Evset.of_formula (parse_formula formula)) document
+    if compiled then Compiled.eval ~limits (Compiled.of_formula ~limits (parse_formula formula)) document
+    else Evset.eval (Evset.of_formula ~limits (parse_formula formula)) document
   in
   if contents then Format.printf "%a" (Span_relation.pp ~doc:document) relation
   else Format.printf "%a" (Span_relation.pp ?doc:None) relation;
@@ -56,21 +64,41 @@ let eval_cmd formula doc file contents compiled =
 (* ------------------------------------------------------------------ *)
 (* batch *)
 
-let batch_cmd formula files jobs =
-  if files = [] then failwith "missing documents: give at least one FILE";
-  let ct = Compiled.of_formula (parse_formula formula) in
+let batch_cmd formula files jobs limits =
+  if files = [] then usage "missing documents: give at least one FILE";
+  (* Compilation failures (e.g. the state cap) abort the whole batch:
+     with no compiled spanner there is nothing to degrade to.  Per-
+     document failures below only cost their own slot. *)
+  let ct = Compiled.of_formula ~limits (parse_formula formula) in
   Format.printf "compiled: %d states, %d byte classes, %d marker-set labels@."
     (Compiled.states ct) (Compiled.classes ct) (Compiled.alphabet ct);
   let docs = Array.of_list (List.map read_file files) in
-  let relations = Compiled.eval_all ?jobs ct docs in
+  let results = Compiled.eval_all_result ?jobs ~limits ct docs in
   let total = ref 0 in
+  let failed = ref 0 in
   List.iteri
     (fun i file ->
-      let k = Span_relation.cardinal relations.(i) in
-      total := !total + k;
-      Format.printf "%s: %d tuple(s)@." file k)
+      match results.(i) with
+      | Ok relation ->
+          let k = Span_relation.cardinal relation in
+          total := !total + k;
+          Format.printf "%s: %d tuple(s)@." file k
+      | Error e ->
+          incr failed;
+          let msg =
+            match e with
+            | Limits.Spanner_error err -> Limits.to_string err
+            | e -> Printexc.to_string e
+          in
+          Printf.eprintf "%s: %s\n%!" file msg)
     files;
-  Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
+  if !failed = 0 then
+    Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
+  else begin
+    Format.printf "%d document(s), %d failed, %d tuple(s) total@." (List.length files) !failed
+      !total;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* enum *)
@@ -141,7 +169,7 @@ let analyze_cmd formula dot =
 
 let compress_cmd doc file output =
   let document = read_document doc file in
-  if String.length document = 0 then failwith "cannot compress the empty document";
+  if String.length document = 0 then usage "cannot compress the empty document";
   let store = Slp.create_store () in
   let raw = Builder.lz78 store document in
   let balanced = Balance.rebalance store raw in
@@ -168,7 +196,7 @@ let compress_cmd doc file output =
 
 let slpeval_cmd formula doc file limit =
   let document = read_document doc file in
-  if String.length document = 0 then failwith "SLPs derive non-empty documents";
+  if String.length document = 0 then usage "SLPs derive non-empty documents";
   let store = Slp.create_store () in
   let id = Balance.rebalance store (Builder.lz78 store document) in
   let spanner = Evset.of_formula (parse_formula formula) in
@@ -190,13 +218,13 @@ let slpeval_cmd formula doc file limit =
 (* ------------------------------------------------------------------ *)
 (* edit *)
 
-let edit_cmd formula doc file exprs capacity show =
+let edit_cmd formula doc file exprs capacity show limits =
   let document = read_document doc file in
-  if String.length document = 0 then failwith "SLPs derive non-empty documents";
+  if String.length document = 0 then usage "SLPs derive non-empty documents";
   let db = Spanner_slp.Doc_db.create () in
   ignore (Spanner_slp.Doc_db.add_string db "doc" document);
   let store = Spanner_slp.Doc_db.store db in
-  let ct = Compiled.of_formula (parse_formula formula) in
+  let ct = Compiled.of_formula ~limits (parse_formula formula) in
   let session = Spanner_incr.Incr.create ?cache_capacity:capacity ct db in
   let report label id relation =
     Format.printf "%s |D| = %d, %d tuple(s)@." label (Slp.len store id)
@@ -206,12 +234,12 @@ let edit_cmd formula doc file exprs capacity show =
     Printf.eprintf "error: %s\n" msg;
     exit 2
   in
-  report "doc:" (Spanner_slp.Doc_db.find db "doc") (Spanner_incr.Incr.eval_doc session "doc");
+  report "doc:" (Spanner_slp.Doc_db.find db "doc") (Spanner_incr.Incr.eval_doc ~limits session "doc");
   let last = ref None in
   List.iteri
     (fun k src ->
       let e = try Spanner_slp.Cde.parse src with Invalid_argument msg -> bad msg in
-      match Spanner_incr.Incr.edit session "doc" e with
+      match Spanner_incr.Incr.edit ~limits session "doc" e with
       | id, relation ->
           report (Format.asprintf "edit %d: %a ->" (k + 1) Spanner_slp.Cde.pp e) id relation;
           last := Some relation
@@ -306,20 +334,64 @@ let files_arg =
   Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"Document files.")
 
 let catch f =
-  try f () with Failure m ->
-    Printf.eprintf "error: %s\n" m;
-    exit 2
+  try f () with
+  | Usage m ->
+      Printf.eprintf "usage error: %s\n" m;
+      exit 2
+  | Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  | Limits.Spanner_error e ->
+      Printf.eprintf "error: %s\n" (Limits.to_string e);
+      exit (Limits.exit_code e)
+  | Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Abort with exit code 3 after $(docv) evaluation steps (default: unbounded).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Abort with exit code 3 after $(docv) milliseconds of wall-clock time per document.")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"Reject spanners compiling to more than $(docv) automaton states (exit code 3).")
+
+let max_tuples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-tuples" ] ~docv:"N"
+        ~doc:"Abort with exit code 3 once a document yields more than $(docv) result tuples.")
+
+let limits_term =
+  Term.(
+    const (fun fuel time_ms max_states max_tuples ->
+        Limits.make ?fuel ?time_ms ?max_states ?max_tuples ())
+    $ fuel_arg $ deadline_arg $ max_states_arg $ max_tuples_arg)
 
 let eval_term =
   Term.(
-    const (fun formula doc file contents compiled ->
-        catch (fun () -> eval_cmd formula doc file contents compiled))
-    $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg)
+    const (fun formula doc file contents compiled limits ->
+        catch (fun () -> eval_cmd formula doc file contents compiled limits))
+    $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg $ limits_term)
 
 let batch_term =
   Term.(
-    const (fun formula files jobs -> catch (fun () -> batch_cmd formula files jobs))
-    $ formula_arg $ files_arg $ jobs_arg)
+    const (fun formula files jobs limits -> catch (fun () -> batch_cmd formula files jobs limits))
+    $ formula_arg $ files_arg $ jobs_arg $ limits_term)
 
 let enum_term =
   Term.(
@@ -386,9 +458,9 @@ let show_arg =
 
 let edit_term =
   Term.(
-    const (fun formula doc file exprs capacity show ->
-        catch (fun () -> edit_cmd formula doc file exprs capacity show))
-    $ formula_arg $ doc_arg $ file_arg $ exprs_arg $ capacity_arg $ show_arg)
+    const (fun formula doc file exprs capacity show limits ->
+        catch (fun () -> edit_cmd formula doc file exprs capacity show limits))
+    $ formula_arg $ doc_arg $ file_arg $ exprs_arg $ capacity_arg $ show_arg $ limits_term)
 
 let cmds =
   [

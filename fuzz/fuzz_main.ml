@@ -1,0 +1,210 @@
+(* Fuzz harness for every parser/deserializer surface of the library.
+
+   Property: feeding arbitrary bytes to a parser produces a typed,
+   documented error or a successful parse — never an uncaught
+   exception, a crash, or a hang.  "Typed" means:
+
+   - Spanner_util.Limits.Spanner_error   (the unified error taxonomy)
+   - Spanner_fa.Regex.Parse_error        (regex-level syntax errors)
+   - Invalid_argument                    (documented validation errors)
+
+   Anything else — raw Failure, Not_found, Out_of_memory,
+   Assert_failure, Stack_overflow, array bounds — is a crash and fails
+   the run.
+
+   Inputs come from three springs, all driven by the deterministic
+   Xoshiro PRNG so a failing run is reproducible from its seed:
+
+   - replay: every checked-in corpus file runs through its target
+     first (regression seeds for past crashes);
+   - mutation: corpus seeds (plus a freshly serialised SLPDB image)
+     mutated by byte flips, insertions, deletions, truncations,
+     duplications and splices;
+   - generation: random strings over a target-biased alphabet.
+
+   Every parse runs under a small resource budget, so pathological but
+   well-formed inputs (state blowups, huge repetitions) surface as
+   Limit_exceeded instead of hanging the harness. *)
+
+module X = Spanner_util.Xoshiro
+module Limits = Spanner_util.Limits
+
+let budget = Limits.make ~fuel:200_000 ~time_ms:2_000 ~max_states:512 ~max_tuples:20_000 ()
+
+let allowed = function
+  | Limits.Spanner_error _ -> true
+  | Spanner_fa.Regex.Parse_error _ -> true
+  | Invalid_argument _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Targets *)
+
+type target = { name : string; alphabet : string; run : string -> unit }
+
+let targets =
+  [|
+    {
+      name = "formula";
+      alphabet = "ab01!x{}[]()*+?|;,.-^\\&9 ";
+      run = (fun s -> ignore (Spanner_core.Evset.of_formula ~limits:budget (Spanner_core.Regex_formula.parse s)));
+    };
+    {
+      name = "refl";
+      alphabet = "ab01!x&{}[]()*+?|;,.-^\\9 ";
+      run = (fun s -> ignore (Spanner_refl.Refl_spanner.parse s));
+    };
+    {
+      name = "datalog";
+      alphabet = "pqxyzab(),.:-<>!{}*+;=% \n";
+      run = (fun s -> ignore (Spanner_datalog.Datalog.parse ~limits:budget s));
+    };
+    {
+      name = "cde";
+      alphabet = "abcdoc()_,0123456789 concatextractdeleteinsertcopy";
+      run = (fun s -> ignore (Spanner_slp.Cde.parse s));
+    };
+    {
+      name = "slpdb";
+      alphabet = "";
+      (* empty alphabet: full byte range *)
+      run = (fun s -> ignore (Spanner_slp.Serialize.read_string s));
+    };
+  |]
+
+let target_of_name name =
+  Array.to_list targets
+  |> List.find_opt (fun t ->
+         String.length name >= String.length t.name
+         && String.sub name 0 (String.length t.name) = t.name)
+
+(* ------------------------------------------------------------------ *)
+(* Input springs *)
+
+let random_string rng alphabet len =
+  if alphabet = "" then String.init len (fun _ -> Char.chr (X.int rng 256))
+  else X.string rng alphabet len
+
+let mutate rng s =
+  let n = String.length s in
+  match X.int rng 6 with
+  | 0 when n > 0 ->
+      (* point mutation *)
+      let b = Bytes.of_string s in
+      Bytes.set b (X.int rng n) (Char.chr (X.int rng 256));
+      Bytes.to_string b
+  | 1 ->
+      (* insertion *)
+      let i = X.int rng (n + 1) in
+      String.sub s 0 i ^ String.make 1 (Char.chr (X.int rng 256)) ^ String.sub s i (n - i)
+  | 2 when n > 0 ->
+      (* deletion *)
+      let i = X.int rng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+  | 3 when n > 0 ->
+      (* truncation *)
+      String.sub s 0 (X.int rng n)
+  | 4 when n > 0 ->
+      (* duplicate a slice *)
+      let i = X.int rng n in
+      let len = 1 + X.int rng (n - i) in
+      String.sub s 0 (i + len) ^ String.sub s i (len) ^ String.sub s (i + len) (n - i - len)
+  | _ when n > 1 ->
+      (* splice: swap the halves around a random cut *)
+      let i = 1 + X.int rng (n - 1) in
+      String.sub s i (n - i) ^ String.sub s 0 i
+  | _ -> s ^ random_string rng "ab" 2
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let corpus_dir = "corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus () =
+  let files =
+    if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+      Sys.readdir corpus_dir |> Array.to_list |> List.sort String.compare
+    else []
+  in
+  List.filter_map
+    (fun f ->
+      match target_of_name f with
+      | Some t -> Some (t, f, read_file (Filename.concat corpus_dir f))
+      | None -> None)
+    files
+
+(* A valid SLPDB image to mutate: corrupting a well-formed file probes
+   much deeper into the deserializer than random bytes, which rarely
+   survive the magic check. *)
+let fresh_slpdb () =
+  let db = Spanner_slp.Doc_db.create () in
+  ignore (Spanner_slp.Doc_db.add_string db "d1" "abracadabra");
+  ignore (Spanner_slp.Doc_db.add_string db "d2" "abcabcabcabc");
+  Spanner_slp.Serialize.write_string db
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let escape s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "\\x%02x" (Char.code c))
+                      (List.of_seq (String.to_seq s)))
+
+let crashes = ref 0
+
+let run_one (t : target) input =
+  match t.run input with
+  | () -> ()
+  | exception e when allowed e -> ()
+  | exception e ->
+      incr crashes;
+      Printf.eprintf "CRASH %s: %s\n  input: \"%s\"\n%!" t.name (Printexc.to_string e)
+        (escape input)
+
+let () =
+  let seed = ref 42 in
+  let iters = ref 50_000 in
+  let spec =
+    [
+      ("--seed", Arg.Set_int seed, "PRNG seed (default 42)");
+      ("--iters", Arg.Set_int iters, "number of fuzz inputs (default 50000)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "fuzz_main [options]";
+  let rng = X.create !seed in
+  (* 1. replay the checked-in crash corpus *)
+  let seeds = corpus () in
+  List.iter (fun (t, _, contents) -> run_one t contents) seeds;
+  (* 2. seed pool per target: corpus files + a fresh SLPDB image *)
+  let pool t =
+    let own = List.filter_map (fun (t', _, c) -> if t' == t then Some c else None) seeds in
+    if t.name = "slpdb" then fresh_slpdb () :: own else own
+  in
+  let pools = Array.map (fun t -> Array.of_list (pool t)) targets in
+  (* 3. random + mutation rounds *)
+  for i = 0 to !iters - 1 do
+    let ti = i mod Array.length targets in
+    let t = targets.(ti) in
+    let input =
+      if Array.length pools.(ti) > 0 && X.bool rng then begin
+        let s = ref (X.choose rng pools.(ti)) in
+        for _ = 0 to X.int rng 4 do
+          s := mutate rng !s
+        done;
+        !s
+      end
+      else random_string rng t.alphabet (1 + X.int rng 60)
+    in
+    run_one t input
+  done;
+  if !crashes > 0 then begin
+    Printf.eprintf "%d crash(es) out of %d inputs (seed %d)\n%!" !crashes !iters !seed;
+    exit 1
+  end
+  else Printf.printf "fuzz: %d inputs across %d targets, 0 crashes (seed %d)\n%!" !iters
+      (Array.length targets) !seed

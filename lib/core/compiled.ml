@@ -2,6 +2,7 @@ module Bitset = Spanner_util.Bitset
 module Bitmatrix = Spanner_util.Bitmatrix
 module Vec = Spanner_util.Vec
 module Pool = Spanner_util.Pool
+module Limits = Spanner_util.Limits
 module Charset = Spanner_fa.Charset
 
 (* ------------------------------------------------------------------ *)
@@ -41,8 +42,10 @@ type t = {
 
 module Label_map = Map.Make (Marker.Set)
 
-let of_evset e =
+let of_evset ?(limits = Limits.none) e =
+  let g = Limits.start limits in
   let nstates = Evset.size e in
+  Limits.check_states g nstates;
   (* Byte classes: bytes the spanner's charsets never separate share a
      column of the transition table. *)
   let charsets = ref [] in
@@ -50,6 +53,7 @@ let of_evset e =
     Evset.iter_letter_arcs e q (fun cs _ -> charsets := cs :: !charsets)
   done;
   let class_of, nclasses = Charset.byte_classes !charsets in
+  Limits.charge g (nstates * nclasses);
   let rep = Array.make nclasses 0 in
   for code = 255 downto 0 do
     rep.(class_of.(code)) <- code
@@ -145,7 +149,7 @@ let of_evset e =
     set_dst_bit;
   }
 
-let of_formula f = of_evset (Evset.of_formula f)
+let of_formula ?limits f = of_evset ?limits (Evset.of_formula ?limits f)
 
 let evset ct = ct.source
 let vars ct = ct.vars
@@ -281,7 +285,7 @@ let fresh_node counter boundary =
    keys on the mask itself, and images are or-loops over [succ_mask].
    Discovery order (states ascending, arcs in CSR order) matches the
    bitset path exactly, so both produce the same enumeration order. *)
-let prepare_small ct doc =
+let prepare_small g ct doc =
   let n = String.length doc in
   let counter = ref 0 in
   let table : (int, node) Hashtbl.t = Hashtbl.create 64 in
@@ -340,6 +344,7 @@ let prepare_small ct doc =
   let root = intern 0 (1 lsl ct.initial) in
   let all = ref [] in
   while not (Queue.is_empty worklist) do
+    Limits.check g;
     let node, mask = Queue.take worklist in
     all := node :: !all;
     let i = node.boundary in
@@ -372,7 +377,7 @@ let prepare_small ct doc =
 
 (* General document pass for automata too large for one machine word:
    subsets are {!Bitset}s, interned by canonical content key. *)
-let prepare_big ct doc =
+let prepare_big g ct doc =
   let n = String.length doc in
   let nstates = ct.nstates in
   let counter = ref 0 in
@@ -455,6 +460,7 @@ let prepare_big ct doc =
   let root = intern 0 start in
   let all = ref [] in
   while not (Queue.is_empty worklist) do
+    Limits.check g;
     let node, set = Queue.take worklist in
     all := node :: !all;
     let i = node.boundary in
@@ -486,7 +492,9 @@ let prepare_big ct doc =
   done;
   trim_and_pack ct n root !all
 
-let prepare ct doc = if ct.small then prepare_small ct doc else prepare_big ct doc
+let prepare_gauge g ct doc = if ct.small then prepare_small g ct doc else prepare_big g ct doc
+
+let prepare ?(limits = Limits.none) ct doc = prepare_gauge (Limits.start limits) ct doc
 
 let stats p = { nodes = p.node_count; edges = p.edge_count; boundaries = p.doc_len + 1 }
 
@@ -577,6 +585,23 @@ let to_relation p =
 (* ------------------------------------------------------------------ *)
 (* Whole-document and batch evaluation                                 *)
 
-let eval ct doc = to_relation (prepare ct doc)
+(* One gauge spans both phases: preprocessing and output collection
+   draw from the same fuel, and the tuple cap applies to the collected
+   relation. *)
+let eval ?(limits = Limits.none) ct doc =
+  let g = Limits.start limits in
+  let p = prepare_gauge g ct doc in
+  let r = ref (Span_relation.empty p.tables.vars) in
+  let count = ref 0 in
+  iter p (fun t ->
+      Limits.check g;
+      incr count;
+      Limits.check_tuples g !count;
+      r := Span_relation.add !r t);
+  !r
 
-let eval_all ?jobs ct docs = Pool.map ?jobs (eval ct) docs
+let eval_all ?jobs ?limits ct docs = Pool.map ?jobs (eval ?limits ct) docs
+
+(* Each document gets its own gauge ([eval] starts one per call), so a
+   poisoned or oversized document trips only its own slot. *)
+let eval_all_result ?jobs ?limits ct docs = Pool.map_result ?jobs (eval ?limits ct) docs

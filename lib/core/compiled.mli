@@ -40,12 +40,17 @@ type t
 (** A compiled spanner: dense transition tables, shareable across
     domains. *)
 
-(** [of_evset e] compiles [e] once.  O(|e| · 256) — combined
-    complexity, independent of any document. *)
-val of_evset : Evset.t -> t
+(** [of_evset ?limits e] compiles [e] once.  O(|e| · 256) — combined
+    complexity, independent of any document.  Under [limits], the
+    state count is checked against the state cap before any table is
+    allocated ({!Spanner_util.Limits.Spanner_error} with
+    [Limit_exceeded {which = States; _}] on violation). *)
+val of_evset : ?limits:Spanner_util.Limits.t -> Evset.t -> t
 
-(** [of_formula f] is [of_evset (Evset.of_formula f)]. *)
-val of_formula : Regex_formula.t -> t
+(** [of_formula ?limits f] is [of_evset ?limits (Evset.of_formula
+    ?limits f)] — the limits also govern the formula-to-automaton
+    construction. *)
+val of_formula : ?limits:Spanner_util.Limits.t -> Regex_formula.t -> t
 
 (** {1 Compiled-table accessors (bench/CLI introspection)} *)
 
@@ -109,9 +114,13 @@ val summary_compose : summary -> summary -> summary
 
 type prepared
 
-(** [prepare ct doc] runs the data-complexity pass: O(|doc|) array
-    lookups for a fixed spanner, producing the trimmed product DAG. *)
-val prepare : t -> string -> prepared
+(** [prepare ?limits ct doc] runs the data-complexity pass: O(|doc|)
+    array lookups for a fixed spanner, producing the trimmed product
+    DAG.  Under [limits], each product node consumes one unit of fuel
+    and the wall-clock deadline is probed every ~4K nodes, so an
+    oversized document fails with [Limit_exceeded] instead of running
+    away. *)
+val prepare : ?limits:Spanner_util.Limits.t -> t -> string -> prepared
 
 (** [iter p f] calls [f] exactly once per result tuple. *)
 val iter : prepared -> (Span_tuple.t -> unit) -> unit
@@ -141,13 +150,29 @@ val stats : prepared -> stats
 
 (** {1 Whole-document and batch evaluation} *)
 
-(** [eval ct doc] is ⟦ct⟧(doc) through prepare + enumerate. *)
-val eval : t -> string -> Span_relation.t
+(** [eval ?limits ct doc] is ⟦ct⟧(doc) through prepare + enumerate.
+    One gauge spans both phases (fuel and deadline are shared), and
+    the collected relation is capped at [limits.max_tuples]. *)
+val eval : ?limits:Spanner_util.Limits.t -> t -> string -> Span_relation.t
 
-(** [eval_all ?jobs ct docs] evaluates every document of [docs],
-    [jobs] domains at a time (default
+(** [eval_all ?jobs ?limits ct docs] evaluates every document of
+    [docs], [jobs] domains at a time (default
     {!Spanner_util.Pool.default_jobs}; [~jobs:1] is sequential).
     Results are in input order and identical for every [jobs] — the
     per-document computation is deterministic and shares only the
-    immutable compiled tables. *)
-val eval_all : ?jobs:int -> t -> string array -> Span_relation.t array
+    immutable compiled tables.  Each document is metered by its own
+    gauge started from [limits]; the first failure aborts the whole
+    batch (all-or-nothing semantics — see {!eval_all_result}). *)
+val eval_all :
+  ?jobs:int -> ?limits:Spanner_util.Limits.t -> t -> string array -> Span_relation.t array
+
+(** [eval_all_result ?jobs ?limits ct docs] is {!eval_all} with
+    partial-failure semantics: a document that fails (malformed,
+    over-budget, …) degrades to its [Error] slot while every healthy
+    document still completes. *)
+val eval_all_result :
+  ?jobs:int ->
+  ?limits:Spanner_util.Limits.t ->
+  t ->
+  string array ->
+  (Span_relation.t, exn) result array

@@ -13,7 +13,7 @@ type prepared = Compiled.prepared
 
 type stats = { nodes : int; edges : int; boundaries : int }
 
-let prepare e doc = Compiled.prepare (Compiled.of_evset e) doc
+let prepare ?limits e doc = Compiled.prepare ?limits (Compiled.of_evset ?limits e) doc
 
 let stats p =
   let s = Compiled.stats p in
@@ -24,7 +24,7 @@ let iter = Compiled.iter
 let to_seq = Compiled.to_seq
 let first = Compiled.first
 
-let to_relation e doc = Compiled.eval (Compiled.of_evset e) doc
+let to_relation ?limits e doc = Compiled.eval ?limits (Compiled.of_evset ?limits e) doc
 
 (* ------------------------------------------------------------------ *)
 (* Reference implementation                                            *)

@@ -28,9 +28,10 @@
 
 type prepared = Compiled.prepared
 
-(** [prepare e doc] runs the preprocessing phase.  O(|doc|) for a
-    fixed spanner. *)
-val prepare : Evset.t -> string -> prepared
+(** [prepare ?limits e doc] runs the preprocessing phase.  O(|doc|)
+    for a fixed spanner.  [limits] meters compilation and the document
+    pass ({!Compiled.prepare}). *)
+val prepare : ?limits:Spanner_util.Limits.t -> Evset.t -> string -> prepared
 
 (** [iter p f] calls [f] exactly once per result tuple. *)
 val iter : prepared -> (Span_tuple.t -> unit) -> unit
@@ -42,9 +43,10 @@ val to_seq : prepared -> Span_tuple.t Seq.t
     preparation (path counts are accumulated during the trim pass). *)
 val cardinal : prepared -> int
 
-(** [to_relation e doc] materialises ⟦e⟧(doc) through the enumeration
-    pipeline (used by tests to cross-check against {!Evset.eval}). *)
-val to_relation : Evset.t -> string -> Span_relation.t
+(** [to_relation ?limits e doc] materialises ⟦e⟧(doc) through the
+    enumeration pipeline (used by tests to cross-check against
+    {!Evset.eval}). *)
+val to_relation : ?limits:Spanner_util.Limits.t -> Evset.t -> string -> Span_relation.t
 
 (** [first p] is the first tuple, if any, without full enumeration. *)
 val first : prepared -> Span_tuple.t option

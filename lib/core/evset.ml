@@ -1,6 +1,7 @@
 module Charset = Spanner_fa.Charset
 module Bitset = Spanner_util.Bitset
 module Vec = Spanner_util.Vec
+module Limits = Spanner_util.Limits
 
 type state = int
 
@@ -40,14 +41,18 @@ module Closure_set = Set.Make (Closure_key)
 
 (* All (q', S) such that q' is reachable from q along ε/marker arcs
    whose collected markers are exactly S (each marker at most once on
-   the path). *)
-let marker_closure (v : Vset.t) q =
+   the path).  The closure is worst-case exponential in the number of
+   variables, so every element charged against the gauge — a
+   pathological formula trips the fuel budget instead of exhausting
+   memory. *)
+let marker_closure g (v : Vset.t) q =
   let seen = ref (Closure_set.singleton (q, Marker.Set.empty)) in
   let queue = Queue.create () in
   Queue.add (q, Marker.Set.empty) queue;
   while not (Queue.is_empty queue) do
     let p, s = Queue.take queue in
     Vset.iter_transitions v p (fun label dst ->
+        Limits.check g;
         let next =
           match label with
           | Vset.Eps -> Some (dst, s)
@@ -62,8 +67,10 @@ let marker_closure (v : Vset.t) q =
   done;
   Closure_set.elements !seen
 
-let of_vset v =
+let of_vset ?(limits = Limits.none) v =
+  let g = Limits.start limits in
   let n = Vset.size v in
+  Limits.check_states g n;
   let set_arcs = Array.make (max n 1) [] in
   let letter_arcs = Array.make (max n 1) [] in
   let final_set = Bitset.create (max n 1) in
@@ -76,9 +83,10 @@ let of_vset v =
     !acc
   in
   for q = 0 to n - 1 do
-    let closure = marker_closure v q in
+    let closure = marker_closure g v q in
     List.iter
       (fun (q', s) ->
+        Limits.check g;
         if Marker.Set.is_empty s then begin
           (* ε-only closure: absorb into letter arcs and finals. *)
           List.iter (fun arc -> letter_arcs.(q) <- arc :: letter_arcs.(q)) (raw_letters q');
@@ -106,12 +114,13 @@ let of_vset v =
      finals — already ensured because every state got the treatment. *)
   { n = max n 1; initial = Vset.initial v; final_set; set_arcs; letter_arcs; vars = Vset.vars v }
 
-let of_formula f = of_vset (Vset.of_formula f)
+let of_formula ?limits f = of_vset ?limits (Vset.of_formula f)
 
 (* ------------------------------------------------------------------ *)
 (* Determinization                                                     *)
 
-let determinize e =
+let determinize ?(limits = Limits.none) e =
+  let g = Limits.start limits in
   let index = Hashtbl.create 64 in
   let subsets = Vec.create () in
   let pending = Queue.create () in
@@ -121,7 +130,10 @@ let determinize e =
     match List.find_opt (fun (s, _) -> Bitset.equal s set) bucket with
     | Some (_, q) -> q
     | None ->
+        (* subset construction: exponential in |e| in the worst case,
+           so the state cap applies per interned subset *)
         let q = Vec.push subsets set in
+        Limits.check_states g (q + 1);
         Hashtbl.replace index k ((set, q) :: bucket);
         Queue.add q pending;
         q
@@ -164,6 +176,7 @@ let determinize e =
           (fun (cs, dst) ->
             Charset.iter
               (fun ch ->
+                Limits.check g;
                 let code = Char.code ch in
                 let tgt =
                   match by_char.(code) with

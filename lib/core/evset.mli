@@ -21,25 +21,32 @@ type t
 
 (** {1 Conversion and construction} *)
 
-(** [of_vset v] computes, for every state, the marker-set closure of
-    its ε/marker paths (each marker at most once per boundary —
-    soundness of [v] guarantees at most once globally) and produces the
-    equivalent extended automaton.  Worst-case exponential in the
-    number of variables, linear in practice for spanners with few
-    variables (data complexity is unaffected, cf. §2.5). *)
-val of_vset : Vset.t -> t
+(** [of_vset ?limits v] computes, for every state, the marker-set
+    closure of its ε/marker paths (each marker at most once per
+    boundary — soundness of [v] guarantees at most once globally) and
+    produces the equivalent extended automaton.  Worst-case
+    exponential in the number of variables, linear in practice for
+    spanners with few variables (data complexity is unaffected, cf.
+    §2.5).  Under [limits], the state count is checked against the
+    state cap up front and every closure step consumes fuel, so a
+    pathological formula raises
+    {!Spanner_util.Limits.Spanner_error}[ (Limit_exceeded _)] instead
+    of exhausting memory. *)
+val of_vset : ?limits:Spanner_util.Limits.t -> Vset.t -> t
 
-(** [of_formula f] is [of_vset (Vset.of_formula f)]. *)
-val of_formula : Regex_formula.t -> t
+(** [of_formula ?limits f] is [of_vset ?limits (Vset.of_formula f)]. *)
+val of_formula : ?limits:Spanner_util.Limits.t -> Regex_formula.t -> t
 
-(** [determinize e] is the deterministic extended vset-automaton of
-    [10]: for every state, at most one successor per marker-set label
-    and per character.  Accepted extended words are unchanged, but runs
-    become unique per word — the property both {!Enumerate} and the
-    SLP-compressed enumeration rely on for duplicate-freedom.  Subset
-    construction: worst-case exponential in |e| (irrelevant in data
-    complexity, §2.5). *)
-val determinize : t -> t
+(** [determinize ?limits e] is the deterministic extended
+    vset-automaton of [10]: for every state, at most one successor per
+    marker-set label and per character.  Accepted extended words are
+    unchanged, but runs become unique per word — the property both
+    {!Enumerate} and the SLP-compressed enumeration rely on for
+    duplicate-freedom.  Subset construction: worst-case exponential in
+    |e| (irrelevant in data complexity, §2.5); under [limits] each
+    interned subset counts against the state cap and transition work
+    consumes fuel. *)
+val determinize : ?limits:Spanner_util.Limits.t -> t -> t
 
 (** [is_deterministic e] checks the determinism property. *)
 val is_deterministic : t -> bool

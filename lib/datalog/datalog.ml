@@ -1,5 +1,6 @@
 open Spanner_core
 module Strhash = Spanner_util.Strhash
+module Limits = Spanner_util.Limits
 
 type literal =
   | Spanner of Evset.t * (Variable.t * string) list
@@ -86,7 +87,8 @@ let extend env v span =
   | Some s -> if Span.equal s span then Some env else None
   | None -> Some ((v, span) :: env)
 
-let run p doc =
+let run ?limits p doc =
+  let g = Limits.start (Option.value ~default:Limits.none limits) in
   let hash = Strhash.make doc in
   (* Materialise each distinct spanner atom once (physical identity:
      the same automaton value shared between rules is shared here). *)
@@ -95,7 +97,7 @@ let run p doc =
     match List.find_opt (fun (e', _) -> e' == e) !spanner_cache with
     | Some (_, r) -> r
     | None ->
-        let r = Enumerate.to_relation e doc in
+        let r = Enumerate.to_relation ?limits e doc in
         spanner_cache := (e, r) :: !spanner_cache;
         r
   in
@@ -114,6 +116,8 @@ let run p doc =
      evaluation); [-1] means all IDB literals use the full tables. *)
   let eval_rule { head = hname, hvars; body } use_delta_at emit =
     let rec go idb_index literals env =
+      (* one unit of fuel per binding step of the fixpoint *)
+      Limits.check g;
       match literals with
       | [] ->
           let row =
@@ -177,10 +181,17 @@ let run p doc =
   (* Round 0: rules evaluated with empty IDB tables derive the base
      facts (rules whose bodies have IDB literals derive nothing yet). *)
   let fresh : (string, Row_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let derived = ref 0 in
   let emit name row =
     let current = Option.value ~default:Row_set.empty (Hashtbl.find_opt fresh name) in
-    if not (Row_set.mem row (table name)) then
+    if not (Row_set.mem row (table name)) then begin
+      if not (Row_set.mem row current) then begin
+        incr derived;
+        (* every genuinely new fact counts against the tuple cap *)
+        Limits.check_tuples g !derived
+      end;
       Hashtbl.replace fresh name (Row_set.add row current)
+    end
   in
   List.iter (fun rule -> eval_rule rule (-1) emit) p.rules;
   let rounds = ref 0 in
@@ -225,10 +236,9 @@ let iterations r = r.rounds
 (* ------------------------------------------------------------------ *)
 (* Concrete syntax                                                     *)
 
-type parser_state = { input : string; mutable pos : int }
+type parser_state = { input : string; mutable pos : int; limits : Limits.t option }
 
-let parse_error st message =
-  invalid_arg (Printf.sprintf "Datalog.parse: %s (at offset %d)" message st.pos)
+let parse_error st message = Limits.parse_error ~what:"datalog" ~pos:st.pos message
 
 let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
 
@@ -328,7 +338,12 @@ let parse_literal st =
     find_close false;
     let formula_src = String.sub st.input start (st.pos - start) in
     advance st (* '>' *);
-    let e = Evset.of_formula (Regex_formula.parse formula_src) in
+    let e =
+      try Evset.of_formula ?limits:st.limits (Regex_formula.parse formula_src)
+      with Spanner_fa.Regex.Parse_error (msg, p) ->
+        Limits.parse_error ~what:"datalog" ~pos:(start + p)
+          (Printf.sprintf "in spanner formula: %s" msg)
+    in
     expect st '(';
     let rec bindings acc =
       let sv = parse_ident st in
@@ -376,8 +391,8 @@ let parse_rule st =
   in
   { head = (hname, hvars); body = body [] }
 
-let parse input =
-  let st = { input; pos = 0 } in
+let parse ?limits input =
+  let st = { input; pos = 0; limits } in
   let rec rules acc =
     skip_ws st;
     if st.pos >= String.length input then List.rev acc else rules (parse_rule st :: acc)

@@ -43,10 +43,15 @@ type program
     @raise Invalid_argument with a reason otherwise. *)
 val make : rule list -> program
 
-(** [run p doc] computes the least fixpoint of [p] over [doc]. *)
+(** [run ?limits p doc] computes the least fixpoint of [p] over [doc].
+    Under [limits], spanner-atom materialisation is metered as in
+    {!Enumerate.to_relation}, every binding step of the semi-naïve
+    fixpoint consumes fuel, the deadline is probed periodically, and
+    genuinely new derived facts count against the tuple cap
+    ({!Spanner_util.Limits.Spanner_error} on violation). *)
 type result
 
-val run : program -> string -> result
+val run : ?limits:Spanner_util.Limits.t -> program -> string -> result
 
 (** [facts r pred] is the set of derived rows of [pred], sorted.
     @raise Not_found for an unknown predicate. *)
@@ -82,7 +87,11 @@ val iterations : result -> int
       chain(x, z) :- chain(x, y), eq(y, z).
     v} *)
 
-(** [parse s] parses and validates a program.
-    @raise Invalid_argument (validation) or
-    {!Spanner_fa.Regex.Parse_error} (embedded formulas) on bad input. *)
-val parse : string -> program
+(** [parse ?limits s] parses and validates a program.  Syntax errors —
+    including those of embedded spanner formulas, re-anchored at their
+    offset in [s] — raise {!Spanner_util.Limits.Spanner_error} with
+    [Parse {what = "datalog"; _}]; validation failures keep raising
+    [Invalid_argument] ({!make}).  [limits] governs the
+    formula-to-automaton construction of spanner atoms
+    ({!Evset.of_formula}). *)
+val parse : ?limits:Spanner_util.Limits.t -> string -> program

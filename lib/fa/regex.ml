@@ -72,6 +72,21 @@ let rec size = function
 
 exception Parse_error of string * int
 
+(* Bounded repetitions expand syntactically ("a{3}" = "aaa"), so
+   nested counted repetitions multiply: "a{99}{99}{99}" would build
+   ~10^6 nodes and deeper nestings OOM the parser itself on
+   adversarial input.  Every repetition application is therefore
+   capped, per count and per expanded subterm size; all three
+   spanner-level parsers share these bounds. *)
+let max_repeat = 4096
+let max_expansion = 65536
+
+let check_bounds ~fail ~size m n =
+  if m > max_repeat || (match n with Some n -> n > max_repeat | None -> false) then
+    fail "repetition count too large";
+  let units = match n with None -> m + 1 | Some n -> max n 1 in
+  if units * size > max_expansion then fail "bounded repetition expands too far"
+
 (* '{', '}' and '&' are claimed by the spanner-level syntaxes (variable
    bindings and references); reserving them here keeps one escaping
    discipline across all three parsers. *)
@@ -178,7 +193,9 @@ and parse_bounds st =
       advance st
     done;
     if st.pos = start then fail st "expected a repetition count";
-    int_of_string (String.sub st.input start (st.pos - start))
+    match int_of_string_opt (String.sub st.input start (st.pos - start)) with
+    | Some n -> n
+    | None -> fail st "repetition count too large"
   in
   let m = read_int () in
   let bounds =
@@ -212,6 +229,7 @@ and parse_postfix st =
     | Some '{' ->
         advance st;
         let m, n = parse_bounds st in
+        check_bounds ~fail:(fail st) ~size:(size r) m n;
         let repeated = concat_list (List.init m (fun _ -> r)) in
         let tail =
           match n with

@@ -73,6 +73,24 @@ val size : t -> int
 
 (** {1 Parsing and printing} *)
 
+(** {1 Repetition caps}
+
+    Bounded repetitions ["a{m,n}"] expand syntactically, so nested
+    counted repetitions multiply and adversarial input could OOM the
+    parser.  Each application is capped: counts at most {!max_repeat}
+    and the expanded subterm at most {!max_expansion} nodes; beyond
+    either, parsing fails with {!Parse_error}.  Shared by all three
+    spanner-level parsers. *)
+
+val max_repeat : int
+
+val max_expansion : int
+
+(** [check_bounds ~fail ~size m n] applies the caps to one repetition
+    of a subterm of [size] nodes, calling [fail msg] (which must not
+    return) on violation. *)
+val check_bounds : fail:(string -> unit) -> size:int -> int -> int option -> unit
+
 exception Parse_error of string * int
 (** [Parse_error (message, position)] carries a 0-based offset into the
     input. *)

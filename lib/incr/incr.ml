@@ -5,6 +5,7 @@ module Cde = Spanner_slp.Cde
 module Lru = Spanner_util.Lru
 module Bitmatrix = Spanner_util.Bitmatrix
 module Vec = Spanner_util.Vec
+module Limits = Spanner_util.Limits
 
 type session = {
   ct : Compiled.t;
@@ -34,17 +35,22 @@ let create ?(cache_capacity = 65536) ct db =
 let compiled s = s.ct
 let database s = s.db
 
-let rec summary s id =
+let rec summary_g g s id =
   match Lru.find s.cache id with
   | Some sum -> sum
   | None ->
+      (* one unit of fuel per summary actually computed (a cache miss):
+         composing is the states³/word work the budget must bound *)
+      Limits.check g;
       let sum =
         match Slp.node (Doc_db.store s.db) id with
         | Slp.Leaf c -> Compiled.summary_of_terminal s.ct c
-        | Slp.Pair (l, r) -> Compiled.summary_compose (summary s l) (summary s r)
+        | Slp.Pair (l, r) -> Compiled.summary_compose (summary_g g s l) (summary_g g s r)
       in
       Lru.add s.cache id sum;
       sum
+
+let summary s id = summary_g (Limits.unlimited ()) s id
 
 (* Pick lists are (0-based boundary, label id); identical to the
    compiled engine's representation, decoded through the interned
@@ -70,7 +76,7 @@ let tuple_of_picks ct picks extra =
    run (the §4.2 scheme of Slp_spanner, over compiled tables).  [f] may
    see the same tuple along several runs when the compiled automaton is
    nondeterministic; [eval] collects into a relation, which dedups. *)
-let iter_runs s id f =
+let iter_runs_g g s id f =
   let ct = s.ct in
   let store = Doc_db.store s.db in
   let n = Compiled.states ct in
@@ -78,10 +84,12 @@ let iter_runs s id f =
   let doc_len = Slp.len store id in
   let picks = Vec.create () in
   let rec go id p q offset k =
+    (* one unit per branch of the run enumeration *)
+    Limits.check g;
     match Slp.node store id with
     | Slp.Leaf _ ->
         (* pure summary of a leaf = the letter step matrix *)
-        let letter = (summary s id).Compiled.pure in
+        let letter = (summary_g g s id).Compiled.pure in
         Compiled.iter_set_arcs ct p (fun lbl p' ->
             if Bitmatrix.get letter p' q then begin
               ignore (Vec.push picks (offset, lbl));
@@ -90,7 +98,7 @@ let iter_runs s id f =
             end)
     | Slp.Pair (l, r) ->
         let m = Slp.len store l in
-        let sl = summary s l and sr = summary s r in
+        let sl = summary_g g s l and sr = summary_g g s r in
         for mid = 0 to n - 1 do
           if Bitmatrix.get sl.Compiled.mixed p mid && Bitmatrix.get sr.Compiled.pure mid q then
             go l p mid offset k;
@@ -100,7 +108,7 @@ let iter_runs s id f =
             go l p mid offset (fun () -> go r mid q (offset + m) k)
         done
   in
-  let root = summary s id in
+  let root = summary_g g s id in
   for q = 0 to n - 1 do
     let reach_pure = Bitmatrix.get root.Compiled.pure init q in
     let reach_mixed = Bitmatrix.get root.Compiled.mixed init q in
@@ -118,18 +126,29 @@ let iter_runs s id f =
     end
   done
 
-let eval s id =
+let eval ?(limits = Limits.none) s id =
+  let g = Limits.start limits in
   let r = ref (Span_relation.empty (Compiled.vars s.ct)) in
-  iter_runs s id (fun tuple -> r := Span_relation.add !r tuple);
+  let count = ref 0 in
+  iter_runs_g g s id (fun tuple ->
+      incr count;
+      Limits.check_tuples g !count;
+      r := Span_relation.add !r tuple);
   !r
 
-let eval_doc s name = eval s (Doc_db.find s.db name)
+let eval_doc ?limits s name = eval ?limits s (Doc_db.find s.db name)
 
-let eval_all s = List.map (fun name -> (name, eval_doc s name)) (Doc_db.names s.db)
+let eval_all ?limits s =
+  (* Sequential on purpose: the cache and the store are shared and
+     mutable.  Per-document result slots mirror {!Doc_db.eval_all} —
+     one over-budget document must not take the batch down. *)
+  List.map
+    (fun name -> (name, match eval_doc ?limits s name with r -> Ok r | exception e -> Error e))
+    (Doc_db.names s.db)
 
-let edit s name e =
+let edit ?limits s name e =
   let id = Cde.materialize s.db name e in
-  (id, eval s id)
+  (id, eval ?limits s id)
 
 let stats s =
   let l = Lru.stats s.cache in

@@ -61,27 +61,41 @@ val database : session -> Doc_db.t
     transition summary of node [id]. *)
 val summary : session -> Slp.id -> Compiled.summary
 
-(** [eval s id] is ⟦ct⟧(𝔇(id)), computed from cached summaries;
-    only nodes missing from the cache are (recursively) summarised. *)
-val eval : session -> Slp.id -> Span_relation.t
+(** [eval ?limits s id] is ⟦ct⟧(𝔇(id)), computed from cached
+    summaries; only nodes missing from the cache are (recursively)
+    summarised.  Under [limits], every summary miss and every branch
+    of the run enumeration consumes fuel, the deadline is probed
+    periodically, and every enumerated run counts against the tuple
+    cap — an over-approximation of the distinct-tuple count when the
+    compiled automaton is nondeterministic
+    ({!Spanner_util.Limits.Spanner_error} on violation — the cache
+    keeps whatever summaries were completed, so a retry under a larger
+    budget resumes the work already paid for). *)
+val eval : ?limits:Spanner_util.Limits.t -> session -> Slp.id -> Span_relation.t
 
-(** [eval_doc s name] is [eval] on the designated document [name].
+(** [eval_doc ?limits s name] is [eval] on the designated document
+    [name].
     @raise Not_found on unknown names. *)
-val eval_doc : session -> string -> Span_relation.t
+val eval_doc : ?limits:Spanner_util.Limits.t -> session -> string -> Span_relation.t
 
-(** [eval_all s] evaluates every document of the database in
+(** [eval_all ?limits s] evaluates every document of the database in
     designation order — {!Doc_db.eval_all} without decompression,
-    sharing one cache across all documents. *)
-val eval_all : session -> (string * Span_relation.t) list
+    sharing one cache across all documents.  Sequential (the cache and
+    store are shared and mutable), with per-document partial-failure
+    slots: each document is metered by its own gauge from [limits],
+    and a failing document degrades to [Error] while the rest of the
+    batch completes. *)
+val eval_all :
+  ?limits:Spanner_util.Limits.t -> session -> (string * (Span_relation.t, exn) result) list
 
-(** [edit s name e] applies the CDE-expression [e], designates the
-    result as document [name] ({!Cde.materialize}), and returns the
-    new node together with its re-evaluated relation.  Cost: the edit
-    (O(|e|·log d) new nodes) + fresh summaries for exactly those
-    nodes + output enumeration.
+(** [edit ?limits s name e] applies the CDE-expression [e], designates
+    the result as document [name] ({!Cde.materialize}), and returns
+    the new node together with its re-evaluated relation (metered by
+    [limits] as in {!eval}).  Cost: the edit (O(|e|·log d) new nodes)
+    + fresh summaries for exactly those nodes + output enumeration.
     @raise Invalid_argument on out-of-range positions (with the
     offending positions), [Not_found] on unknown document names. *)
-val edit : session -> string -> Cde.t -> Slp.id * Span_relation.t
+val edit : ?limits:Spanner_util.Limits.t -> session -> string -> Cde.t -> Slp.id * Span_relation.t
 
 val stats : session -> stats
 

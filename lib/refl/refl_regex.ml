@@ -139,7 +139,9 @@ and parse_bounds st =
       advance st
     done;
     if st.pos = start then fail st "expected a repetition count";
-    int_of_string (String.sub st.input start (st.pos - start))
+    match int_of_string_opt (String.sub st.input start (st.pos - start)) with
+    | Some n -> n
+    | None -> fail st "repetition count too large"
   in
   let m = read_int () in
   let bounds =
@@ -173,6 +175,7 @@ and parse_postfix st =
     | Some '{' ->
         advance st;
         let m, n = parse_bounds st in
+        Regex.check_bounds ~fail:(fail st) ~size:(size r) m n;
         let repeated = concat_list (List.init m (fun _ -> r)) in
         let tail =
           match n with

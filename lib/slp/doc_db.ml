@@ -24,13 +24,13 @@ let names db = Vec.to_list db.names
 let total_len db =
   List.fold_left (fun acc name -> acc + Slp.len db.store (find db name)) 0 (names db)
 
-let eval_all ?jobs db ct =
+let eval_all ?jobs ?limits db ct =
   let names = Vec.to_array db.names in
   (* Decompression touches the shared (hash-consed, mutable) store and
      must stay on one domain; evaluation shares only immutable
      compiled tables and fans out. *)
   let docs = Array.map (fun name -> Slp.to_string db.store (find db name)) names in
-  let relations = Spanner_core.Compiled.eval_all ?jobs ct docs in
+  let relations = Spanner_core.Compiled.eval_all_result ?jobs ?limits ct docs in
   Array.to_list (Array.map2 (fun name r -> (name, r)) names relations)
 
 let compressed_size db =

@@ -37,12 +37,20 @@ val total_len : t -> int
     from any designated document — the |S| of the shared SLP. *)
 val compressed_size : t -> int
 
-(** [eval_all ?jobs db ct] evaluates the compiled spanner [ct] on
-    every document of the database, in insertion order: the
+(** [eval_all ?jobs ?limits db ct] evaluates the compiled spanner [ct]
+    on every document of the database, in insertion order: the
     one-spanner/many-documents workload of §4.  Documents are
     decompressed sequentially (the store is shared and mutable), then
     evaluated in parallel by [jobs] domains
-    ({!Spanner_core.Compiled.eval_all}); the result list is
-    deterministic and independent of [jobs]. *)
+    ({!Spanner_core.Compiled.eval_all_result}); the result list is
+    deterministic and independent of [jobs].  Partial-failure
+    semantics: each document is metered by its own gauge started from
+    [limits], and a document that trips a budget (or fails for any
+    other reason) degrades to its [Error] slot while every healthy
+    document still completes. *)
 val eval_all :
-  ?jobs:int -> t -> Spanner_core.Compiled.t -> (string * Spanner_core.Span_relation.t) list
+  ?jobs:int ->
+  ?limits:Spanner_util.Limits.t ->
+  t ->
+  Spanner_core.Compiled.t ->
+  (string * (Spanner_core.Span_relation.t, exn) result) list

@@ -1,27 +1,27 @@
+module Limits = Spanner_util.Limits
+
 let magic = "SLPDB1\n"
 
+let corrupt msg = Limits.corrupt ~what:"SLPDB" msg
+let corruptf fmt = Printf.ksprintf corrupt fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
 (* unsigned LEB128 *)
-let write_varint oc n =
+let write_varint buf n =
   let rec go n =
-    if n < 0x80 then output_byte oc n
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
     else begin
-      output_byte oc (0x80 lor (n land 0x7f));
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
       go (n lsr 7)
     end
   in
   if n < 0 then invalid_arg "Serialize: negative varint";
   go n
 
-let read_varint ic =
-  let rec go shift acc =
-    let b = try input_byte ic with End_of_file -> failwith "Serialize: truncated file" in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 <> 0 then go (shift + 7) acc else acc
-  in
-  go 0 0
-
-let write_channel db oc =
-  output_string oc magic;
+let write_buffer db buf =
+  Buffer.add_string buf magic;
   let store = Doc_db.store db in
   (* topological numbering of reachable nodes, children first *)
   let file_id = Hashtbl.create 256 in
@@ -37,54 +37,107 @@ let write_channel db oc =
           end))
     (Doc_db.names db);
   let nodes = List.rev !order in
-  write_varint oc !count;
+  write_varint buf !count;
   List.iter
     (fun id ->
       match Slp.node store id with
       | Slp.Leaf c ->
-          output_byte oc 0;
-          output_char oc c
+          Buffer.add_char buf '\000';
+          Buffer.add_char buf c
       | Slp.Pair (l, r) ->
-          output_byte oc 1;
-          write_varint oc (Hashtbl.find file_id l);
-          write_varint oc (Hashtbl.find file_id r))
+          Buffer.add_char buf '\001';
+          write_varint buf (Hashtbl.find file_id l);
+          write_varint buf (Hashtbl.find file_id r))
     nodes;
   let names = Doc_db.names db in
-  write_varint oc (List.length names);
+  write_varint buf (List.length names);
   List.iter
     (fun name ->
-      write_varint oc (String.length name);
-      output_string oc name;
-      write_varint oc (Hashtbl.find file_id (Doc_db.find db name)))
+      write_varint buf (String.length name);
+      Buffer.add_string buf name;
+      write_varint buf (Hashtbl.find file_id (Doc_db.find db name)))
     names
 
-let read_channel ic =
-  let header = really_input_string ic (String.length magic) in
-  if header <> magic then failwith "Serialize: bad magic (not an SLPDB file)";
+let write_string db =
+  let buf = Buffer.create 4096 in
+  write_buffer db buf;
+  Buffer.contents buf
+
+let write_channel db oc = output_string oc (write_string db)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+(* The reader is positional over an in-memory string, so every size
+   field can be validated against the number of bytes actually left
+   before anything is allocated: hostile inputs fail with a typed
+   [Corrupt_input] in O(1) space instead of a giant [Array.make]. *)
+
+type reader = { data : string; mutable pos : int }
+
+let remaining r = String.length r.data - r.pos
+
+let byte r =
+  if r.pos >= String.length r.data then corrupt "truncated file";
+  let b = Char.code (String.unsafe_get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  b
+
+let read_varint r =
+  let rec go shift acc =
+    (* 9 groups of 7 bits cover the 62 value bits of an OCaml int;
+       a 10th continuation byte cannot be canonical. *)
+    if shift >= 63 then corrupt "varint too long";
+    let b = byte r in
+    let chunk = b land 0x7f in
+    if chunk > max_int lsr shift then corrupt "varint overflows";
+    let acc = acc lor (chunk lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc
+    else if chunk = 0 && shift > 0 then corrupt "non-canonical varint"
+    else acc
+  in
+  go 0 0
+
+let read_string data =
+  let mlen = String.length magic in
+  if String.length data < mlen || String.sub data 0 mlen <> magic then
+    corrupt "bad magic (not an SLPDB file)";
+  let r = { data; pos = mlen } in
   let db = Doc_db.create () in
   let store = Doc_db.store db in
-  let count = read_varint ic in
+  let count = read_varint r in
+  (* every node costs at least 2 bytes (tag + payload) *)
+  if count > remaining r / 2 then
+    corruptf "node count %d exceeds the %d bytes left" count (remaining r);
   let ids = Array.make (max count 1) (-1) in
   for i = 0 to count - 1 do
-    match input_byte ic with
-    | 0 -> ids.(i) <- Slp.leaf store (input_char ic)
+    match byte r with
+    | 0 -> ids.(i) <- Slp.leaf store (Char.chr (byte r))
     | 1 ->
-        let l = read_varint ic in
-        let r = read_varint ic in
-        if l >= i || r >= i then failwith "Serialize: node references a later node";
-        ids.(i) <- Slp.pair store ids.(l) ids.(r)
-    | _ -> failwith "Serialize: bad node tag"
-    | exception End_of_file -> failwith "Serialize: truncated file"
+        let l = read_varint r in
+        let rt = read_varint r in
+        if l >= i || rt >= i then corrupt "node references a later node";
+        ids.(i) <- Slp.pair store ids.(l) ids.(rt)
+    | _ -> corrupt "bad node tag"
   done;
-  let ndocs = read_varint ic in
+  let ndocs = read_varint r in
+  (* every document entry costs at least 2 bytes (length + root) *)
+  if ndocs > remaining r / 2 then
+    corruptf "document count %d exceeds the %d bytes left" ndocs (remaining r);
   for _ = 1 to ndocs do
-    let len = read_varint ic in
-    let name = really_input_string ic len in
-    let root = read_varint ic in
-    if root >= count then failwith "Serialize: document root out of range";
+    let len = read_varint r in
+    if len > remaining r then corruptf "document name length %d exceeds the %d bytes left" len (remaining r);
+    let name = String.sub data r.pos len in
+    r.pos <- r.pos + len;
+    let root = read_varint r in
+    if root >= count then corrupt "document root out of range";
+    if Doc_db.find_opt db name <> None then corruptf "duplicate document name %S" name;
     Doc_db.add db name ids.(root)
   done;
+  if remaining r <> 0 then corruptf "%d trailing bytes after the document table" (remaining r);
   db
+
+let read_channel ic = read_string (In_channel.input_all ic)
 
 let write_file db path =
   let oc = open_out_bin path in

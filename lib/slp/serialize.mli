@@ -17,18 +17,33 @@
 
     Node ids in the file are ordered topologically (children first), so
     reading is a single pass; hash-consing on load re-shares structure
-    with anything already in the target store. *)
+    with anything already in the target store.
+
+    The reader treats its input as hostile: varints are rejected when
+    they are longer than 9 bytes, overflow an OCaml [int], or carry a
+    non-canonical zero-padding byte; every count and length field is
+    validated against the bytes actually remaining before any
+    allocation; node references must point backwards; document names
+    must be distinct; trailing garbage is rejected.  All such failures
+    raise {!Spanner_util.Limits.Spanner_error} with [Corrupt_input]. *)
 
 (** [write_file db path] serialises the database (only nodes reachable
     from designated documents are written). *)
 val write_file : Doc_db.t -> string -> unit
 
 (** [read_file path] loads a database into a fresh store.
-    @raise Failure on a malformed or truncated file. *)
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) on a
+    malformed, truncated, or hostile file. *)
 val read_file : string -> Doc_db.t
 
 (** [write_channel db oc] / [read_channel ic] are the channel-level
-    variants. *)
+    variants ([read_channel] slurps the channel to end-of-input). *)
 val write_channel : Doc_db.t -> out_channel -> unit
 
 val read_channel : in_channel -> Doc_db.t
+
+(** [write_string db] / [read_string s] are the in-memory variants
+    (the fuzz harness and property tests drive these directly). *)
+val write_string : Doc_db.t -> string
+
+val read_string : string -> Doc_db.t

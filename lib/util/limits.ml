@@ -1,0 +1,113 @@
+type which = Fuel | Deadline | States | Tuples
+
+type spanner_error =
+  | Parse of { what : string; pos : int; msg : string }
+  | Limit_exceeded of { which : which; spent : int }
+  | Corrupt_input of { what : string; msg : string }
+  | Eval_failure of { what : string; msg : string }
+
+exception Spanner_error of spanner_error
+
+let error e = raise (Spanner_error e)
+let parse_error ~what ~pos msg = error (Parse { what; pos; msg })
+let corrupt ~what msg = error (Corrupt_input { what; msg })
+let eval_failure ~what msg = error (Eval_failure { what; msg })
+
+let which_to_string = function
+  | Fuel -> "fuel"
+  | Deadline -> "deadline"
+  | States -> "states"
+  | Tuples -> "tuples"
+
+let which_unit = function
+  | Fuel -> "steps"
+  | Deadline -> "ms"
+  | States -> "states"
+  | Tuples -> "tuples"
+
+let to_string = function
+  | Parse { what; pos; msg } ->
+      Printf.sprintf "%s parse error at offset %d: %s" what pos msg
+  | Limit_exceeded { which; spent } ->
+      Printf.sprintf "%s limit exceeded (spent %d %s)" (which_to_string which)
+        spent (which_unit which)
+  | Corrupt_input { what; msg } -> Printf.sprintf "corrupt %s input: %s" what msg
+  | Eval_failure { what; msg } -> Printf.sprintf "%s evaluation failure: %s" what msg
+
+let exit_code = function
+  | Parse _ | Corrupt_input _ -> 2
+  | Limit_exceeded _ -> 3
+  | Eval_failure _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+
+type t = { fuel : int; time_ms : int; max_states : int; max_tuples : int }
+
+let none = { fuel = max_int; time_ms = max_int; max_states = max_int; max_tuples = max_int }
+
+let is_none l = l = none
+
+let make ?(fuel = max_int) ?(time_ms = max_int) ?(max_states = max_int)
+    ?(max_tuples = max_int) () =
+  if fuel < 0 || time_ms < 0 || max_states < 0 || max_tuples < 0 then
+    invalid_arg "Limits.make: bounds must be non-negative";
+  { fuel; time_ms; max_states; max_tuples }
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+
+(* Probing the wall clock per step would dominate fine-grained loops,
+   so [check] only increments [steps] and compares against [probe_at];
+   the slow path re-arms [probe_at] at the next multiple-of-interval
+   point, clamped so the fuel boundary itself is always probed
+   exactly. *)
+
+let interval = 4096
+
+type gauge = {
+  limits : t;
+  started : float;
+  deadline : float; (* absolute, [infinity] when unbounded *)
+  mutable steps : int;
+  mutable probe_at : int;
+}
+
+let next_probe limits steps =
+  let next = steps + interval in
+  if limits.fuel <> max_int && next > limits.fuel then limits.fuel + 1 else next
+
+let start limits =
+  let now = if limits.time_ms = max_int then 0.0 else Unix.gettimeofday () in
+  let deadline =
+    if limits.time_ms = max_int then infinity
+    else now +. (float_of_int limits.time_ms /. 1000.0)
+  in
+  { limits; started = now; deadline; steps = 0; probe_at = next_probe limits 0 }
+
+let unlimited () = start none
+
+let spec g = g.limits
+let steps g = g.steps
+
+let trip which spent = error (Limit_exceeded { which; spent })
+
+let probe g =
+  if g.steps > g.limits.fuel then trip Fuel g.steps;
+  if g.deadline < infinity then begin
+    let now = Unix.gettimeofday () in
+    if now > g.deadline then
+      trip Deadline (int_of_float ((now -. g.started) *. 1000.0))
+  end;
+  g.probe_at <- next_probe g.limits g.steps
+
+let[@inline] check g =
+  g.steps <- g.steps + 1;
+  if g.steps >= g.probe_at then probe g
+
+let[@inline] charge g n =
+  g.steps <- g.steps + n;
+  if g.steps >= g.probe_at then probe g
+
+let check_states g n = if n > g.limits.max_states then trip States n
+let check_tuples g n = if n > g.limits.max_tuples then trip Tuples n

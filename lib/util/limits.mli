@@ -1,0 +1,119 @@
+(** Resource governance: work budgets and the unified error taxonomy.
+
+    The survey's complexity results are a warning label: combined
+    complexity of spanner evaluation is intractable in general
+    (§2.4/§2.5, and Peterfreund et al. on relational algebra over
+    spanners), so an engine that serves untrusted formulas and
+    documents must bound its own work instead of running until the
+    machine gives out.  This module provides the two halves of that
+    contract:
+
+    - {!t}, an immutable budget specification (step fuel, wall-clock
+      deadline, automaton-state cap, output-tuple cap), and {!gauge},
+      the mutable per-run meter derived from it.  Hot loops call
+      {!check} (or {!charge}) once per unit of work; the fast path is
+      one increment and one comparison, and the wall clock is probed
+      only every ~4K steps, so a generous budget costs a few percent
+      at worst (EXPERIMENTS.md E14).
+    - {!spanner_error}, the typed error vocabulary shared by every
+      layer (parsers, deserializer, evaluation engines, CLI), with
+      {!to_string} for humans and {!exit_code} for shells.
+
+    A gauge is single-domain mutable state: parallel batch runs
+    ({!Spanner_util.Pool}) must {!start} one gauge per work item from
+    the shared spec, never share one across domains. *)
+
+(** Which budget axis was exhausted. *)
+type which = Fuel | Deadline | States | Tuples
+
+type spanner_error =
+  | Parse of { what : string; pos : int; msg : string }
+      (** Syntax error in [what] (e.g. ["formula"], ["cde"],
+          ["datalog"]) at byte offset [pos]. *)
+  | Limit_exceeded of { which : which; spent : int }
+      (** A budget axis tripped after spending [spent] units (steps,
+          milliseconds, states, or tuples, per [which]). *)
+  | Corrupt_input of { what : string; msg : string }
+      (** Malformed binary input (truncated, overflowing, or
+          inconsistent), e.g. an SLPDB file. *)
+  | Eval_failure of { what : string; msg : string }
+      (** A well-formed input that cannot be evaluated (unknown
+          document name, empty document where an SLP is required, …). *)
+
+exception Spanner_error of spanner_error
+
+(** Raise helpers (each raises {!Spanner_error}). *)
+
+val error : spanner_error -> 'a
+val parse_error : what:string -> pos:int -> string -> 'a
+val corrupt : what:string -> string -> 'a
+val eval_failure : what:string -> string -> 'a
+
+val which_to_string : which -> string
+
+(** [to_string e] is a one-line human-readable rendering. *)
+val to_string : spanner_error -> string
+
+(** [exit_code e] maps the taxonomy onto the CLI exit-code contract:
+    2 for [Parse] and [Corrupt_input] (bad input, usage-class), 3 for
+    [Limit_exceeded], 1 for [Eval_failure]. *)
+val exit_code : spanner_error -> int
+
+(** {1 Budgets} *)
+
+(** An immutable budget specification.  [max_int] on any axis (and
+    [time_ms]) means unbounded. *)
+type t = {
+  fuel : int;  (** total abstract work steps *)
+  time_ms : int;  (** wall-clock milliseconds per run *)
+  max_states : int;  (** automaton states (construction-time cap) *)
+  max_tuples : int;  (** output tuples per relation *)
+}
+
+(** [none] bounds nothing. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [make ()] is {!none} with the given axes bounded.
+    @raise Invalid_argument on negative bounds (zero is allowed: it
+    trips at the first probe). *)
+val make :
+  ?fuel:int -> ?time_ms:int -> ?max_states:int -> ?max_tuples:int -> unit -> t
+
+(** {1 Gauges} *)
+
+(** A running meter: step counter plus the absolute deadline captured
+    at {!start} time. *)
+type gauge
+
+(** [start spec] begins metering now (the deadline is [now +
+    time_ms]). *)
+val start : t -> gauge
+
+(** [unlimited ()] is [start none] — a gauge that never trips, for
+    internal call sites whose caller imposed no budget. *)
+val unlimited : unit -> gauge
+
+(** [spec g] is the specification [g] was started from. *)
+val spec : gauge -> t
+
+(** [steps g] is the work consumed so far. *)
+val steps : gauge -> int
+
+(** [check g] consumes one step.  Amortized O(1): fuel and deadline
+    are actually probed every ~4096 steps (and exactly at the fuel
+    boundary).
+    @raise Spanner_error [Limit_exceeded] when fuel or deadline is
+    exhausted. *)
+val check : gauge -> unit
+
+(** [charge g n] consumes [n] steps at once (bulk work, e.g. one
+    matrix multiplication of [n] rows). *)
+val charge : gauge -> int -> unit
+
+(** [check_states g n] fails iff [n] exceeds the state cap. *)
+val check_states : gauge -> int -> unit
+
+(** [check_tuples g n] fails iff [n] exceeds the tuple cap. *)
+val check_tuples : gauge -> int -> unit

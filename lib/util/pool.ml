@@ -41,3 +41,12 @@ let mapi ?jobs f a =
   end
 
 let map ?jobs f a = mapi ?jobs (fun _ x -> f x) a
+
+(* Partial-failure variant: one poisoned item degrades to its [Error]
+   slot instead of tearing down the batch, so [mapi_result] never
+   raises from worker code and always fills every slot. *)
+let mapi_result ?jobs f a =
+  let wrap i x = match f i x with y -> Ok y | exception e -> Error e in
+  mapi ?jobs wrap a
+
+let map_result ?jobs f a = mapi_result ?jobs (fun _ x -> f x) a

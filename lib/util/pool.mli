@@ -24,3 +24,13 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [mapi ?jobs f a] is {!map} with the element index. *)
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [mapi_result ?jobs f a] is {!mapi} with partial-failure batch
+    semantics: an [f i x] that raises fills slot [i] with [Error]
+    instead of aborting the batch, so every healthy item still
+    completes and the result array is always fully populated, in input
+    order.  The batch itself never raises from worker code. *)
+val mapi_result : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> ('b, exn) result array
+
+(** [map_result ?jobs f a] is {!mapi_result} without the index. *)
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array

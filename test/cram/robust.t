@@ -1,0 +1,81 @@
+Resource budgets and the exit-code contract: 0 ok, 1 some-failed,
+2 usage/parse, 3 limit exceeded.
+
+A pathological formula is rejected by the state cap with exit 3:
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --max-states 5
+  error: states limit exceeded (spent 20 states)
+  [3]
+
+An oversized document runs out of fuel with exit 3:
+
+  $ yes ab | head -2000 | tr -d '\n' > big.txt
+  $ spanner_cli eval '.*!x{a[ab]*b}.*' --file big.txt --fuel 10000 --compiled
+  error: fuel limit exceeded (spent 10001 steps)
+  [3]
+
+An output explosion is stopped by the tuple cap with exit 3:
+
+  $ spanner_cli eval '[a]*!x{a*}[a]*' aaaaaaaaaaaaaaaaaaaa --max-tuples 10 --compiled
+  error: tuples limit exceeded (spent 11 tuples)
+  [3]
+
+Within budget, the governed run is identical to the free one:
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --fuel 1000000 --max-states 1000 --compiled
+  | x       | y       | z       |
+  |---------+---------+---------|
+  | [1,2⟩ | [2,3⟩ | [3,8⟩ |
+  | [1,4⟩ | [4,5⟩ | [5,8⟩ |
+  | [1,5⟩ | [5,6⟩ | [6,8⟩ |
+  | [1,7⟩ | [7,8⟩ | [8,8⟩ |
+  4 tuple(s)
+
+Batch evaluation has partial-failure semantics: the over-budget
+document degrades to an error on stderr, healthy documents still
+complete, and the whole run exits 1:
+
+  $ printf ababbab > d1.txt && printf abab > d2.txt
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt big.txt d2.txt --fuel 5000 --jobs 2
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  d1.txt: 4 tuple(s)
+  big.txt: fuel limit exceeded (spent 5001 steps)
+  d2.txt: 2 tuple(s)
+  3 document(s), 1 failed, 6 tuple(s) total
+  [1]
+
+A compile-stage limit aborts the batch with exit 3 (nothing to
+degrade to without a compiled spanner):
+
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt --max-states 5
+  error: states limit exceeded (spent 20 states)
+  [3]
+
+Malformed invocations are usage errors, exit 2:
+
+  $ spanner_cli eval 'a'
+  usage error: missing document: give DOC or --file
+  [2]
+
+  $ printf x > f.txt
+  $ spanner_cli eval 'a' doc --file f.txt
+  usage error: give either DOC or --file, not both
+  [2]
+
+  $ spanner_cli batch 'a'
+  usage error: missing documents: give at least one FILE
+  [2]
+
+  $ spanner_cli compress ''
+  usage error: cannot compress the empty document
+  [2]
+
+  $ spanner_cli edit 'a'
+  usage error: missing document: give DOC or --file
+  [2]
+
+The edit subcommand is governed too:
+
+  $ spanner_cli edit '.*!x{ab}.*' "$(cat big.txt)" 'concat(doc, doc)' --fuel 100
+  error: fuel limit exceeded (spent 101 steps)
+  [3]

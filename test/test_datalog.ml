@@ -169,7 +169,11 @@ let surface_syntax_bindings_and_adj () =
   check Alcotest.int "bigrams" 3 (Datalog.fact_count r "bigram")
 
 let surface_syntax_errors () =
-  let fails s = match Datalog.parse s with exception Invalid_argument _ -> true | _ -> false in
+  let fails s =
+    match Datalog.parse s with
+    | exception Spanner_util.Limits.Spanner_error (Spanner_util.Limits.Parse _) -> true
+    | _ -> false
+  in
   check Alcotest.bool "missing dot" true (fails "p(x) :- q(x)");
   check Alcotest.bool "missing body" true (fails "p(x).");
   check Alcotest.bool "streq arity" true (fails "p(x) :- <!x{a}>(x), streq(x).");

@@ -164,8 +164,11 @@ let test_eval_all () =
   List.iter
     (fun (name, r) ->
       let doc = Slp.to_string (Doc_db.store fig.Figure1.db) (Doc_db.find fig.Figure1.db name) in
-      Alcotest.(check bool) (name ^ " matches compiled") true
-        (Span_relation.equal r (Compiled.eval ct doc)))
+      match r with
+      | Ok r ->
+          Alcotest.(check bool) (name ^ " matches compiled") true
+            (Span_relation.equal r (Compiled.eval ct doc))
+      | Error e -> Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
     results
 
 let test_edit_errors () =
