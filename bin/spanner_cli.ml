@@ -64,7 +64,7 @@ let eval_cmd formula doc file contents compiled limits =
 (* ------------------------------------------------------------------ *)
 (* batch *)
 
-let batch_cmd formula files jobs limits =
+let batch_cmd formula files jobs engine limits =
   if files = [] then usage "missing documents: give at least one FILE";
   (* Compilation failures (e.g. the state cap) abort the whole batch:
      with no compiled spanner there is nothing to degrade to.  Per-
@@ -72,8 +72,29 @@ let batch_cmd formula files jobs limits =
   let ct = Compiled.of_formula ~limits (parse_formula formula) in
   Format.printf "compiled: %d states, %d byte classes, %d marker-set labels@."
     (Compiled.states ct) (Compiled.classes ct) (Compiled.alphabet ct);
-  let docs = Array.of_list (List.map read_file files) in
-  let results = Compiled.eval_all_result ?jobs ~limits ct docs in
+  let results =
+    match engine with
+    | `Compiled ->
+        let docs = Array.of_list (List.map read_file files) in
+        Compiled.eval_all_result ?jobs ~limits ct docs
+    | (`Compressed | `Decompress) as engine ->
+        (* Compress the files into one shared-store database, then
+           evaluate in the compressed domain (or decompress from a
+           frozen snapshot, for comparison). *)
+        let db = Spanner_slp.Doc_db.create () in
+        List.iter
+          (fun file ->
+            let doc = read_file file in
+            if String.length doc = 0 then
+              usage (file ^ ": SLPs derive non-empty documents");
+            ignore (Spanner_slp.Doc_db.add_string db file doc))
+          files;
+        Format.printf "slp: %d shared nodes for %d bytes@."
+          (Spanner_slp.Doc_db.compressed_size db)
+          (Spanner_slp.Doc_db.total_len db);
+        Array.of_list
+          (List.map snd (Spanner_slp.Doc_db.eval_all ?jobs ~limits ~engine db ct))
+  in
   let total = ref 0 in
   let failed = ref 0 in
   List.iteri
@@ -388,10 +409,23 @@ let eval_term =
         catch (fun () -> eval_cmd formula doc file contents compiled limits))
     $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg $ limits_term)
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("compiled", `Compiled); ("compressed", `Compressed); ("decompress", `Decompress) ])
+        `Compiled
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Evaluation engine: $(b,compiled) reads the files as-is (default); $(b,compressed) \
+           builds a shared SLP database and evaluates in the compressed domain (§4.2); \
+           $(b,decompress) builds the same database but decompresses before evaluating (the \
+           baseline the compressed engine is measured against).")
+
 let batch_term =
   Term.(
-    const (fun formula files jobs limits -> catch (fun () -> batch_cmd formula files jobs limits))
-    $ formula_arg $ files_arg $ jobs_arg $ limits_term)
+    const (fun formula files jobs engine limits ->
+        catch (fun () -> batch_cmd formula files jobs engine limits))
+    $ formula_arg $ files_arg $ jobs_arg $ engine_arg $ limits_term)
 
 let enum_term =
   Term.(

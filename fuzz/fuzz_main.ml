@@ -68,7 +68,23 @@ let targets =
       name = "slpdb";
       alphabet = "";
       (* empty alphabet: full byte range *)
-      run = (fun s -> ignore (Spanner_slp.Serialize.read_string s));
+      run =
+        (fun s ->
+          let db = Spanner_slp.Serialize.read_string s in
+          (* A database that deserializes must also survive freezing:
+             walk every node of the snapshot structurally.  Never
+             decompress here — a well-formed 60-byte image can derive
+             an exponentially long document. *)
+          let fz = Spanner_slp.Doc_db.freeze db in
+          for id = 0 to Spanner_slp.Slp.frozen_size fz - 1 do
+            (match Spanner_slp.Slp.frozen_node fz id with
+            | Spanner_slp.Slp.Leaf _ -> ()
+            | Spanner_slp.Slp.Pair (l, r) ->
+                if l < 0 || l >= id || r < 0 || r >= id then
+                  failwith "frozen pair child out of topological order");
+            if Spanner_slp.Slp.frozen_len fz id <= 0 then
+              failwith "frozen node with non-positive length"
+          done);
     };
   |]
 

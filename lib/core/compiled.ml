@@ -177,8 +177,10 @@ let iter_set_arcs ct q f =
 
 type summary = { pure : Bitmatrix.t; mixed : Bitmatrix.t }
 
-let letter_matrix ct c =
-  let cls = ct.class_of.(Char.code c) in
+let class_of_char ct c = ct.class_of.(Char.code c)
+
+let class_matrix ct cls =
+  if cls < 0 || cls >= ct.nclasses then invalid_arg "Compiled.class_matrix: no such byte class";
   let m = Bitmatrix.create ct.nstates in
   if ct.deterministic then
     for q = 0 to ct.nstates - 1 do
@@ -194,13 +196,18 @@ let letter_matrix ct c =
     done;
   m
 
+let letter_matrix ct c = class_matrix ct (class_of_char ct c)
+
+let set_step_matrix ct =
+  let m = Bitmatrix.create ct.nstates in
+  for q = 0 to ct.nstates - 1 do
+    iter_set_arcs ct q (fun _ dst -> Bitmatrix.set m q dst)
+  done;
+  m
+
 let summary_of_terminal ct c =
   let pure = letter_matrix ct c in
-  let set_step = Bitmatrix.create ct.nstates in
-  for q = 0 to ct.nstates - 1 do
-    iter_set_arcs ct q (fun _ dst -> Bitmatrix.set set_step q dst)
-  done;
-  { pure; mixed = Bitmatrix.mul set_step pure }
+  { pure; mixed = Bitmatrix.mul (set_step_matrix ct) pure }
 
 let summary_compose l r =
   {
@@ -588,8 +595,7 @@ let to_relation p =
 (* One gauge spans both phases: preprocessing and output collection
    draw from the same fuel, and the tuple cap applies to the collected
    relation. *)
-let eval ?(limits = Limits.none) ct doc =
-  let g = Limits.start limits in
+let eval_with_gauge g ct doc =
   let p = prepare_gauge g ct doc in
   let r = ref (Span_relation.empty p.tables.vars) in
   let count = ref 0 in
@@ -599,6 +605,8 @@ let eval ?(limits = Limits.none) ct doc =
       Limits.check_tuples g !count;
       r := Span_relation.add !r t);
   !r
+
+let eval ?(limits = Limits.none) ct doc = eval_with_gauge (Limits.start limits) ct doc
 
 let eval_all ?jobs ?limits ct docs = Pool.map ?jobs (eval ?limits ct) docs
 

@@ -84,6 +84,21 @@ val iter_set_arcs : t -> int -> (int -> int -> unit) -> unit
     (see {!alphabet}). *)
 val label_markers : t -> int -> Marker.Set.t
 
+(** [class_of_char ct c] is the byte class of [c] (see {!classes}). *)
+val class_of_char : t -> char -> int
+
+(** [class_matrix ct cls] is the one-letter transition matrix of byte
+    class [cls]: entry [(p, q)] iff some letter arc labelled with a
+    charset containing the class takes [p] to [q].  Every byte of the
+    class has this same matrix — the SLP engine keeps one leaf matrix
+    per class instead of one per character.
+    @raise Invalid_argument if [cls] is not a class of [ct]. *)
+val class_matrix : t -> int -> Spanner_util.Bitmatrix.t
+
+(** [set_step_matrix ct] is the single-set-arc step: entry [(p, q)]
+    iff some set arc takes [p] to [q], any label. *)
+val set_step_matrix : t -> Spanner_util.Bitmatrix.t
+
 (** {1 Per-factor transition summaries}
 
     The behaviour of the compiled automaton over one document factor,
@@ -154,6 +169,12 @@ val stats : prepared -> stats
     One gauge spans both phases (fuel and deadline are shared), and
     the collected relation is capped at [limits.max_tuples]. *)
 val eval : ?limits:Spanner_util.Limits.t -> t -> string -> Span_relation.t
+
+(** [eval_with_gauge g ct doc] is {!eval} drawing on the caller's
+    running gauge instead of starting a fresh one — for pipelines
+    where earlier work (e.g. decompressing [doc] out of an SLP) must
+    share the document's budget. *)
+val eval_with_gauge : Spanner_util.Limits.gauge -> t -> string -> Span_relation.t
 
 (** [eval_all ?jobs ?limits ct docs] evaluates every document of
     [docs], [jobs] domains at a time (default

@@ -1,4 +1,6 @@
 module Vec = Spanner_util.Vec
+module Pool = Spanner_util.Pool
+module Limits = Spanner_util.Limits
 
 type t = { store : Slp.store; names : string Vec.t; table : (string, Slp.id) Hashtbl.t }
 
@@ -24,14 +26,34 @@ let names db = Vec.to_list db.names
 let total_len db =
   List.fold_left (fun acc name -> acc + Slp.len db.store (find db name)) 0 (names db)
 
-let eval_all ?jobs ?limits db ct =
+let freeze db = Slp.freeze db.store
+
+let eval_all ?jobs ?(limits = Limits.none) ?(engine = `Compressed) db ct =
   let names = Vec.to_array db.names in
-  (* Decompression touches the shared (hash-consed, mutable) store and
-     must stay on one domain; evaluation shares only immutable
-     compiled tables and fans out. *)
-  let docs = Array.map (fun name -> Slp.to_string db.store (find db name)) names in
-  let relations = Spanner_core.Compiled.eval_all_result ?jobs ?limits ct docs in
-  Array.to_list (Array.map2 (fun name r -> (name, r)) names relations)
+  let roots = Array.map (find db) names in
+  let results =
+    match engine with
+    | `Compressed ->
+        (* Evaluate in the compressed domain: one matrix sweep over
+           the shared DAG (shared nodes paid once), then parallel
+           per-document enumeration over a frozen snapshot. *)
+        let eng = Slp_spanner.of_compiled ct db.store in
+        Slp_spanner.eval_all ?jobs ~limits eng roots
+    | `Decompress ->
+        (* Decompress-then-evaluate baseline.  The store is frozen
+           once, so decompression itself fans out too, and each
+           document's decompression is charged to the same gauge as
+           its evaluation — an over-budget document degrades to its
+           [Error] slot before its bytes pile up. *)
+        let fz = Slp.freeze db.store in
+        Pool.map_result ?jobs
+          (fun id ->
+            let g = Limits.start limits in
+            let doc = Slp.frozen_to_string ~gauge:g fz id in
+            Spanner_core.Compiled.eval_with_gauge g ct doc)
+          roots
+  in
+  Array.to_list (Array.map2 (fun name r -> (name, r)) names results)
 
 let compressed_size db =
   let seen = Hashtbl.create 256 in

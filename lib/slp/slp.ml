@@ -1,4 +1,5 @@
 module Vec = Spanner_util.Vec
+module Limits = Spanner_util.Limits
 
 type id = int
 
@@ -64,20 +65,27 @@ let balance store id =
 
 let store_size store = Vec.length store.cells
 
+(* Iterative post-order (an SLP can be 10⁶ nodes deep; recursion on
+   the left child is not a tail call and blows the stack).  An [id]
+   is pushed unexpanded, then re-pushed tagged once its children are
+   scheduled, so children are still visited before parents. *)
 let iter_reachable store id f =
   let seen = Hashtbl.create 64 in
-  let rec visit id =
-    if not (Hashtbl.mem seen id) then begin
-      Hashtbl.add seen id ();
-      (match node store id with
-      | Leaf _ -> ()
-      | Pair (l, r) ->
-          visit l;
-          visit r);
-      f id
-    end
-  in
-  visit id
+  let stack = ref [ (id, false) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (id, expanded) :: rest ->
+        stack := rest;
+        if expanded then f id
+        else if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          stack := (id, true) :: !stack;
+          match node store id with
+          | Leaf _ -> ()
+          | Pair (l, r) -> stack := (l, false) :: (r, false) :: !stack
+        end
+  done
 
 let reachable_size store id =
   let count = ref 0 in
@@ -96,16 +104,20 @@ let char_at store id i =
   in
   go id i
 
+(* Decompression is iterative for the same deep-SLP reason as
+   [iter_reachable]: a left comb from [of_string] has depth |D|. *)
 let to_string store id =
   let buf = Buffer.create (len store id) in
-  let rec go id =
-    match node store id with
-    | Leaf c -> Buffer.add_char buf c
-    | Pair (l, r) ->
-        go l;
-        go r
-  in
-  go id;
+  let stack = ref [ id ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest -> (
+        stack := rest;
+        match node store id with
+        | Leaf c -> Buffer.add_char buf c
+        | Pair (l, r) -> stack := l :: r :: !stack)
+  done;
   Buffer.contents buf
 
 let extract_string store id i j =
@@ -114,16 +126,23 @@ let extract_string store id i j =
     invalid_arg (Printf.sprintf "Slp.extract_string: bad range [%d,%d⟩ (length %d)" i j n);
   let buf = Buffer.create (j - i) in
   (* Emit 𝔇(id)[lo..hi-1] where positions are relative 1-based. *)
-  let rec go id lo hi =
-    if hi >= lo then
-      match node store id with
-      | Leaf c -> if lo <= 1 && hi >= 1 then Buffer.add_char buf c
-      | Pair (l, r) ->
-          let ll = len store l in
-          if lo <= ll then go l lo (min hi ll);
-          if hi > ll then go r (max 1 (lo - ll)) (hi - ll)
-  in
-  go id i (j - 1);
+  let stack = ref [ (id, i, j - 1) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (id, lo, hi) :: rest ->
+        stack := rest;
+        if hi >= lo then (
+          match node store id with
+          | Leaf c -> if lo <= 1 && hi >= 1 then Buffer.add_char buf c
+          | Pair (l, r) ->
+              let ll = len store l in
+              let right =
+                if hi > ll then [ (r, max 1 (lo - ll), hi - ll) ] else []
+              in
+              let left = if lo <= ll then [ (l, lo, min hi ll) ] else [] in
+              stack := left @ right @ !stack)
+  done;
   Buffer.contents buf
 
 let of_string store s =
@@ -133,6 +152,53 @@ let of_string store s =
     acc := pair store !acc (leaf store s.[i])
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Frozen snapshots *)
+
+(* A store is a mutable arena (hash-consing tables, growable cell
+   buffer), so concurrent readers race against any writer and against
+   the buffer's own reallocation.  A frozen view copies the cells into
+   plain immutable-after-construction arrays: safe to share across
+   domains by construction.  Ascending id is a valid topological order
+   — [pair] interns children before parents — so no separate order
+   array is needed. *)
+type frozen = { fnodes : node array; flens : int array }
+
+let freeze store =
+  let n = Vec.length store.cells in
+  {
+    fnodes = Array.init n (fun i -> (Vec.get store.cells i).node);
+    flens = Array.init n (fun i -> (Vec.get store.cells i).len);
+  }
+
+let frozen_size fz = Array.length fz.fnodes
+
+let frozen_node fz id = fz.fnodes.(id)
+
+let frozen_len fz id = fz.flens.(id)
+
+(* Metered decompression: one gauge step per emitted byte, so a
+   pathological document trips its budget instead of allocating
+   unboundedly before evaluation even starts. *)
+let frozen_to_string ?gauge fz id =
+  let buf = Buffer.create fz.flens.(id) in
+  let check =
+    match gauge with None -> ignore | Some g -> fun () -> Limits.check g
+  in
+  let stack = ref [ id ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest -> (
+        stack := rest;
+        match fz.fnodes.(id) with
+        | Leaf c ->
+            check ();
+            Buffer.add_char buf c
+        | Pair (l, r) -> stack := l :: r :: !stack)
+  done;
+  Buffer.contents buf
 
 let is_c_shallow store ~c id =
   let ok = ref true in

@@ -73,6 +73,40 @@ val of_string : store -> string -> id
     children before parents (a topological order). *)
 val iter_reachable : store -> id -> (id -> unit) -> unit
 
+(** {1 Frozen snapshots}
+
+    A store is a mutable arena, so concurrent readers race against
+    writers (and against the cell buffer's reallocation).  A {!frozen}
+    view is an immutable array-backed snapshot of every node present
+    at {!freeze} time: safe to share across OCaml 5 [Domain]s by
+    construction.  Node ids are stable — an id valid in the store is
+    valid in every later snapshot — and ascending id order is a valid
+    topological order (children are always interned before parents). *)
+
+type frozen
+
+(** [freeze store] snapshots all [store_size store] nodes.  O(store
+    size); nodes created later are not visible in the snapshot. *)
+val freeze : store -> frozen
+
+(** [frozen_size fz] is the number of nodes in the snapshot. *)
+val frozen_size : frozen -> int
+
+(** [frozen_node fz id] inspects a node of the snapshot (O(1), no
+    lock).
+    @raise Invalid_argument if [id] is outside the snapshot. *)
+val frozen_node : frozen -> id -> node
+
+(** [frozen_len fz id] is |𝔇(id)| per the snapshot. *)
+val frozen_len : frozen -> id -> int
+
+(** [frozen_to_string ?gauge fz id] decompresses from the snapshot,
+    charging one step of [gauge] per emitted byte — the decompression
+    itself is metered, so an over-budget document fails before the
+    bytes pile up.  Iterative: survives SLPs of any depth.
+    @raise Spanner_util.Limits.Spanner_error when the gauge trips. *)
+val frozen_to_string : ?gauge:Spanner_util.Limits.gauge -> frozen -> id -> string
+
 (** [on_new_node store f] registers [f] to be called with the id of
     every node subsequently created in [store] (hash-consing hits do
     not create nodes and do not fire).  Used by per-node caches

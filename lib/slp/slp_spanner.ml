@@ -1,117 +1,195 @@
 open Spanner_core
-module Charset = Spanner_fa.Charset
 module Bitmatrix = Spanner_util.Bitmatrix
-module Bitset = Spanner_util.Bitset
 module Vec = Spanner_util.Vec
+module Pool = Spanner_util.Pool
+module Limits = Spanner_util.Limits
+
+(* The engine runs on Compiled's dense tables.  Node matrices live in
+   plain node-indexed arrays (the store's ids are dense and ascending
+   ids are topological), leaf matrices are shared per byte class, and
+   the bottom-up sweep is iterative — no recursion anywhere on the
+   preparation path, so arbitrarily deep SLPs are fine.
+
+   Concurrency contract: [prepare]/[prepare_gauge] mutate the engine
+   (matrix slots, the frozen snapshot, the matrix counter) and must
+   run on one domain.  Everything else — enumeration, counting —
+   only reads the frozen snapshot and already-filled slots, so once
+   the roots of interest are prepared, many domains may enumerate
+   concurrently ([eval_all] below). *)
 
 type engine = {
-  auto : Evset.t; (* deterministic *)
+  ct : Compiled.t;
   store : Slp.store;
-  pure : (Slp.id, Bitmatrix.t) Hashtbl.t;
-  mixed : (Slp.id, Bitmatrix.t) Hashtbl.t;
-  pure_leaf : (char, Bitmatrix.t) Hashtbl.t;
-  mixed_leaf : (char, Bitmatrix.t) Hashtbl.t;
+  set_step : Bitmatrix.t;
+  mutable frozen : Slp.frozen;
+  mutable pure : Bitmatrix.t option array; (* node id -> Pure_A *)
+  mutable mixed : Bitmatrix.t option array; (* node id -> Mixed_A *)
+  class_pure : Bitmatrix.t option array; (* byte class -> letter step *)
+  class_mixed : Bitmatrix.t option array; (* byte class -> set·letter *)
+  mutable matrices : int; (* filled node slots, ×2 (pure + mixed) *)
   counts : (Slp.id * int * int, int) Hashtbl.t; (* mixed-run counts *)
 }
 
-let create e store =
-  let auto = if Evset.is_deterministic e then e else Evset.determinize e in
+let of_compiled ct store =
+  let n = max 1 (Slp.store_size store) in
+  let ncls = max 1 (Compiled.classes ct) in
   {
-    auto;
+    ct;
     store;
-    pure = Hashtbl.create 256;
-    mixed = Hashtbl.create 256;
-    pure_leaf = Hashtbl.create 8;
-    mixed_leaf = Hashtbl.create 8;
+    set_step = Compiled.set_step_matrix ct;
+    frozen = Slp.freeze store;
+    pure = Array.make n None;
+    mixed = Array.make n None;
+    class_pure = Array.make ncls None;
+    class_mixed = Array.make ncls None;
+    matrices = 0;
     counts = Hashtbl.create 256;
   }
 
-let vars engine = Evset.vars engine.auto
+let create e store =
+  let auto = if Evset.is_deterministic e then e else Evset.determinize e in
+  of_compiled (Compiled.of_evset auto) store
 
-let nstates engine = Evset.size engine.auto
+let compiled engine = engine.ct
 
-let letter_matrix engine c =
-  match Hashtbl.find_opt engine.pure_leaf c with
+let vars engine = Compiled.vars engine.ct
+
+let nstates engine = Compiled.states engine.ct
+
+let matrices_computed engine = engine.matrices
+
+(* ------------------------------------------------------------------ *)
+(* Preparation: iterative bottom-up sweep                              *)
+
+(* Leaf matrices, shared per byte class (only [prepare_gauge] calls
+   these, so the lazy fill is single-domain). *)
+let class_pure engine cls =
+  match engine.class_pure.(cls) with
   | Some m -> m
   | None ->
-      let n = nstates engine in
-      let m = Bitmatrix.create n in
-      for q = 0 to n - 1 do
-        Evset.iter_letter_arcs engine.auto q (fun cs dst ->
-            if Charset.mem cs c then Bitmatrix.set m q dst)
-      done;
-      Hashtbl.add engine.pure_leaf c m;
+      let m = Compiled.class_matrix engine.ct cls in
+      engine.class_pure.(cls) <- Some m;
       m
 
-let mixed_leaf_matrix engine c =
-  match Hashtbl.find_opt engine.mixed_leaf c with
+let class_mixed engine cls =
+  match engine.class_mixed.(cls) with
   | Some m -> m
   | None ->
-      let n = nstates engine in
-      let set_step = Bitmatrix.create n in
-      for q = 0 to n - 1 do
-        Evset.iter_set_arcs engine.auto q (fun _ dst -> Bitmatrix.set set_step q dst)
-      done;
-      let m = Bitmatrix.mul set_step (letter_matrix engine c) in
-      Hashtbl.add engine.mixed_leaf c m;
+      let m = Bitmatrix.mul engine.set_step (class_pure engine cls) in
+      engine.class_mixed.(cls) <- Some m;
       m
 
-let rec pure_matrix engine id =
-  match Hashtbl.find_opt engine.pure id with
+(* Read-only leaf lookup for the enumeration path: after preparation
+   every class under a prepared root is filled. *)
+let leaf_pure engine c =
+  match engine.class_pure.(Compiled.class_of_char engine.ct c) with
   | Some m -> m
-  | None ->
-      let m =
-        match Slp.node engine.store id with
-        | Slp.Leaf c -> letter_matrix engine c
-        | Slp.Pair (l, r) -> Bitmatrix.mul (pure_matrix engine l) (pure_matrix engine r)
-      in
-      Hashtbl.add engine.pure id m;
-      m
+  | None -> invalid_arg "Slp_spanner: node not prepared"
 
-let rec mixed_matrix engine id =
-  match Hashtbl.find_opt engine.mixed id with
+let pure_m engine id =
+  match engine.pure.(id) with
   | Some m -> m
-  | None ->
-      let m =
-        match Slp.node engine.store id with
-        | Slp.Leaf c -> mixed_leaf_matrix engine c
+  | None -> invalid_arg "Slp_spanner: node not prepared"
+
+let mixed_m engine id =
+  match engine.mixed.(id) with
+  | Some m -> m
+  | None -> invalid_arg "Slp_spanner: node not prepared"
+
+(* Refresh the snapshot and grow the slot arrays when the store has
+   gained nodes since the last preparation. *)
+let refresh engine =
+  let n = Slp.store_size engine.store in
+  if n > Slp.frozen_size engine.frozen then engine.frozen <- Slp.freeze engine.store;
+  if n > Array.length engine.pure then begin
+    let grow a =
+      let b = Array.make n None in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    engine.pure <- grow engine.pure;
+    engine.mixed <- grow engine.mixed
+  end
+
+let prepare_gauge g engine id =
+  refresh engine;
+  let fz = engine.frozen in
+  (* Reachable nodes with no matrices yet, by explicit stack. *)
+  let todo = Vec.create () in
+  let seen = Hashtbl.create 64 in
+  let stack = ref [ id ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if engine.pure.(id) == None && not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          ignore (Vec.push todo id);
+          match Slp.frozen_node fz id with
+          | Slp.Leaf _ -> ()
+          | Slp.Pair (l, r) -> stack := l :: r :: !stack
+        end
+  done;
+  (* Ascending ids are children-before-parents: sort and sweep. *)
+  let order = Vec.to_array todo in
+  Array.sort Int.compare order;
+  let nst = nstates engine in
+  Array.iter
+    (fun id ->
+      (* one matrix product is ~nstates row unions *)
+      Limits.charge g nst;
+      let p, m =
+        match Slp.frozen_node fz id with
+        | Slp.Leaf c ->
+            let cls = Compiled.class_of_char engine.ct c in
+            (class_pure engine cls, class_mixed engine cls)
         | Slp.Pair (l, r) ->
-            let full_r = Bitmatrix.union (pure_matrix engine r) (mixed_matrix engine r) in
-            Bitmatrix.union
-              (Bitmatrix.mul (mixed_matrix engine l) full_r)
-              (Bitmatrix.mul (pure_matrix engine l) (mixed_matrix engine r))
+            let pl = pure_m engine l and ml = mixed_m engine l in
+            let pr = pure_m engine r and mr = mixed_m engine r in
+            let p = Bitmatrix.mul pl pr in
+            (* Mixed_AB = Mixed_A·Pure_B ∪ Mixed_A·Mixed_B ∪ Pure_A·Mixed_B,
+               accumulated in place — no temporary unions. *)
+            let m = Bitmatrix.create nst in
+            Bitmatrix.mul_add ~into:m ml pr;
+            Bitmatrix.mul_add ~into:m ml mr;
+            Bitmatrix.mul_add ~into:m pl mr;
+            (p, m)
       in
-      Hashtbl.add engine.mixed id m;
-      m
+      engine.pure.(id) <- Some p;
+      engine.mixed.(id) <- Some m;
+      engine.matrices <- engine.matrices + 2)
+    order
 
-let prepare engine id =
-  ignore (pure_matrix engine id);
-  ignore (mixed_matrix engine id)
-
-let matrices_computed engine = Hashtbl.length engine.pure + Hashtbl.length engine.mixed
+let prepare engine id = prepare_gauge (Limits.unlimited ()) engine id
 
 (* ------------------------------------------------------------------ *)
 (* Enumeration                                                         *)
 
 (* Enumerate every run p→q over node [id] that places ≥ 1 marker.
-   Picks (0-based boundary, marker set) accumulate in [picks]; [k] is
+   Picks (0-based boundary, label id) accumulate in [picks]; [k] is
    invoked once per complete run.  Matrices guarantee every recursive
-   branch taken yields at least one run, so there is no dead search. *)
+   branch taken yields at least one run, so there is no dead search.
+   Recursion depth is bounded by the number of markers placed plus the
+   depth of the descent to each, not by |S|. *)
 let enum_mixed engine picks id0 p0 q0 offset0 k0 =
+  let ct = engine.ct in
+  let fz = engine.frozen in
   let n = nstates engine in
   let rec go id p q offset k =
-    match Slp.node engine.store id with
+    match Slp.frozen_node fz id with
     | Slp.Leaf c ->
-        Evset.iter_set_arcs engine.auto p (fun s p' ->
-            if Bitmatrix.get (letter_matrix engine c) p' q then begin
-              ignore (Vec.push picks (offset, s));
+        let lm = leaf_pure engine c in
+        Compiled.iter_set_arcs ct p (fun lbl p' ->
+            if Bitmatrix.get lm p' q then begin
+              ignore (Vec.push picks (offset, lbl));
               k ();
               ignore (Vec.pop picks)
             end)
     | Slp.Pair (l, r) ->
-        let m = Slp.len engine.store l in
-        let pure_l = pure_matrix engine l and mixed_l = mixed_matrix engine l in
-        let pure_r = pure_matrix engine r and mixed_r = mixed_matrix engine r in
+        let m = Slp.frozen_len fz l in
+        let pure_l = pure_m engine l and mixed_l = mixed_m engine l in
+        let pure_r = pure_m engine r and mixed_r = mixed_m engine r in
         for mid = 0 to n - 1 do
           if Bitmatrix.get mixed_l p mid && Bitmatrix.get pure_r mid q then
             go l p mid offset k;
@@ -123,29 +201,31 @@ let enum_mixed engine picks id0 p0 q0 offset0 k0 =
   in
   go id0 p0 q0 offset0 k0
 
-let tuple_of_picks picks extra =
+let tuple_of_picks ct picks extra =
   let opens = Hashtbl.create 4 in
   let tuple = ref Span_tuple.empty in
-  let apply (boundary, s) =
+  let apply (boundary, lbl) =
     Marker.Set.iter
       (function
         | Marker.Open x -> Hashtbl.replace opens x (boundary + 1)
         | Marker.Close x ->
             let left = Option.value ~default:(boundary + 1) (Hashtbl.find_opt opens x) in
             tuple := Span_tuple.bind !tuple x (Span.make left (boundary + 1)))
-      s
+      (Compiled.label_markers ct lbl)
   in
   Vec.iter apply picks;
   (match extra with Some pick -> apply pick | None -> ());
   !tuple
 
-let iter engine id f =
-  prepare engine id;
-  let auto = engine.auto in
+(* Read-only enumeration over already-prepared matrices; the [picks]
+   vector is the only mutable state and is local to this call, so
+   concurrent calls on different documents are safe. *)
+let iter_prepared engine id f =
+  let ct = engine.ct in
   let n = nstates engine in
-  let doc_len = Slp.len engine.store id in
-  let init = Evset.initial auto in
-  let pure_root = pure_matrix engine id and mixed_root = mixed_matrix engine id in
+  let doc_len = Slp.frozen_len engine.frozen id in
+  let init = Compiled.initial ct in
+  let pure_root = pure_m engine id and mixed_root = mixed_m engine id in
   let picks = Vec.create () in
   for q = 0 to n - 1 do
     let reach_pure = Bitmatrix.get pure_root init q in
@@ -153,21 +233,26 @@ let iter engine id f =
     if reach_pure || reach_mixed then begin
       (* runs ending at q, then the trailing boundary. *)
       let endings = ref [] in
-      if Evset.is_final auto q then endings := None :: !endings;
-      Evset.iter_set_arcs auto q (fun s q' ->
-          if Evset.is_final auto q' then endings := Some (doc_len, s) :: !endings);
+      if Compiled.is_final_state ct q then endings := None :: !endings;
+      Compiled.iter_set_arcs ct q (fun lbl q' ->
+          if Compiled.is_final_state ct q' then endings := Some (doc_len, lbl) :: !endings);
       List.iter
         (fun ending ->
-          if reach_pure then f (tuple_of_picks picks ending);
+          if reach_pure then f (tuple_of_picks ct picks ending);
           if reach_mixed then
-            enum_mixed engine picks id init q 0 (fun () -> f (tuple_of_picks picks ending)))
+            enum_mixed engine picks id init q 0 (fun () -> f (tuple_of_picks ct picks ending)))
         !endings
     end
   done
 
+let iter engine id f =
+  prepare engine id;
+  iter_prepared engine id f
+
 let cardinal engine id =
   prepare engine id;
-  let auto = engine.auto in
+  let ct = engine.ct in
+  let fz = engine.frozen in
   let n = nstates engine in
   (* mixed-run counts per (node, p, q), memoised. *)
   let rec count id p q =
@@ -175,15 +260,16 @@ let cardinal engine id =
     | Some c -> c
     | None ->
         let c =
-          match Slp.node engine.store id with
+          match Slp.frozen_node fz id with
           | Slp.Leaf ch ->
+              let lm = leaf_pure engine ch in
               let total = ref 0 in
-              Evset.iter_set_arcs auto p (fun _ p' ->
-                  if Bitmatrix.get (letter_matrix engine ch) p' q then incr total);
+              Compiled.iter_set_arcs ct p (fun _ p' ->
+                  if Bitmatrix.get lm p' q then incr total);
               !total
           | Slp.Pair (l, r) ->
-              let pure_l = pure_matrix engine l and mixed_l = mixed_matrix engine l in
-              let pure_r = pure_matrix engine r and mixed_r = mixed_matrix engine r in
+              let pure_l = pure_m engine l and mixed_l = mixed_m engine l in
+              let pure_r = pure_m engine r and mixed_r = mixed_m engine r in
               let total = ref 0 in
               for mid = 0 to n - 1 do
                 if Bitmatrix.get mixed_l p mid && Bitmatrix.get pure_r mid q then
@@ -198,14 +284,15 @@ let cardinal engine id =
         Hashtbl.add engine.counts (id, p, q) c;
         c
   in
-  let init = Evset.initial auto in
-  let pure_root = pure_matrix engine id and mixed_root = mixed_matrix engine id in
+  let init = Compiled.initial ct in
+  let pure_root = pure_m engine id and mixed_root = mixed_m engine id in
   let total = ref 0 in
   for q = 0 to n - 1 do
     if Bitmatrix.get pure_root init q || Bitmatrix.get mixed_root init q then begin
       let endings = ref 0 in
-      if Evset.is_final auto q then incr endings;
-      Evset.iter_set_arcs auto q (fun _ q' -> if Evset.is_final auto q' then incr endings);
+      if Compiled.is_final_state ct q then incr endings;
+      Compiled.iter_set_arcs ct q (fun _ q' ->
+          if Compiled.is_final_state ct q' then incr endings);
       let runs =
         (if Bitmatrix.get pure_root init q then 1 else 0)
         + if Bitmatrix.get mixed_root init q then count id init q else 0
@@ -219,3 +306,31 @@ let to_relation engine id =
   let r = ref (Span_relation.empty (vars engine)) in
   iter engine id (fun t -> r := Span_relation.add !r t);
   !r
+
+(* ------------------------------------------------------------------ *)
+(* Parallel batch evaluation                                           *)
+
+(* Collect one prepared document under its own gauge.  The tuple cap
+   counts distinct tuples (the relation deduplicates runs of a
+   non-deterministic automaton), and is only probed when a cap is
+   actually set — Span_relation.cardinal is not O(1). *)
+let collect g engine id =
+  let cap = (Limits.spec g).Limits.max_tuples <> max_int in
+  let r = ref (Span_relation.empty (vars engine)) in
+  iter_prepared engine id (fun t ->
+      Limits.check g;
+      r := Span_relation.add !r t;
+      if cap then Limits.check_tuples g (Span_relation.cardinal !r));
+  !r
+
+let eval_all ?jobs ?(limits = Limits.none) engine roots =
+  (* One sweep covers every root: shared nodes get their matrices
+     exactly once.  The sweep itself runs under a single gauge — if it
+     trips there are no matrices to enumerate from, so every slot
+     degrades to that error. *)
+  match
+    let g = Limits.start limits in
+    Array.iter (fun id -> prepare_gauge g engine id) roots
+  with
+  | exception e -> Array.map (fun _ -> Error e) roots
+  | () -> Pool.map_result ?jobs (fun id -> collect (Limits.start limits) engine id) roots

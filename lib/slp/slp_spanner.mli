@@ -4,14 +4,13 @@
     The engine combines the two ideas the paper describes:
 
     - {b matrices along the DAG}: for every SLP node [A], boolean
-      matrices over the states of a *deterministic* extended
-      vset-automaton record which state pairs are connected by reading
-      𝔇(A) — one matrix for marker-free runs ([Pure_A]) and one for
-      runs that place at least one marker ([Mixed_A]), composed as
-      [Pure_AB = Pure_A·Pure_B] and
-      [Mixed_AB = Mixed_A·Full_B ∪ Pure_A·Mixed_B].
+      matrices over the states of the compiled automaton record which
+      state pairs are connected by reading 𝔇(A) — one matrix for
+      marker-free runs ([Pure_A]) and one for runs that place at least
+      one marker ([Mixed_A]), composed as [Pure_AB = Pure_A·Pure_B]
+      and [Mixed_AB = Mixed_A·Full_B ∪ Pure_A·Mixed_B].
       Preprocessing is therefore O(|S|) matrix products — linear in
-      the *compressed* size, never in |𝔇(A)|.
+      the {e compressed} size, never in |𝔇(A)|.
 
     - {b enumeration by partial decompression}: a result tuple is
       produced by descending only into the nodes where its markers
@@ -19,15 +18,26 @@
       On a c-shallow SLP each of the ≤ 2k+1 descents costs O(log |D|)
       — the paper's O(log |D|) delay (§4.2).
 
-    Determinism of the automaton makes runs bijective with result
-    tuples, so the enumeration is duplicate-free without any
-    deduplication state.
+    The engine is built on {!Spanner_core.Compiled}'s dense tables:
+    node matrices live in node-indexed arrays, leaf matrices are
+    shared per {e byte class} (bytes the spanner never separates share
+    one matrix), and the bottom-up sweep is iterative, so arbitrarily
+    deep SLPs cannot overflow the stack.  Matrices are memoised per
+    node: documents sharing nodes share preprocessing, and nodes
+    created by CDE updates (§4.3) pay only for themselves.
 
-    Matrices are memoised per node: documents sharing nodes share
-    preprocessing, and nodes created by CDE updates (§4.3) pay only
-    for themselves — evaluating a spanner after an update costs
-    O(log d) new matrices, which is the incremental-maintenance bound
-    of [40]. *)
+    With a deterministic automaton ({!create} determinises) runs are
+    bijective with result tuples, so enumeration is duplicate-free.
+    {!of_compiled} accepts any compiled automaton; on a
+    non-deterministic one, {!iter} may repeat tuples (and {!cardinal}
+    counts runs) — {!to_relation} and {!eval_all} deduplicate and are
+    exact either way.
+
+    Concurrency: {!prepare} mutates the engine and must stay on one
+    domain, but enumeration over prepared nodes only reads a frozen
+    store snapshot ({!Slp.freeze}) and filled matrix slots —
+    {!eval_all} exploits this to sweep once and enumerate all
+    documents in parallel. *)
 
 open Spanner_core
 
@@ -37,19 +47,38 @@ type engine
     automaton is determinised internally unless it already is). *)
 val create : Evset.t -> Slp.store -> engine
 
+(** [of_compiled ct store] builds an engine on an existing compiled
+    automaton, sharing its tables (no recompilation).  If [ct] is not
+    deterministic, enumeration may visit a tuple once per run — use
+    relation-level entry points ({!to_relation}, {!eval_all}), which
+    deduplicate. *)
+val of_compiled : Compiled.t -> Slp.store -> engine
+
+(** [compiled engine] is the underlying compiled automaton. *)
+val compiled : engine -> Compiled.t
+
 (** [vars engine] is the spanner's variable set. *)
 val vars : engine -> Variable.Set.t
 
 (** [prepare engine id] forces the matrices of every node reachable
-    from [id] — the preprocessing phase, O(number of new nodes). *)
+    from [id] — the preprocessing phase, O(number of new nodes)
+    boolean matrix products, by iterative bottom-up sweep. *)
 val prepare : engine -> Slp.id -> unit
 
-(** [iter engine id f] enumerates ⟦e⟧(𝔇(id)) without repetition,
-    calling [f] once per tuple. *)
+(** [prepare_gauge g engine id] is {!prepare} metered by the caller's
+    gauge: each node's matrix products charge [Compiled.states] steps.
+    @raise Spanner_util.Limits.Spanner_error when the gauge trips
+    (already-filled slots stay valid; the sweep is resumable). *)
+val prepare_gauge : Spanner_util.Limits.gauge -> engine -> Slp.id -> unit
+
+(** [iter engine id f] enumerates ⟦e⟧(𝔇(id)), calling [f] once per
+    accepting run (once per tuple when the automaton is
+    deterministic — see {!create} vs {!of_compiled}). *)
 val iter : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
 
-(** [cardinal engine id] counts |⟦e⟧(𝔇(id))| by dynamic programming
-    over run counts — no enumeration, O(|S|·|Q|²) after preparation. *)
+(** [cardinal engine id] counts accepting runs by dynamic programming
+    over run counts — no enumeration, O(|S|·|Q|²) after preparation.
+    Equals |⟦e⟧(𝔇(id))| when the automaton is deterministic. *)
 val cardinal : engine -> Slp.id -> int
 
 (** [to_relation engine id] materialises the result. *)
@@ -58,3 +87,19 @@ val to_relation : engine -> Slp.id -> Span_relation.t
 (** [matrices_computed engine] is the number of memoised node
     matrices (preprocessing bookkeeping for the experiments). *)
 val matrices_computed : engine -> int
+
+(** [eval_all ?jobs ?limits engine roots] evaluates every root of
+    [roots] — the one-spanner/many-documents workload of §4 — in two
+    phases: one bottom-up sweep computes the matrices of all roots
+    (shared nodes are computed exactly once, under a single gauge
+    started from [limits]; if that sweep trips, every slot holds the
+    error), then per-document enumeration fans out across [jobs]
+    domains ({!Spanner_util.Pool}), each document metered by its own
+    gauge with partial-failure semantics.  Results are in input order
+    and independent of [jobs]. *)
+val eval_all :
+  ?jobs:int ->
+  ?limits:Spanner_util.Limits.t ->
+  engine ->
+  Slp.id array ->
+  (Span_relation.t, exn) result array

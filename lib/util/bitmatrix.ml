@@ -26,6 +26,13 @@ let mul a b =
   done;
   r
 
+let mul_add ~into a b =
+  if into.n <> a.n || a.n <> b.n then invalid_arg "Bitmatrix.mul_add: dimension mismatch";
+  for i = 0 to a.n - 1 do
+    let row_i = into.rows.(i) in
+    Bitset.iter (fun k -> ignore (Bitset.union_into ~into:row_i b.rows.(k))) a.rows.(i)
+  done
+
 let union a b =
   if a.n <> b.n then invalid_arg "Bitmatrix.union: dimension mismatch";
   let r = create a.n in

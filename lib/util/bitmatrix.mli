@@ -30,6 +30,13 @@ val row : t -> int -> Bitset.t
     entry [(i,j)] is true iff some [k] has [a(i,k) && b(k,j)]. *)
 val mul : t -> t -> t
 
+(** [mul_add ~into a b] accumulates the product into an existing
+    matrix: [into := into ∪ a·b].  The batch-product primitive of the
+    SLP sweep — a mixed matrix [Mixed_A·Full_B ∪ Pure_A·Mixed_B] is
+    three [mul_add]s into one accumulator, with no temporary union
+    matrices.  [into] must be a different matrix from [a] and [b]. *)
+val mul_add : into:t -> t -> t -> unit
+
 (** [union a b] is the entrywise disjunction. *)
 val union : t -> t -> t
 

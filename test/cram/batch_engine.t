@@ -1,0 +1,50 @@
+Batch evaluation in the compressed domain (§4): the files are
+compressed into one shared-store SLP database and evaluated without
+decompression.  Results match the uncompressed engine.
+
+  $ printf ababbab > d1.txt && printf abab > d2.txt && printf bbbb > d3.txt
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt --engine compressed
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  slp: 9 shared nodes for 15 bytes
+  d1.txt: 4 tuple(s)
+  d2.txt: 2 tuple(s)
+  d3.txt: 4 tuple(s)
+  3 document(s), 10 tuple(s) total
+
+The decompress-then-evaluate baseline agrees:
+
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt --engine decompress --jobs 2
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  slp: 9 shared nodes for 15 bytes
+  d1.txt: 4 tuple(s)
+  d2.txt: 2 tuple(s)
+  d3.txt: 4 tuple(s)
+  3 document(s), 10 tuple(s) total
+
+Partial failure under a tuple cap: the explosive document degrades to
+its own error slot on stderr, healthy documents complete, exit 1:
+
+  $ printf aa > small.txt && printf aaaaaaaaaa > big.txt
+  $ spanner_cli batch '[a]*!x{a*}[a]*' small.txt big.txt --engine compressed --max-tuples 10
+  compiled: 18 states, 2 byte classes, 3 marker-set labels
+  slp: 7 shared nodes for 12 bytes
+  small.txt: 6 tuple(s)
+  big.txt: tuples limit exceeded (spent 11 tuples)
+  2 document(s), 1 failed, 6 tuple(s) total
+  [1]
+
+A compile-stage limit still aborts before anything is compressed,
+exit 3:
+
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt --engine compressed --max-states 5
+  error: states limit exceeded (spent 20 states)
+  [3]
+
+SLPs derive non-empty documents, so an empty file is a usage error,
+exit 2:
+
+  $ touch empty.txt
+  $ spanner_cli batch 'a*' d1.txt empty.txt --engine compressed
+  compiled: 4 states, 2 byte classes, 0 marker-set labels
+  usage error: empty.txt: SLPs derive non-empty documents
+  [2]
