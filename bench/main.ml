@@ -24,10 +24,19 @@ module Pool = Spanner_util.Pool
 module Limits = Spanner_util.Limits
 module Nfa = Spanner_fa.Nfa
 module Regex = Spanner_fa.Regex
+module Cursor = Spanner_engine.Cursor
 open Tables
 
 let v = Variable.of_string
 let vs = Variable.set_of_list
+
+(* --smoke shrinks every experiment to sanity-check sizes (seconds, not
+   minutes) so the whole harness can run under the @bench-smoke alias;
+   the shapes the notes describe are not expected to show at these
+   sizes, only to execute. *)
+let smoke = ref false
+let sizes full tiny = if !smoke then tiny else full
+let sc full tiny = if !smoke then tiny else full
 
 (* ------------------------------------------------------------------ *)
 (* F1: Figure 1, reproduced exactly                                    *)
@@ -104,7 +113,7 @@ let e1_enumeration () =
           pretty_time (!total /. float_of_int (max 1 !produced));
           pretty_time !max_delay;
         ])
-      [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+      (sizes [ 10; 11; 12; 13; 14; 15; 16; 17 ] [ 6; 7 ])
   in
   print_table ~title:"spanner [ab]*!x{ab}[ab]* on random documents"
     ~header:[ "|D|"; "preprocess"; "ns/char"; "tuples"; "mean delay"; "max delay" ]
@@ -147,7 +156,7 @@ let e2_regular_vs_core () =
           pretty_time core_time;
           pretty_int results;
         ])
-      [ 2; 3; 4; 5; 6 ]
+      (sizes [ 2; 3; 4; 5; 6 ] [ 2; 3 ])
   in
   print_table
     ~title:
@@ -171,7 +180,7 @@ let e2_regular_vs_core () =
         in
         let t = best_of 3 (fun () -> ignore (Evset.accepts_tuple e doc tuple)) in
         [ pretty_int n; pretty_time t; Printf.sprintf "%.1f" (t *. 1e9 /. float_of_int n) ])
-      [ 10; 12; 14; 16; 18 ]
+      (sizes [ 10; 12; 14; 16; 18 ] [ 8; 10 ])
   in
   print_table ~title:"regular ModelChecking scaling" ~header:[ "|D|"; "time"; "ns/char" ] rows
 
@@ -285,7 +294,7 @@ let e4_refl_vs_core () =
           Printf.sprintf "%.1f" (refl_time *. 1e9 /. float_of_int n);
           (match core_time with Some t -> pretty_time t | None -> "(skipped)");
         ])
-      [ 4; 5; 6; 7; 8; 9; 10; 12; 14 ]
+      (sizes [ 4; 5; 6; 7; 8; 9; 10; 12; 14 ] [ 4; 5 ])
   in
   print_table ~title:"ModelChecking w.c.w with the backreference x = y"
     ~header:[ "|D|"; "refl MC"; "refl ns/char"; "core MC (enumerate+filter)" ]
@@ -326,7 +335,7 @@ let e5_slp_accept () =
           | Some t when compressed > 0.0 -> Printf.sprintf "%.0fx" (t /. compressed)
           | _ -> "-");
         ])
-      [ 8; 10; 12; 14; 16; 18; 20; 22 ]
+      (sizes [ 8; 10; 12; 14; 16; 18; 20; 22 ] [ 8; 10 ])
   in
   print_table ~title:"membership of (ab)^k in (ab)* — compressed vs decompress-and-run"
     ~header:[ "|D|"; "|S|"; "SLP matrices"; "decompress+NFA"; "speedup" ]
@@ -385,7 +394,7 @@ let e6_slp_enumeration () =
           pretty_time (!sum /. float_of_int (max 1 !produced));
           (match uncompressed_prep with Some t -> pretty_time t | None -> "(skipped)");
         ])
-      [ 8; 10; 12; 14; 16; 18; 20 ]
+      (sizes [ 8; 10; 12; 14; 16; 18; 20 ] [ 8; 10 ])
   in
   print_table ~title:"spanner [ab]*!x{ba}[ab]* over (ab)^k"
     ~header:
@@ -435,7 +444,7 @@ let e7_cde_updates () =
           pretty_int results;
           (match rebuild with Some t -> pretty_time t | None -> "(skipped)");
         ])
-      [ 10; 12; 14; 16; 18; 20; 22 ]
+      (sizes [ 10; 12; 14; 16; 18; 20; 22 ] [ 10; 12 ])
   in
   print_table ~title:"insert(base, extract(base, n/4, n/2), 2n/3) on (ab)^k"
     ~header:[ "|D|"; "CDE update"; "new matrices"; "results after edit"; "recompress baseline" ]
@@ -451,13 +460,13 @@ let e8_balancing () =
   let store = Slp.create_store () in
   let subjects =
     [
-      ("random 4k (lz78)", Builder.lz78 store (X.string rng "abcd" 4096));
-      ("random 64k (lz78)", Builder.lz78 store (X.string rng "abcd" 65536));
+      ("random 4k (lz78)", Builder.lz78 store (X.string rng "abcd" (sc 4096 256)));
+      ("random 64k (lz78)", Builder.lz78 store (X.string rng "abcd" (sc 65536 512)));
       ( "periodic 48k (lz78)",
-        Builder.lz78 store (String.concat "" (List.init 4096 (fun _ -> "abcabcabcabc"))) );
-      ("left comb 2k", Slp.of_string store (X.string rng "ab" 2048));
+        Builder.lz78 store (String.concat "" (List.init (sc 4096 64) (fun _ -> "abcabcabcabc"))) );
+      ("left comb 2k", Slp.of_string store (X.string rng "ab" (sc 2048 256)));
       ("fibonacci F30", Builder.fibonacci store 30);
-      ("power (ab)^2^18", Builder.repeat store "ab" (1 lsl 18));
+      ("power (ab)^2^18", Builder.repeat store "ab" (1 lsl sc 18 8));
     ]
   in
   let rows =
@@ -528,7 +537,7 @@ let e9_core_over_slp () =
           pretty_time compressed_first;
           (match uncompressed with Some t -> pretty_time t | None -> "(skipped)");
         ])
-      [ 6; 8; 10; 12; 14; 16 ]
+      (sizes [ 6; 8; 10; 12; 14; 16 ] [ 6; 8 ])
   in
   print_table
     ~title:"first duplicate adjacent field in (ab;)^k — compressed vs decompress-and-run"
@@ -582,7 +591,7 @@ let e10_context_free () =
           pretty_int groups;
           pretty_time eval_time;
         ])
-      [ 16; 32; 64; 128; 256 ]
+      (sizes [ 16; 32; 64; 128; 256 ] [ 16; 32 ])
   in
   print_table ~title:"Dyck-group extraction on random nested documents"
     ~header:[ "|D|"; "recognition"; "ns/char^3"; "groups"; "full eval" ]
@@ -633,7 +642,7 @@ let e11_datalog () =
           string_of_int (Spanner_datalog.Datalog.iterations result);
           pretty_time t;
         ])
-      [ 4; 8; 16; 32; 64 ]
+      (sizes [ 4; 8; 16; 32; 64 ] [ 4; 8 ])
   in
   print_table ~title:"transitive closure of equal-neighbour fields on (ab;)^k"
     ~header:[ "fields"; "chain facts (k(k-1)/2)"; "semi-naive rounds"; "time" ]
@@ -665,7 +674,7 @@ let e12_compiled_engine () =
           Printf.sprintf "%.1fx" (reference /. max compiled 1e-9);
           (if c_ref = c_cmp then pretty_int c_cmp else "MISMATCH");
         ])
-      [ 10; 12; 14; 16; 17 ]
+      (sizes [ 10; 12; 14; 16; 17 ] [ 8; 10 ])
   in
   print_table
     ~title:
@@ -674,7 +683,7 @@ let e12_compiled_engine () =
     ~header:[ "|D|"; "reference prepare"; "compiled prepare"; "speedup"; "tuples" ]
     rows;
   note "expected shape: both linear in |D|; compiled ahead by a constant factor (target >= 2x).";
-  let docs = Array.init 64 (fun i -> X.string rng "ab" (2048 + (61 * i))) in
+  let docs = Array.init (sc 64 8) (fun i -> X.string rng "ab" ((sc 2048 256) + (61 * i))) in
   let seq = best_of 3 (fun () -> ignore (Compiled.eval_all ~jobs:1 ct docs)) in
   let rows =
     List.map
@@ -749,7 +758,7 @@ let e13_incremental () =
           pretty_int st.Incr.hits;
           pretty_int st.Incr.misses;
         ])
-      [ 14; 16; 17 ]
+      (sizes [ 14; 16; 17 ] [ 10; 11 ])
   in
   print_table
     ~title:
@@ -804,7 +813,7 @@ let e14_robustness () =
           Printf.sprintf "%+.1f%%" overhead;
           (if c_free = c_gov then pretty_int c_gov else "MISMATCH");
         ])
-      [ 12; 14; 16 ]
+      (sizes [ 12; 14; 16 ] [ 10; 11 ])
   in
   print_table
     ~title:
@@ -827,7 +836,7 @@ let e15_compressed_batch () =
   let ct = Compiled.of_formula (Regex_formula.parse "[abcd]*!x{dcba}[abcd]*") in
   let rng = X.create 63 in
   let ndocs = 16 in
-  let n = 1 lsl 14 in
+  let n = 1 lsl sc 14 9 in
   let json = ref [] in
   let rows =
     List.map
@@ -875,7 +884,7 @@ let e15_compressed_batch () =
           pretty_time decompress;
           Printf.sprintf "%.2fx" (decompress /. max compressed 1e-9);
         ])
-      [ 1; 8; 64 ]
+      (sizes [ 1; 8; 64 ] [ 1; 8 ])
   in
   print_table
     ~title:
@@ -894,9 +903,9 @@ let e15_compressed_batch () =
      accident — matrices computed ≪ 2 × Σ per-document nodes *)
   let db = Doc_db.create () in
   let store = Doc_db.store db in
-  let base = Builder.balanced_of_string store (X.string rng "abcd" (1 lsl 16)) in
+  let base = Builder.balanced_of_string store (X.string rng "abcd" (1 lsl sc 16 9)) in
   for i = 1 to ndocs do
-    let suffix = Builder.balanced_of_string store (X.string rng "abcd" 512) in
+    let suffix = Builder.balanced_of_string store (X.string rng "abcd" (sc 512 64)) in
     Doc_db.add db (Printf.sprintf "s%02d" i) (Slp.pair store base suffix)
   done;
   let engine = Slp_spanner.of_compiled ct store in
@@ -932,6 +941,60 @@ let e15_compressed_batch () =
     ("e15/shared-matrices", Some (float_of_int matrices))
     :: ("e15/shared-sum-node-matrices", Some (float_of_int (2 * sum_nodes)))
     :: !json;
+  List.rev !json
+
+(* ------------------------------------------------------------------ *)
+(* E16: streaming cursors (DESIGN.md §2e)                              *)
+
+let e16_cursor () =
+  section
+    "E16: streaming cursors — first-k answers cost O(k) pulls after preprocessing, \
+     independent of how many answers exist (§2.5 constant-delay enumeration)";
+  let ct = Compiled.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
+  let rng = X.create 101 in
+  let k = 10 in
+  let json = ref [] in
+  let rows =
+    List.map
+      (fun e ->
+        let n = 1 lsl e in
+        let doc = X.string rng "ab" n in
+        let prepare = best_of 3 (fun () -> ignore (Compiled.prepare ct doc)) in
+        let p = Compiled.prepare ct doc in
+        let tuples = Compiled.cardinal p in
+        (* a fresh cursor over the same prepared document each run:
+           take-k times only the pulls, never the document pass *)
+        let take_k =
+          best_of 5 (fun () ->
+              ignore (Cursor.to_list (Cursor.take (Cursor.of_compiled p) k)))
+        in
+        let full = best_of 3 (fun () -> ignore (Cursor.to_relation (Cursor.of_compiled p))) in
+        json :=
+          (Printf.sprintf "e16/take%d-%d" k n, Some (take_k *. 1e9))
+          :: (Printf.sprintf "e16/full-drain-%d" n, Some (full *. 1e9))
+          :: !json;
+        [
+          pretty_int n;
+          pretty_time prepare;
+          pretty_time take_k;
+          pretty_time (take_k /. float_of_int (min k (max 1 tuples)));
+          pretty_time full;
+          pretty_int tuples;
+        ])
+      (sizes [ 12; 16; 18 ] [ 8; 10 ])
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "spanner [ab]*!x{ab}[ab]* — take-%d through a cursor vs draining to a relation \
+          (preprocessing excluded from both)"
+         k)
+    ~header:[ "|D|"; "prepare"; Printf.sprintf "take-%d" k; "delay/tuple"; "full drain"; "tuples" ]
+    rows;
+  note
+    "expected shape: take-%d and its per-tuple delay flat vs |D| (within ~2x); the full \
+     drain linear in the answer count, which grows with |D|."
+    k;
   List.rev !json
 
 (* ------------------------------------------------------------------ *)
@@ -978,7 +1041,7 @@ let a1_join_strategy () =
           pretty_time nested_time;
           Printf.sprintf "%.1fx" (nested_time /. max hash_time 1e-9);
         ])
-      [ 100; 400; 1600 ]
+      (sizes [ 100; 400; 1600 ] [ 50; 100 ])
   in
   print_table ~title:"join of two random relations (shared variables x, y)"
     ~header:[ "tuples/side"; "hash join"; "nested loops"; "ratio" ]
@@ -1010,7 +1073,7 @@ let a2_balanced_editing () =
           pretty_time (probe !naive);
           pretty_time (probe !balanced);
         ])
-      [ 256; 1024; 4096; 16384 ]
+      (sizes [ 256; 1024; 4096; 16384 ] [ 64; 256 ])
   in
   print_table ~title:"random access after n appends"
     ~header:[ "appends"; "naive order"; "AVL order"; "naive char_at"; "AVL char_at" ]
@@ -1038,7 +1101,7 @@ let a3_equality_strategy () =
               ignore (Spanner_util.Strhash.equal_sub sh 0 (n / 2) (n / 2)))
         in
         [ pretty_int n; pretty_time fingerprint; pretty_time decompress ])
-      [ 8; 12; 16; 20 ]
+      (sizes [ 8; 12; 16; 20 ] [ 6; 8 ])
   in
   print_table ~title:"half-vs-half factor equality on (ab;)^k"
     ~header:[ "|D|"; "SLP fingerprint"; "decompress + rolling hash" ]
@@ -1053,7 +1116,7 @@ let bechamel_suite () =
   let open Bechamel in
   let open Toolkit in
   let rng = X.create 77 in
-  let doc4k = X.string rng "ab" 4096 in
+  let doc4k = X.string rng "ab" (sc 4096 256) in
   let e1_auto = Evset.of_formula (Regex_formula.parse "[ab]*!x{ab}[ab]*") in
   let e2_core =
     Core_spanner.simplify
@@ -1065,17 +1128,17 @@ let bechamel_suite () =
     Span_tuple.of_list [ (v "x", Span.make 1 4097); (v "y", Span.make 4098 8194) ]
   in
   let e5_store = Slp.create_store () in
-  let e5_id = Builder.repeat e5_store "ab" (1 lsl 16) in
+  let e5_id = Builder.repeat e5_store "ab" (1 lsl sc 16 8) in
   let e5_nfa = Nfa.of_regex (Regex.parse "(ab)*") in
   let e7_db = Doc_db.create () in
-  let e7_id = Builder.repeat (Doc_db.store e7_db) "ab" (1 lsl 15) in
+  let e7_id = Builder.repeat (Doc_db.store e7_db) "ab" (1 lsl sc 15 8) in
   Doc_db.add e7_db "base" e7_id;
   let e7_n = Slp.len (Doc_db.store e7_db) e7_id in
   let e7_expr =
     Cde.Insert (Cde.Doc "base", Cde.Extract (Cde.Doc "base", e7_n / 4, e7_n / 2), e7_n / 3)
   in
   let e1_ct = Compiled.of_evset e1_auto in
-  let e12_docs = Array.init 16 (fun i -> X.string rng "ab" (4096 + i)) in
+  let e12_docs = Array.init (sc 16 4) (fun i -> X.string rng "ab" (sc 4096 256 + i)) in
   let tests =
     [
       Test.make ~name:"e1/prepare-4k" (Staged.stage (fun () -> Enumerate.prepare e1_auto doc4k));
@@ -1103,7 +1166,7 @@ let bechamel_suite () =
     ]
   in
   let grouped = Test.make_grouped ~name:"spanners" tests in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second (sc 0.5 0.05)) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -1142,47 +1205,98 @@ let write_json file rows =
   close_out oc;
   note "wrote %d OLS estimates (ns/run) to %s" (List.length entries) file
 
+(* ------------------------------------------------------------------ *)
+(* Registry + CLI                                                      *)
+
+type experiment = {
+  id : string;  (* --only key: "F1", "E12", "A2", "OLS" *)
+  run : unit -> (string * float option) list;  (* [] when no JSON rows *)
+  json : string option;  (* fixed-name JSON sink, written under --json *)
+}
+
+let silent f () =
+  f ();
+  []
+
+let registry =
+  [
+    { id = "F1"; run = silent figure1; json = None };
+    { id = "E1"; run = silent e1_enumeration; json = None };
+    { id = "E2"; run = silent e2_regular_vs_core; json = None };
+    { id = "E3"; run = silent e3_core_expressiveness; json = None };
+    { id = "E4"; run = silent e4_refl_vs_core; json = None };
+    { id = "E5"; run = silent e5_slp_accept; json = None };
+    { id = "E6"; run = silent e6_slp_enumeration; json = None };
+    { id = "E7"; run = silent e7_cde_updates; json = None };
+    { id = "E8"; run = silent e8_balancing; json = None };
+    { id = "E9"; run = silent e9_core_over_slp; json = None };
+    { id = "E10"; run = silent e10_context_free; json = None };
+    { id = "E11"; run = silent e11_datalog; json = None };
+    { id = "E12"; run = silent e12_compiled_engine; json = None };
+    { id = "E13"; run = e13_incremental; json = Some "BENCH_incr.json" };
+    { id = "E14"; run = e14_robustness; json = Some "BENCH_robust.json" };
+    { id = "E15"; run = e15_compressed_batch; json = Some "BENCH_slp.json" };
+    { id = "E16"; run = e16_cursor; json = Some "BENCH_cursor.json" };
+    { id = "A1"; run = silent a1_join_strategy; json = None };
+    { id = "A2"; run = silent a2_balanced_editing; json = None };
+    { id = "A3"; run = silent a3_equality_strategy; json = None };
+    { id = "OLS"; run = bechamel_suite; json = None };
+  ]
+
+let usage = "usage: main.exe [--json FILE] [--only ID,ID,...] [--smoke]"
+
 let () =
   let json_file = ref None in
+  let only = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse_args rest
     | [ "--json" ] ->
-        Printf.eprintf "--json needs a FILE operand (usage: main.exe [--json FILE])\n";
+        Printf.eprintf "--json needs a FILE operand (%s)\n" usage;
         exit 2
+    | "--only" :: ids :: rest ->
+        only :=
+          Some
+            (String.split_on_char ',' ids |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map String.uppercase_ascii);
+        parse_args rest
+    | [ "--only" ] ->
+        Printf.eprintf "--only needs a comma-separated list of experiment ids (%s)\n" usage;
+        exit 2
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse_args rest
     | arg :: _ ->
-        Printf.eprintf "unknown argument %s (usage: main.exe [--json FILE])\n" arg;
+        Printf.eprintf "unknown argument %s (%s)\n" arg usage;
         exit 2
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match !only with
+    | None -> registry
+    | Some ids ->
+        List.iter
+          (fun id ->
+            if not (List.exists (fun e -> e.id = id) registry) then (
+              Printf.eprintf "unknown experiment %s (known: %s)\n" id
+                (String.concat ", " (List.map (fun e -> e.id) registry));
+              exit 2))
+          ids;
+        List.filter (fun e -> List.mem e.id ids) registry
+  in
   note "Document Spanners — benchmark harness (see DESIGN.md section 2 and EXPERIMENTS.md)";
-  figure1 ();
-  e1_enumeration ();
-  e2_regular_vs_core ();
-  e3_core_expressiveness ();
-  e4_refl_vs_core ();
-  e5_slp_accept ();
-  e6_slp_enumeration ();
-  e7_cde_updates ();
-  e8_balancing ();
-  e9_core_over_slp ();
-  e10_context_free ();
-  e11_datalog ();
-  e12_compiled_engine ();
-  let e13_rows = e13_incremental () in
-  let e14_rows = e14_robustness () in
-  let e15_rows = e15_compressed_batch () in
-  a1_join_strategy ();
-  a2_balanced_editing ();
-  a3_equality_strategy ();
-  let ols_rows = bechamel_suite () in
-  (match !json_file with
-  | Some file ->
-      write_json file ols_rows;
-      write_json "BENCH_incr.json" e13_rows;
-      write_json "BENCH_robust.json" e14_rows;
-      write_json "BENCH_slp.json" e15_rows
-  | None -> ());
+  if !smoke then note "smoke mode: tiny sizes, sanity only — timings are not meaningful";
+  List.iter
+    (fun e ->
+      let rows = e.run () in
+      match !json_file with
+      | None -> ()
+      | Some ols_file -> (
+          match e.json with
+          | Some file -> write_json file rows
+          | None -> if e.id = "OLS" then write_json ols_file rows))
+    selected;
   note "\nall experiments completed."

@@ -16,7 +16,11 @@ module Slp = Spanner_slp.Slp
 module Builder = Spanner_slp.Builder
 module Balance = Spanner_slp.Balance
 module Slp_spanner = Spanner_slp.Slp_spanner
+module Doc_db = Spanner_slp.Doc_db
 module Limits = Spanner_util.Limits
+module Pool = Spanner_util.Pool
+module Cursor = Spanner_engine.Cursor
+module Plan = Spanner_engine.Plan
 
 (* Exit-code contract: 0 ok; 1 evaluation failure / some documents of
    a batch failed; 2 usage, parse, or corrupt-input error; 3 resource
@@ -49,22 +53,55 @@ let parse_formula s =
     exit 2
 
 (* ------------------------------------------------------------------ *)
+(* Streamed rendering (shared by eval/batch/edit).
+
+   Every result now flows through a Plan + Cursor: [restrict] applies
+   --offset/--limit as stream operations (no tuple beyond the window
+   is ever pulled from the engine), and [render] realises --format.
+   The default `Table output materialises the restricted stream and is
+   byte-identical to the pre-planner output. *)
+
+let restrict cursor ~offset ~limit =
+  if offset > 0 then Cursor.drop cursor offset;
+  match limit with Some k -> Cursor.take cursor k | None -> cursor
+
+let render ?doc cursor ~offset ~limit ~format =
+  let cursor = restrict cursor ~offset ~limit in
+  match format with
+  | `Table ->
+      let relation = Cursor.to_relation cursor in
+      (match doc with
+      | Some d -> Format.printf "%a" (Span_relation.pp ~doc:d) relation
+      | None -> Format.printf "%a" (Span_relation.pp ?doc:None) relation);
+      Format.printf "%d tuple(s)@." (Span_relation.cardinal relation)
+  | `Tuples -> Cursor.iter cursor (fun t -> Format.printf "%a@." Span_tuple.pp t)
+  | `Count -> Format.printf "%d@." (Cursor.cardinal cursor)
+  | `First -> (
+      match Cursor.next cursor with
+      | Some t -> Format.printf "%a@." Span_tuple.pp t
+      | None -> Format.printf "(no tuples)@.")
+
+(* ------------------------------------------------------------------ *)
 (* eval *)
 
-let eval_cmd formula doc file contents compiled limits =
+let eval_cmd formula doc file contents compiled limits offset limit format =
   let document = read_document doc file in
-  let relation =
-    if compiled then Compiled.eval ~limits (Compiled.of_formula ~limits (parse_formula formula)) document
-    else Evset.eval (Evset.of_formula ~limits (parse_formula formula)) document
-  in
-  if contents then Format.printf "%a" (Span_relation.pp ~doc:document) relation
-  else Format.printf "%a" (Span_relation.pp ?doc:None) relation;
-  Format.printf "%d tuple(s)@." (Span_relation.cardinal relation)
+  (* the planner always evaluates through the compiled engine; the
+     flag is kept for compatibility *)
+  ignore compiled;
+  let ct = Compiled.of_formula ~limits (parse_formula formula) in
+  let plan = Plan.make ct (Plan.Doc document) in
+  let cursor = Plan.cursor ~limits plan in
+  render ?doc:(if contents then Some document else None) cursor ~offset ~limit ~format
 
 (* ------------------------------------------------------------------ *)
 (* batch *)
 
-let batch_cmd formula files jobs engine limits =
+let error_message = function
+  | Limits.Spanner_error err -> Limits.to_string err
+  | e -> Printexc.to_string e
+
+let batch_cmd formula files jobs engine limits offset limit format =
   if files = [] then usage "missing documents: give at least one FILE";
   (* Compilation failures (e.g. the state cap) abort the whole batch:
      with no compiled spanner there is nothing to degrade to.  Per-
@@ -72,54 +109,96 @@ let batch_cmd formula files jobs engine limits =
   let ct = Compiled.of_formula ~limits (parse_formula formula) in
   Format.printf "compiled: %d states, %d byte classes, %d marker-set labels@."
     (Compiled.states ct) (Compiled.classes ct) (Compiled.alphabet ct);
-  let results =
+  let plan =
     match engine with
-    | `Compiled ->
-        let docs = Array.of_list (List.map read_file files) in
-        Compiled.eval_all_result ?jobs ~limits ct docs
-    | (`Compressed | `Decompress) as engine ->
+    | (`Auto | `Compiled) as e ->
+        let docs = Array.of_list (List.map (fun f -> (f, read_file f)) files) in
+        let force = match e with `Compiled -> Some `Compiled | `Auto -> None in
+        Plan.make ?force ct (Plan.Docs docs)
+    | (`Compressed | `Decompress) as e ->
         (* Compress the files into one shared-store database, then
            evaluate in the compressed domain (or decompress from a
            frozen snapshot, for comparison). *)
-        let db = Spanner_slp.Doc_db.create () in
+        let db = Doc_db.create () in
         List.iter
           (fun file ->
             let doc = read_file file in
             if String.length doc = 0 then
               usage (file ^ ": SLPs derive non-empty documents");
-            ignore (Spanner_slp.Doc_db.add_string db file doc))
+            ignore (Doc_db.add_string db file doc))
           files;
         Format.printf "slp: %d shared nodes for %d bytes@."
-          (Spanner_slp.Doc_db.compressed_size db)
-          (Spanner_slp.Doc_db.total_len db);
-        Array.of_list
-          (List.map snd (Spanner_slp.Doc_db.eval_all ?jobs ~limits ~engine db ct))
+          (Doc_db.compressed_size db) (Doc_db.total_len db);
+        Plan.make ~force:e ct (Plan.Db db)
   in
+  (* surface the effective domain count when the SPANNER_JOBS override
+     is in play — otherwise job selection stays invisible *)
+  (match Pool.env_jobs () with
+  | Some _ ->
+      Format.printf "jobs: %d (SPANNER_JOBS)@."
+        (Pool.effective_jobs ?jobs (List.length files))
+  | None -> ());
   let total = ref 0 in
   let failed = ref 0 in
-  List.iteri
-    (fun i file ->
-      match results.(i) with
-      | Ok relation ->
-          let k = Span_relation.cardinal relation in
-          total := !total + k;
-          Format.printf "%s: %d tuple(s)@." file k
-      | Error e ->
-          incr failed;
-          let msg =
-            match e with
-            | Limits.Spanner_error err -> Limits.to_string err
-            | e -> Printexc.to_string e
-          in
-          Printf.eprintf "%s: %s\n%!" file msg)
-    files;
-  if !failed = 0 then
-    Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
-  else begin
-    Format.printf "%d document(s), %d failed, %d tuple(s) total@." (List.length files) !failed
-      !total;
-    exit 1
-  end
+  (match (format, limit, offset) with
+  | `Table, None, 0 ->
+      (* no streaming flags: the parallel materialising path, output
+         identical to the pre-planner batch *)
+      Array.iter
+        (fun (file, result) ->
+          match result with
+          | Ok relation ->
+              let k = Span_relation.cardinal relation in
+              total := !total + k;
+              Format.printf "%s: %d tuple(s)@." file k
+          | Error e ->
+              incr failed;
+              Printf.eprintf "%s: %s\n%!" file (error_message e))
+        (Plan.relations ?jobs ~limits plan)
+  | _ ->
+      (* streaming flags: sequential per-document streams, early-
+         terminating — no tuple beyond the window is enumerated *)
+      Array.iter
+        (fun (file, slot) ->
+          match
+            match slot with
+            | Error e -> raise e
+            | Ok c -> (
+                let c = restrict c ~offset ~limit in
+                match format with
+                | `Table ->
+                    let k = Cursor.cardinal c in
+                    total := !total + k;
+                    Format.printf "%s: %d tuple(s)@." file k
+                | `Count ->
+                    let k = Cursor.cardinal c in
+                    total := !total + k;
+                    Format.printf "%s: %d@." file k
+                | `Tuples ->
+                    Cursor.iter c (fun t ->
+                        incr total;
+                        Format.printf "%s: %a@." file Span_tuple.pp t)
+                | `First -> (
+                    match Cursor.next c with
+                    | Some t ->
+                        incr total;
+                        Format.printf "%s: %a@." file Span_tuple.pp t
+                    | None -> Format.printf "%s: (no tuples)@." file))
+          with
+          | () -> ()
+          | exception e ->
+              incr failed;
+              Printf.eprintf "%s: %s\n%!" file (error_message e))
+        (Plan.cursors ~limits plan));
+  (match format with
+  | `Table ->
+      if !failed = 0 then
+        Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
+      else
+        Format.printf "%d document(s), %d failed, %d tuple(s) total@." (List.length files)
+          !failed !total
+  | _ -> ());
+  if !failed > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* enum *)
@@ -215,31 +294,31 @@ let compress_cmd doc file output =
 (* ------------------------------------------------------------------ *)
 (* slpeval *)
 
-let slpeval_cmd formula doc file limit =
+let slpeval_cmd formula doc file limit limits =
   let document = read_document doc file in
   if String.length document = 0 then usage "SLPs derive non-empty documents";
   let store = Slp.create_store () in
   let id = Balance.rebalance store (Builder.lz78 store document) in
-  let spanner = Evset.of_formula (parse_formula formula) in
+  let spanner = Evset.of_formula ~limits (parse_formula formula) in
   let engine = Slp_spanner.create spanner store in
-  Slp_spanner.prepare engine id;
+  (* one gauge spans the matrix sweep and the stream: --fuel and
+     --deadline-ms govern both, --max-tuples fires mid-stream *)
+  let g = Limits.start limits in
+  Slp_spanner.prepare_gauge g engine id;
   Format.printf "|D| = %d, SLP nodes = %d, matrices = %d, results = %d@."
     (Slp.len store id)
     (Slp.reachable_size store id)
     (Slp_spanner.matrices_computed engine)
     (Slp_spanner.cardinal engine id);
-  let shown = ref 0 in
-  (try
-     Slp_spanner.iter engine id (fun tuple ->
-         Format.printf "%a@." Span_tuple.pp tuple;
-         incr shown;
-         match limit with Some k when !shown >= k -> raise Exit | _ -> ())
-   with Exit -> ())
+  (* -n/--limit is now take on the stream — same budget taxonomy as
+     --max-tuples, but a window rather than a failure *)
+  let cursor = restrict (Cursor.of_slp ~gauge:g engine id) ~offset:0 ~limit in
+  Cursor.iter cursor (fun tuple -> Format.printf "%a@." Span_tuple.pp tuple)
 
 (* ------------------------------------------------------------------ *)
 (* edit *)
 
-let edit_cmd formula doc file exprs capacity show limits =
+let edit_cmd formula doc file exprs capacity show limits offset limit format =
   let document = read_document doc file in
   if String.length document = 0 then usage "SLPs derive non-empty documents";
   let db = Spanner_slp.Doc_db.create () in
@@ -247,6 +326,10 @@ let edit_cmd formula doc file exprs capacity show limits =
   let store = Spanner_slp.Doc_db.store db in
   let ct = Compiled.of_formula ~limits (parse_formula formula) in
   let session = Spanner_incr.Incr.create ?cache_capacity:capacity ct db in
+  (* one plan for the whole session: the designated "doc" is resolved
+     at each cursor creation, so edits re-route automatically *)
+  let plan = Plan.make ct (Plan.Session (session, "doc")) in
+  let evaluate () = Cursor.to_relation (Plan.cursor ~limits plan) in
   let report label id relation =
     Format.printf "%s |D| = %d, %d tuple(s)@." label (Slp.len store id)
       (Span_relation.cardinal relation)
@@ -255,26 +338,69 @@ let edit_cmd formula doc file exprs capacity show limits =
     Printf.eprintf "error: %s\n" msg;
     exit 2
   in
-  report "doc:" (Spanner_slp.Doc_db.find db "doc") (Spanner_incr.Incr.eval_doc ~limits session "doc");
+  report "doc:" (Spanner_slp.Doc_db.find db "doc") (evaluate ());
   let last = ref None in
   List.iteri
     (fun k src ->
       let e = try Spanner_slp.Cde.parse src with Invalid_argument msg -> bad msg in
-      match Spanner_incr.Incr.edit ~limits session "doc" e with
+      match
+        let id = Spanner_slp.Cde.materialize db "doc" e in
+        (id, evaluate ())
+      with
       | id, relation ->
           report (Format.asprintf "edit %d: %a ->" (k + 1) Spanner_slp.Cde.pp e) id relation;
           last := Some relation
       | exception Invalid_argument msg -> bad msg
       | exception Not_found -> bad ("unknown document name in " ^ src))
     exprs;
-  (match (show, !last) with
-  | true, Some relation -> Format.printf "%a" (Span_relation.pp ?doc:None) relation
-  | _ -> ());
+  (match (format, limit, offset) with
+  | None, None, 0 -> (
+      match (show, !last) with
+      | true, Some relation -> Format.printf "%a" (Span_relation.pp ?doc:None) relation
+      | _ -> ())
+  | format, limit, offset ->
+      (* streaming flags render the final document state through a
+         fresh cursor (cached summaries make the re-walk cheap) *)
+      let fmt = match format with Some f -> f | None -> `Table in
+      render (Plan.cursor ~limits plan) ~offset ~limit ~format:fmt);
   let st = Spanner_incr.Incr.stats session in
   Format.printf "cache: %d hits, %d misses, %d evictions, %d entries (capacity %d), %d nodes created@."
     st.Spanner_incr.Incr.hits st.Spanner_incr.Incr.misses st.Spanner_incr.Incr.evictions
     st.Spanner_incr.Incr.entries st.Spanner_incr.Incr.capacity
     st.Spanner_incr.Incr.nodes_created
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd formula doc file slp session dbfile limits =
+  let ct = Compiled.of_formula ~limits (parse_formula formula) in
+  let plan =
+    match dbfile with
+    | Some path ->
+        if slp || session then usage "give at most one of --slp, --session, --db";
+        Plan.make ct (Plan.Db (Spanner_slp.Serialize.read_file path))
+    | None ->
+        let document = read_document doc file in
+        if slp && session then usage "give at most one of --slp, --session, --db";
+        if (slp || session) && String.length document = 0 then
+          usage "SLPs derive non-empty documents";
+        if session then begin
+          let db = Spanner_slp.Doc_db.create () in
+          ignore (Spanner_slp.Doc_db.add_string db "doc" document);
+          let s = Spanner_incr.Incr.create ct db in
+          (* warm the summary cache once so the plan reports the state
+             a live session would actually be in *)
+          ignore (Spanner_incr.Incr.eval_doc ~limits s "doc");
+          Plan.make ct (Plan.Session (s, "doc"))
+        end
+        else if slp then begin
+          let store = Slp.create_store () in
+          let id = Balance.rebalance store (Builder.lz78 store document) in
+          Plan.make ct (Plan.Slp_node (store, id))
+        end
+        else Plan.make ct (Plan.Doc document)
+  in
+  Format.printf "%a" Plan.pp plan
 
 (* ------------------------------------------------------------------ *)
 (* datalog *)
@@ -337,6 +463,21 @@ let contents_arg =
 
 let limit_arg =
   Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"K" ~doc:"Print at most $(docv) tuples.")
+
+let offset_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "offset" ] ~docv:"K" ~doc:"Skip the first $(docv) result tuples of the stream.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("tuples", `Tuples); ("count", `Count); ("first", `First) ])) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Streamed output instead of the default table: $(b,tuples) prints each tuple as it \
+           is pulled, $(b,count) prints only the count, $(b,first) prints the first tuple and \
+           stops — with --limit/--offset, no tuple beyond the window is ever enumerated.")
 
 let compiled_arg =
   Arg.(
@@ -403,29 +544,44 @@ let limits_term =
         Limits.make ?fuel ?time_ms ?max_states ?max_tuples ())
     $ fuel_arg $ deadline_arg $ max_states_arg $ max_tuples_arg)
 
+let table_default = function Some f -> f | None -> `Table
+
 let eval_term =
   Term.(
-    const (fun formula doc file contents compiled limits ->
-        catch (fun () -> eval_cmd formula doc file contents compiled limits))
-    $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg $ limits_term)
+    const (fun formula doc file contents compiled limits offset limit format ->
+        catch (fun () ->
+            eval_cmd formula doc file contents compiled limits offset limit
+              (table_default format)))
+    $ formula_arg $ doc_arg $ file_arg $ contents_arg $ compiled_arg $ limits_term
+    $ offset_arg $ limit_arg $ format_arg)
 
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("compiled", `Compiled); ("compressed", `Compressed); ("decompress", `Decompress) ])
-        `Compiled
+    & opt
+        (enum
+           [
+             ("auto", `Auto);
+             ("compiled", `Compiled);
+             ("compressed", `Compressed);
+             ("decompress", `Decompress);
+           ])
+        `Auto
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Evaluation engine: $(b,compiled) reads the files as-is (default); $(b,compressed) \
-           builds a shared SLP database and evaluates in the compressed domain (§4.2); \
-           $(b,decompress) builds the same database but decompresses before evaluating (the \
-           baseline the compressed engine is measured against).")
+          "Evaluation engine: $(b,auto) lets the planner choose from the input shape \
+           (default; see the $(b,explain) subcommand); $(b,compiled) reads the files as-is; \
+           $(b,compressed) builds a shared SLP database and evaluates in the compressed \
+           domain (§4.2); $(b,decompress) builds the same database but decompresses before \
+           evaluating (the baseline the compressed engine is measured against).")
 
 let batch_term =
   Term.(
-    const (fun formula files jobs engine limits ->
-        catch (fun () -> batch_cmd formula files jobs engine limits))
-    $ formula_arg $ files_arg $ jobs_arg $ engine_arg $ limits_term)
+    const (fun formula files jobs engine limits offset limit format ->
+        catch (fun () ->
+            batch_cmd formula files jobs engine limits offset limit (table_default format)))
+    $ formula_arg $ files_arg $ jobs_arg $ engine_arg $ limits_term $ offset_arg $ limit_arg
+    $ format_arg)
 
 let enum_term =
   Term.(
@@ -469,8 +625,9 @@ let compress_term =
 
 let slpeval_term =
   Term.(
-    const (fun formula doc file limit -> catch (fun () -> slpeval_cmd formula doc file limit))
-    $ formula_arg $ doc_arg $ file_arg $ limit_arg)
+    const (fun formula doc file limit limits ->
+        catch (fun () -> slpeval_cmd formula doc file limit limits))
+    $ formula_arg $ doc_arg $ file_arg $ limit_arg $ limits_term)
 
 let exprs_arg =
   Arg.(
@@ -492,9 +649,35 @@ let show_arg =
 
 let edit_term =
   Term.(
-    const (fun formula doc file exprs capacity show limits ->
-        catch (fun () -> edit_cmd formula doc file exprs capacity show limits))
-    $ formula_arg $ doc_arg $ file_arg $ exprs_arg $ capacity_arg $ show_arg $ limits_term)
+    const (fun formula doc file exprs capacity show limits offset limit format ->
+        catch (fun () ->
+            edit_cmd formula doc file exprs capacity show limits offset limit format))
+    $ formula_arg $ doc_arg $ file_arg $ exprs_arg $ capacity_arg $ show_arg $ limits_term
+    $ offset_arg $ limit_arg $ format_arg)
+
+let slp_shape_arg =
+  Arg.(
+    value & flag
+    & info [ "slp" ] ~doc:"Plan over the SLP-compressed form of the document (§4.2).")
+
+let session_shape_arg =
+  Arg.(
+    value & flag
+    & info [ "session" ] ~doc:"Plan over a live CDE session holding the document (§4.3).")
+
+let db_shape_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:"Plan over a frozen document database ($(docv) in SLPDB format, see compress -o).")
+
+let explain_term =
+  Term.(
+    const (fun formula doc file slp session dbfile limits ->
+        catch (fun () -> explain_cmd formula doc file slp session dbfile limits))
+    $ formula_arg $ doc_arg $ file_arg $ slp_shape_arg $ session_shape_arg $ db_shape_arg
+    $ limits_term)
 
 let cmds =
   [
@@ -523,6 +706,12 @@ let cmds =
            "Apply complex document edits and re-evaluate incrementally: per-node transition \
             summaries are cached, so each edit recomputes only the nodes it created (§4.3).")
       edit_term;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Print the evaluation plan the planner would pick for a query — chosen engine, \
+            the input-shape facts it decided from, and why — without running it.")
+      explain_term;
   ]
 
 let () =

@@ -595,6 +595,10 @@ let to_relation p =
 (* One gauge spans both phases: preprocessing and output collection
    draw from the same fuel, and the tuple cap applies to the collected
    relation. *)
+let prepare_with_gauge = prepare_gauge
+let cursor_next = next
+let prepared_vars p = p.tables.vars
+
 let eval_with_gauge g ct doc =
   let p = prepare_gauge g ct doc in
   let r = ref (Span_relation.empty p.tables.vars) in

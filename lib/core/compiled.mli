@@ -137,6 +137,17 @@ type prepared
     away. *)
 val prepare : ?limits:Spanner_util.Limits.t -> t -> string -> prepared
 
+(** [prepare_with_gauge g ct doc] is {!prepare} drawing on the
+    caller's running gauge instead of starting a fresh one — so one
+    budget can span preprocessing {e and} the enumeration that follows
+    (the contract of {!eval}, exposed for streaming pipelines that
+    enumerate through a {!cursor}). *)
+val prepare_with_gauge : Spanner_util.Limits.gauge -> t -> string -> prepared
+
+(** [prepared_vars p] is the variable set of the spanner [p] was
+    prepared from (the schema of the enumerated tuples). *)
+val prepared_vars : prepared -> Variable.Set.t
+
 (** [iter p f] calls [f] exactly once per result tuple. *)
 val iter : prepared -> (Span_tuple.t -> unit) -> unit
 
@@ -162,6 +173,25 @@ type stats = {
 }
 
 val stats : prepared -> stats
+
+(** {1 Pull-based enumeration}
+
+    The native cursor over the trimmed product DAG: each {!cursor_next}
+    resumes the duplicate-free depth-first walk exactly where the last
+    tuple left it, so the first [k] tuples cost O(k) pulls after
+    preprocessing — the paper's constant-delay claim (§2.5) as an
+    incremental API.  {!iter}/{!to_seq} are built on the same walk;
+    this exposes it to the streaming layer ({!Spanner_engine.Cursor}). *)
+
+type cursor
+
+(** [cursor p] starts a fresh walk over [p] (cheap; no enumeration
+    happens until the first pull). *)
+val cursor : prepared -> cursor
+
+(** [cursor_next c] is the next result tuple, or [None] once the walk
+    is exhausted (and forever after). *)
+val cursor_next : cursor -> Span_tuple.t option
 
 (** {1 Whole-document and batch evaluation} *)
 

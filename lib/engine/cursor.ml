@@ -1,0 +1,186 @@
+open Spanner_core
+module Limits = Spanner_util.Limits
+module Slp_spanner = Spanner_slp.Slp_spanner
+module Incr = Spanner_incr.Incr
+module Tuple_set = Set.Make (Span_tuple)
+
+(* Take-views share the underlying stream with their parent, so the
+   pull state (engine position, lookahead slot, pull count) lives in
+   shared refs; only [budget] — how many tuples this view may still
+   deliver — is per-view. *)
+type t = {
+  vars : Variable.Set.t;
+  gauge : Limits.gauge;
+  pull : unit -> Span_tuple.t option;
+  pulled : int ref;
+  finished : bool ref;
+  peeked : Span_tuple.t option ref;
+  mutable budget : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors *)
+
+let of_fun ?(gauge = Limits.unlimited ()) ~vars pull =
+  {
+    vars;
+    gauge;
+    pull;
+    pulled = ref 0;
+    finished = ref false;
+    peeked = ref None;
+    budget = max_int;
+  }
+
+(* Invert an iter-style enumerator into a pull function: the producer
+   runs under an effect handler and is suspended at every yielded
+   tuple; [next] resumes the captured continuation.  The effect
+   constructor is local to each call, so cursors can nest (a pull
+   inside another producer's callback) without stealing each other's
+   yields. *)
+let of_iter ?gauge ?(dedup = false) ~vars iter =
+  let module G = struct
+    type _ Effect.t += Yield : Span_tuple.t -> unit Effect.t
+  end in
+  let open Effect.Deep in
+  let resume : (unit, Span_tuple.t option) continuation option ref = ref None in
+  let started = ref false in
+  let run () =
+    match_with
+      (fun () -> iter (fun t -> Effect.perform (G.Yield t)))
+      ()
+      {
+        retc = (fun () -> None);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | G.Yield t ->
+                Some
+                  (fun (k : (a, Span_tuple.t option) continuation) ->
+                    resume := Some k;
+                    Some t)
+            | _ -> None);
+      }
+  in
+  let raw () =
+    if not !started then begin
+      started := true;
+      run ()
+    end
+    else
+      match !resume with
+      | None -> None
+      | Some k ->
+          resume := None;
+          continue k ()
+  in
+  let pull =
+    if not dedup then raw
+    else begin
+      let seen = ref Tuple_set.empty in
+      let rec fresh () =
+        match raw () with
+        | None -> None
+        | Some t when Tuple_set.mem t !seen -> fresh ()
+        | Some t ->
+            seen := Tuple_set.add t !seen;
+            Some t
+      in
+      fresh
+    end
+  in
+  of_fun ?gauge ~vars pull
+
+let of_compiled ?gauge p =
+  let cur = Compiled.cursor p in
+  of_fun ?gauge ~vars:(Compiled.prepared_vars p) (fun () -> Compiled.cursor_next cur)
+
+let needs_dedup ct = not (Evset.is_deterministic (Compiled.evset ct))
+
+let of_slp ?gauge engine id =
+  of_iter ?gauge
+    ~dedup:(needs_dedup (Slp_spanner.compiled engine))
+    ~vars:(Slp_spanner.vars engine)
+    (fun f -> Slp_spanner.iter_prepared engine id f)
+
+let of_incr ?gauge session id =
+  let ct = Incr.compiled session in
+  of_iter ?gauge ~dedup:(needs_dedup ct) ~vars:(Compiled.vars ct) (fun f ->
+      Incr.iter_runs ?gauge session id f)
+
+let of_relation r =
+  let rest = ref (Span_relation.tuples r) in
+  of_fun ~vars:(Span_relation.schema r) (fun () ->
+      match !rest with
+      | [] -> None
+      | t :: ts ->
+          rest := ts;
+          Some t)
+
+(* ------------------------------------------------------------------ *)
+(* Consuming *)
+
+let vars c = c.vars
+let pulls c = !(c.pulled)
+
+(* One metered engine pull, through the shared lookahead slot. *)
+let engine_pull c =
+  match !(c.peeked) with
+  | Some _ as t ->
+      c.peeked := None;
+      t
+  | None ->
+      if !(c.finished) then None
+      else (
+        match c.pull () with
+        | None ->
+            c.finished := true;
+            None
+        | Some _ as t ->
+            incr c.pulled;
+            Limits.tick_tuple c.gauge !(c.pulled);
+            t)
+
+let next c =
+  if c.budget <= 0 then None
+  else
+    match engine_pull c with
+    | None -> None
+    | Some _ as t ->
+        c.budget <- c.budget - 1;
+        t
+
+let peek c =
+  if c.budget <= 0 then None
+  else
+    match !(c.peeked) with
+    | Some _ as t -> t
+    | None -> (
+        match engine_pull c with
+        | None -> None
+        | Some _ as t ->
+            c.peeked := t;
+            t)
+
+let rec drop c k = if k > 0 then match next c with None -> () | Some _ -> drop c (k - 1)
+let take c k = { c with budget = min c.budget (max 0 k) }
+
+let iter c f =
+  let rec go () =
+    match next c with
+    | None -> ()
+    | Some t ->
+        f t;
+        go ()
+  in
+  go ()
+
+let fold c init f =
+  let acc = ref init in
+  iter c (fun t -> acc := f !acc t);
+  !acc
+
+let cardinal c = fold c 0 (fun n _ -> n + 1)
+let to_list c = List.rev (fold c [] (fun acc t -> t :: acc))
+let to_relation c = fold c (Span_relation.empty c.vars) Span_relation.add

@@ -1,0 +1,256 @@
+open Spanner_core
+module Limits = Spanner_util.Limits
+module Pool = Spanner_util.Pool
+module Slp = Spanner_slp.Slp
+module Doc_db = Spanner_slp.Doc_db
+module Slp_spanner = Spanner_slp.Slp_spanner
+module Incr = Spanner_incr.Incr
+
+type input =
+  | Doc of string
+  | Docs of (string * string) array
+  | Slp_node of Slp.store * Slp.id
+  | Db of Doc_db.t
+  | Session of Incr.session * string
+
+type choice = [ `Compiled | `Compressed | `Decompress | `Incr ]
+
+type t = {
+  ct : Compiled.t;
+  input : input;
+  choice : choice;
+  facts : (string * string) list;
+  why : string;
+}
+
+let choice p = p.choice
+let input p = p.input
+let rationale p = (p.facts, p.why)
+
+(* A matrix sweep costs O(nodes) boolean products against the O(bytes)
+   dense-table scan; below this compression ratio the products lose. *)
+let sweep_threshold = 2.0
+
+let ratio bytes nodes = float_of_int bytes /. float_of_int (max 1 nodes)
+let pp_ratio r = Printf.sprintf "%.1fx" r
+
+let spanner_fact ct =
+  ( "spanner",
+    Printf.sprintf "%d states, %d byte classes, %d marker-set labels" (Compiled.states ct)
+      (Compiled.classes ct) (Compiled.alphabet ct) )
+
+let fits input (c : choice) =
+  match (input, c) with
+  | (Doc _ | Docs _), `Compiled -> true
+  | (Slp_node _ | Db _), (`Compressed | `Decompress) -> true
+  | Session _, `Incr -> true
+  | _ -> false
+
+let make ?force ct input =
+  let pick auto = match force with None -> auto | Some c -> c in
+  (match force with
+  | Some c when not (fits input c) ->
+      invalid_arg "Plan.make: forced engine does not fit the input shape"
+  | _ -> ());
+  let choice, facts, why =
+    match input with
+    | Doc doc ->
+        ( pick `Compiled,
+          [ ("input", "plain document"); ("bytes", string_of_int (String.length doc)) ],
+          "uncompressed input: one linear dense-table pass, nothing to share" )
+    | Docs docs ->
+        let bytes = Array.fold_left (fun n (_, d) -> n + String.length d) 0 docs in
+        ( pick `Compiled,
+          [
+            ("input", "plain documents");
+            ("documents", string_of_int (Array.length docs));
+            ("bytes", string_of_int bytes);
+          ],
+          "plain files: compile once, parallel dense-table pass per document" )
+    | Slp_node (store, id) ->
+        let bytes = Slp.len store id and nodes = Slp.reachable_size store id in
+        let r = ratio bytes nodes in
+        let auto = if r >= sweep_threshold then `Compressed else `Decompress in
+        ( pick auto,
+          [
+            ("input", "SLP document");
+            ("bytes", string_of_int bytes);
+            ("nodes", string_of_int nodes);
+            ("ratio", pp_ratio r);
+          ],
+          if r >= sweep_threshold then
+            "compressible: the matrix sweep is linear in SLP nodes, not in the text"
+          else "barely compressible: decompress-then-scan beats the matrix products" )
+    | Db db ->
+        let bytes = Doc_db.total_len db and nodes = Doc_db.compressed_size db in
+        let r = ratio bytes nodes in
+        let auto = if r >= sweep_threshold then `Compressed else `Decompress in
+        ( pick auto,
+          [
+            ("input", "document database");
+            ("documents", string_of_int (List.length (Doc_db.names db)));
+            ("bytes", string_of_int bytes);
+            ("shared nodes", string_of_int nodes);
+            ("ratio", pp_ratio r);
+          ],
+          if r >= sweep_threshold then
+            "compressible: one shared sweep covers every document, enumeration fans out"
+          else "barely compressible: decompress-then-scan beats the matrix products" )
+    | Session (s, name) ->
+        let db = Incr.database s in
+        let store = Doc_db.store db in
+        let id = Doc_db.find db name in
+        let st = Incr.stats s in
+        ( pick `Incr,
+          [
+            ("input", "CDE session");
+            ("document", name);
+            ("bytes", string_of_int (Slp.len store id));
+            ("nodes", string_of_int (Slp.reachable_size store id));
+            ( "cached summaries",
+              Printf.sprintf "%d/%d" st.Incr.entries st.Incr.capacity );
+          ],
+          "live session: cached per-node summaries price re-evaluation at new nodes only" )
+  in
+  let why = match force with None -> why | Some _ -> "forced by --engine: " ^ why in
+  { ct; input; choice; facts = spanner_fact ct :: facts; why }
+
+let choice_name = function
+  | `Compiled -> "compiled"
+  | `Compressed -> "compressed"
+  | `Decompress -> "decompress"
+  | `Incr -> "incr"
+
+let pp ppf p =
+  Format.fprintf ppf "plan: %s@." (choice_name p.choice);
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %s: %s@." k v) p.facts;
+  Format.fprintf ppf "  why: %s@." p.why
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let slp_engine ct store = Slp_spanner.of_compiled ct store
+
+(* Decompress-then-evaluate one frozen document under [g]: the
+   decompression, the document pass and the stream all draw on the
+   same budget (the `Decompress contract of Doc_db.eval_all). *)
+let decompress_cursor g ct fz id =
+  let doc = Slp.frozen_to_string ~gauge:g fz id in
+  Cursor.of_compiled ~gauge:g (Compiled.prepare_with_gauge g ct doc)
+
+let single_cursor ?(limits = Limits.none) p =
+  let g = Limits.start limits in
+  match (p.input, p.choice) with
+  | Doc doc, _ -> Cursor.of_compiled ~gauge:g (Compiled.prepare_with_gauge g p.ct doc)
+  | Slp_node (store, id), `Compressed ->
+      let engine = slp_engine p.ct store in
+      Slp_spanner.prepare_gauge g engine id;
+      Cursor.of_slp ~gauge:g engine id
+  | Slp_node (store, id), _ ->
+      let fz = Slp.freeze store in
+      decompress_cursor g p.ct fz id
+  | Session (s, name), _ -> Cursor.of_incr ~gauge:g s (Doc_db.find (Incr.database s) name)
+  | (Docs _ | Db _), _ -> invalid_arg "Plan.cursor: batch input, use Plan.cursors"
+
+let cursor ?limits p = single_cursor ?limits p
+
+let single_name p =
+  match p.input with Session (_, name) -> name | Slp_node _ -> "slp" | _ -> "doc"
+
+let cursors ?(limits = Limits.none) p =
+  match p.input with
+  | Doc _ | Slp_node _ | Session _ ->
+      [|
+        ( single_name p,
+          match single_cursor ~limits p with c -> Ok c | exception e -> Error e );
+      |]
+  | Docs docs ->
+      Array.map
+        (fun (name, doc) ->
+          ( name,
+            match
+              let g = Limits.start limits in
+              Cursor.of_compiled ~gauge:g (Compiled.prepare_with_gauge g p.ct doc)
+            with
+            | c -> Ok c
+            | exception e -> Error e ))
+        docs
+  | Db db -> (
+      let names = Array.of_list (Doc_db.names db) in
+      let roots = Array.map (Doc_db.find db) names in
+      match p.choice with
+      | `Decompress ->
+          let fz = Doc_db.freeze db in
+          Array.map2
+            (fun name id ->
+              ( name,
+                match decompress_cursor (Limits.start limits) p.ct fz id with
+                | c -> Ok c
+                | exception e -> Error e ))
+            names roots
+      | _ -> (
+          (* one sweep covers every root (shared nodes once, single
+             gauge); if it trips there is nothing to enumerate from,
+             so every slot degrades to that error *)
+          let engine = slp_engine p.ct (Doc_db.store db) in
+          match
+            let g = Limits.start limits in
+            Array.iter (fun id -> Slp_spanner.prepare_gauge g engine id) roots
+          with
+          | exception e -> Array.map (fun name -> (name, Error e)) names
+          | () ->
+              Array.map2
+                (fun name id ->
+                  (name, Ok (Cursor.of_slp ~gauge:(Limits.start limits) engine id)))
+                names roots))
+
+let relations ?jobs ?(limits = Limits.none) p =
+  let drain c = Cursor.to_relation c in
+  match p.input with
+  | Doc _ | Slp_node _ | Session _ ->
+      Array.map
+        (fun (name, r) ->
+          ( name,
+            match r with
+            | Error e -> Error e
+            | Ok c -> ( match drain c with r -> Ok r | exception e -> Error e) ))
+        (cursors ~limits p)
+  | Docs docs ->
+      let names = Array.map fst docs in
+      let results =
+        Pool.map_result ?jobs
+          (fun (_, doc) ->
+            let g = Limits.start limits in
+            drain (Cursor.of_compiled ~gauge:g (Compiled.prepare_with_gauge g p.ct doc)))
+          docs
+      in
+      Array.map2 (fun name r -> (name, r)) names results
+  | Db db -> (
+      let names = Array.of_list (Doc_db.names db) in
+      let roots = Array.map (Doc_db.find db) names in
+      match p.choice with
+      | `Decompress ->
+          let fz = Doc_db.freeze db in
+          let results =
+            Pool.map_result ?jobs
+              (fun id -> drain (decompress_cursor (Limits.start limits) p.ct fz id))
+              roots
+          in
+          Array.map2 (fun name r -> (name, r)) names results
+      | _ -> (
+          let engine = slp_engine p.ct (Doc_db.store db) in
+          match
+            let g = Limits.start limits in
+            Array.iter (fun id -> Slp_spanner.prepare_gauge g engine id) roots
+          with
+          | exception e -> Array.map (fun name -> (name, Error e)) names
+          | () ->
+              (* enumeration only reads the frozen snapshot and filled
+                 matrix slots — safe to fan out across domains *)
+              let results =
+                Pool.map_result ?jobs
+                  (fun id ->
+                    drain (Cursor.of_slp ~gauge:(Limits.start limits) engine id))
+                  roots
+              in
+              Array.map2 (fun name r -> (name, r)) names results))

@@ -126,6 +126,10 @@ let iter_runs_g g s id f =
     end
   done
 
+let iter_runs ?gauge s id f =
+  let g = match gauge with Some g -> g | None -> Limits.unlimited () in
+  iter_runs_g g s id f
+
 let eval ?(limits = Limits.none) s id =
   let g = Limits.start limits in
   let r = ref (Span_relation.empty (Compiled.vars s.ct)) in

@@ -73,6 +73,18 @@ val summary : session -> Slp.id -> Compiled.summary
     budget resumes the work already paid for). *)
 val eval : ?limits:Spanner_util.Limits.t -> session -> Slp.id -> Span_relation.t
 
+(** [iter_runs ?gauge s id f] enumerates the accepting runs of the
+    compiled automaton over 𝔇(id) from cached summaries, calling [f]
+    once per run (once per tuple when the automaton is deterministic;
+    a nondeterministic one may repeat tuples — {!eval} deduplicates
+    through set semantics, and the streaming layer
+    ({!Spanner_engine.Cursor.of_incr}) deduplicates on the fly).
+    Summary misses and enumeration branches are metered by [gauge]
+    when given — the hook the cursor layer pulls through, so budgets
+    fire mid-stream. *)
+val iter_runs :
+  ?gauge:Spanner_util.Limits.gauge -> session -> Slp.id -> (Span_tuple.t -> unit) -> unit
+
 (** [eval_doc ?limits s name] is [eval] on the designated document
     [name].
     @raise Not_found on unknown names. *)

@@ -76,6 +76,15 @@ val prepare_gauge : Spanner_util.Limits.gauge -> engine -> Slp.id -> unit
     deterministic — see {!create} vs {!of_compiled}). *)
 val iter : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
 
+(** [iter_prepared engine id f] is {!iter} assuming the matrices of
+    every node reachable from [id] are already forced ({!prepare} /
+    {!prepare_gauge}): it only {e reads} filled slots and the frozen
+    store snapshot, so concurrent calls on different roots are safe —
+    and a streaming consumer ({!Spanner_engine.Cursor.of_slp}) can pull
+    tuples lazily without re-entering the mutating sweep.  Behaviour
+    is unspecified if [id] was never prepared. *)
+val iter_prepared : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
+
 (** [cardinal engine id] counts accepting runs by dynamic programming
     over run counts — no enumeration, O(|S|·|Q|²) after preparation.
     Equals |⟦e⟧(𝔇(id))| when the automaton is deterministic. *)

@@ -111,3 +111,7 @@ let[@inline] charge g n =
 
 let check_states g n = if n > g.limits.max_states then trip States n
 let check_tuples g n = if n > g.limits.max_tuples then trip Tuples n
+
+let[@inline] tick_tuple g n =
+  check g;
+  if n > g.limits.max_tuples then trip Tuples n

@@ -117,3 +117,10 @@ val check_states : gauge -> int -> unit
 
 (** [check_tuples g n] fails iff [n] exceeds the tuple cap. *)
 val check_tuples : gauge -> int -> unit
+
+(** [tick_tuple g n] accounts for one streamed output tuple — one step
+    of work ({!check}) plus the tuple-cap probe at running count [n]
+    ({!check_tuples}).  The per-pull probe of streaming cursors
+    ({!Spanner_engine.Cursor}): deadlines and tuple caps fire
+    mid-stream, between two pulls. *)
+val tick_tuple : gauge -> int -> unit

@@ -1,4 +1,23 @@
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+(* SPANNER_JOBS overrides the machine default so operators can pin the
+   domain count without threading a flag through every entry point;
+   ill-formed or non-positive values fall back silently (a batch must
+   not die on a stray env var). *)
+let env_jobs () =
+  match Sys.getenv_opt "SPANNER_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let effective_jobs ?jobs n =
+  let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  max 1 (min j n)
 
 (* Dynamic work claiming: workers race on [next] for the lowest
    unclaimed index.  Each slot of [results] is written by exactly one

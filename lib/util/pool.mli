@@ -12,8 +12,20 @@
     must not touch mutable global state. *)
 
 (** [default_jobs ()] is the recommended parallelism for this machine
-    ({!Domain.recommended_domain_count}), at least 1. *)
+    ({!Domain.recommended_domain_count}), at least 1.  The
+    [SPANNER_JOBS] environment variable (a positive integer) overrides
+    the machine default; ill-formed or non-positive values are
+    ignored. *)
 val default_jobs : unit -> int
+
+(** [env_jobs ()] is the [SPANNER_JOBS] override if one is set and
+    well-formed — lets callers report where the job count came from. *)
+val env_jobs : unit -> int option
+
+(** [effective_jobs ?jobs n] is the domain count {!map} actually uses
+    for [n] work items: [jobs] (or {!default_jobs}) clamped to [n],
+    at least 1. *)
+val effective_jobs : ?jobs:int -> int -> int
 
 (** [map ?jobs f a] is [Array.map f a], evaluated by [jobs] domains
     (default {!default_jobs}; clamped to [Array.length a]; [jobs <= 1]

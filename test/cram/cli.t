@@ -71,6 +71,76 @@ Evaluation over the compressed document:
   (x ↦ [7,9⟩)
   (x ↦ [5,7⟩)
 
+Results are streamed: --limit/--offset/--format consume a cursor and
+stop early instead of materialising the relation:
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --limit 2 --format tuples
+  (x ↦ [1,2⟩, y ↦ [2,3⟩, z ↦ [3,8⟩)
+  (x ↦ [1,4⟩, y ↦ [4,5⟩, z ↦ [5,8⟩)
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --format first
+  (x ↦ [1,2⟩, y ↦ [2,3⟩, z ↦ [3,8⟩)
+
+  $ spanner_cli eval '!x{[ab]*}!y{b}!z{[ab]*}' ababbab --offset 1 --limit 2
+  | x       | y       | z       |
+  |---------+---------+---------|
+  | [1,4⟩ | [4,5⟩ | [5,8⟩ |
+  | [1,5⟩ | [5,6⟩ | [6,8⟩ |
+  2 tuple(s)
+
+The same stream flags drive batch output per document:
+
+  $ spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt --format count
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  d1.txt: 4
+  d2.txt: 2
+  d3.txt: 4
+
+slpeval's -n is a take on the same stream, so it composes with the
+--max-tuples budget: the cap counts every tuple pulled, the window
+merely stops pulling.  Two tuples fit under a cap of 2 with -n 2:
+
+  $ spanner_cli slpeval '[ab]*!x{ab}[ab]*' abababab -n 2 --max-tuples 2
+  |D| = 8, SLP nodes = 5, matrices = 10, results = 4
+  (x ↦ [7,9⟩)
+  (x ↦ [5,7⟩)
+
+but without the window the third pull trips the cap mid-stream,
+exit 3:
+
+  $ spanner_cli slpeval '[ab]*!x{ab}[ab]*' abababab --max-tuples 2
+  |D| = 8, SLP nodes = 5, matrices = 10, results = 4
+  (x ↦ [7,9⟩)
+  (x ↦ [5,7⟩)
+  error: tuples limit exceeded (spent 3 tuples)
+  [3]
+
+SPANNER_JOBS overrides the default domain count; batch surfaces the
+effective value (clamped to the number of documents):
+
+  $ SPANNER_JOBS=2 spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  jobs: 2 (SPANNER_JOBS)
+  d1.txt: 4 tuple(s)
+  d2.txt: 2 tuple(s)
+  d3.txt: 4 tuple(s)
+  3 document(s), 10 tuple(s) total
+
+  $ SPANNER_JOBS=64 spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt d2.txt d3.txt
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  jobs: 3 (SPANNER_JOBS)
+  d1.txt: 4 tuple(s)
+  d2.txt: 2 tuple(s)
+  d3.txt: 4 tuple(s)
+  3 document(s), 10 tuple(s) total
+
+Ill-formed overrides are ignored rather than fatal:
+
+  $ SPANNER_JOBS=bogus spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt
+  compiled: 20 states, 3 byte classes, 12 marker-set labels
+  d1.txt: 4 tuple(s)
+  1 document(s), 4 tuple(s) total
+
 Parse errors exit with code 2:
 
   $ spanner_cli eval '!x{' a
