@@ -21,6 +21,7 @@ module Limits = Spanner_util.Limits
 module Pool = Spanner_util.Pool
 module Cursor = Spanner_engine.Cursor
 module Plan = Spanner_engine.Plan
+module Optimizer = Spanner_engine.Optimizer
 
 (* Exit-code contract: 0 ok; 1 evaluation failure / some documents of
    a batch failed; 2 usage, parse, or corrupt-input error; 3 resource
@@ -370,9 +371,96 @@ let edit_cmd formula doc file exprs capacity show limits offset limit format =
     st.Spanner_incr.Incr.nodes_created
 
 (* ------------------------------------------------------------------ *)
+(* query *)
+
+let query_cmd expr doc files jobs fuse_states contents limits offset limit format =
+  let e = Algebra.parse ~load:read_file expr in
+  (* the sample document prices join operands and annotates the plan;
+     for a batch, the first file stands in for the rest *)
+  let optimize sample = Optimizer.optimize ~limits ?fuse_states ~sample e in
+  let single document =
+    let plan = optimize document in
+    render
+      ?doc:(if contents then Some document else None)
+      (Optimizer.cursor ~limits plan document)
+      ~offset ~limit ~format
+  in
+  match (doc, files) with
+  | Some _, _ :: _ -> usage "give either DOC or --file, not both"
+  | None, [] -> usage "missing document: give DOC or --file"
+  | Some document, [] -> single document
+  | None, [ path ] -> single (read_file path)
+  | None, paths ->
+      let docs = List.map (fun f -> (f, read_file f)) paths in
+      let plan = optimize (snd (List.hd docs)) in
+      (match Optimizer.compiled plan with
+      | Some ct -> Format.printf "fused: one automaton, %d states@." (Compiled.states ct)
+      | None ->
+          Format.printf "fused: %d automata under stream operators@."
+            (Optimizer.fused_count plan));
+      let total = ref 0 in
+      let failed = ref 0 in
+      (match (Optimizer.compiled plan, format, limit, offset) with
+      | Some ct, `Table, None, 0 ->
+          (* the whole query is one automaton: reuse the planner's
+             parallel materialising batch path *)
+          Array.iter
+            (fun (file, result) ->
+              match result with
+              | Ok relation ->
+                  let k = Span_relation.cardinal relation in
+                  total := !total + k;
+                  Format.printf "%s: %d tuple(s)@." file k
+              | Error err ->
+                  incr failed;
+                  Printf.eprintf "%s: %s\n%!" file (error_message err))
+            (Plan.relations ?jobs ~limits (Plan.make ct (Plan.Docs (Array.of_list docs))))
+      | _ ->
+          (* stream operators above the fused automata: sequential
+             per-document cursors, partial failures cost their slot *)
+          List.iter
+            (fun (file, document) ->
+              match
+                let c = restrict (Optimizer.cursor ~limits plan document) ~offset ~limit in
+                match format with
+                | `Table ->
+                    let k = Cursor.cardinal c in
+                    total := !total + k;
+                    Format.printf "%s: %d tuple(s)@." file k
+                | `Count ->
+                    let k = Cursor.cardinal c in
+                    total := !total + k;
+                    Format.printf "%s: %d@." file k
+                | `Tuples ->
+                    Cursor.iter c (fun t ->
+                        incr total;
+                        Format.printf "%s: %a@." file Span_tuple.pp t)
+                | `First -> (
+                    match Cursor.next c with
+                    | Some t ->
+                        incr total;
+                        Format.printf "%s: %a@." file Span_tuple.pp t
+                    | None -> Format.printf "%s: (no tuples)@." file)
+              with
+              | () -> ()
+              | exception err ->
+                  incr failed;
+                  Printf.eprintf "%s: %s\n%!" file (error_message err))
+            docs);
+      (match format with
+      | `Table ->
+          if !failed = 0 then
+            Format.printf "%d document(s), %d tuple(s) total@." (List.length docs) !total
+          else
+            Format.printf "%d document(s), %d failed, %d tuple(s) total@."
+              (List.length docs) !failed !total
+      | _ -> ());
+      if !failed > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* explain *)
 
-let explain_cmd formula doc file slp session dbfile limits =
+let explain_plan_cmd formula doc file slp session dbfile limits =
   let ct = Compiled.of_formula ~limits (parse_formula formula) in
   let plan =
     match dbfile with
@@ -401,6 +489,19 @@ let explain_cmd formula doc file slp session dbfile limits =
         else Plan.make ct (Plan.Doc document)
   in
   Format.printf "%a" Plan.pp plan
+
+let explain_cmd formula doc file slp session dbfile algebra fuse_states limits =
+  if algebra then begin
+    if slp || session || dbfile <> None then
+      usage "--algebra plans over plain documents (no --slp/--session/--db)";
+    let e = Algebra.parse ~load:read_file formula in
+    let sample =
+      match (doc, file) with None, None -> None | d, f -> Some (read_document d f)
+    in
+    let plan = Optimizer.optimize ~limits ?fuse_states ?sample e in
+    Format.printf "%a" Optimizer.pp plan
+  end
+  else explain_plan_cmd formula doc file slp session dbfile limits
 
 (* ------------------------------------------------------------------ *)
 (* datalog *)
@@ -672,12 +773,59 @@ let db_shape_arg =
     & info [ "db" ] ~docv:"FILE"
         ~doc:"Plan over a frozen document database ($(docv) in SLPDB format, see compress -o).")
 
+let algebra_flag =
+  Arg.(
+    value & flag
+    & info [ "algebra" ]
+        ~doc:
+          "Treat FORMULA as an algebra expression and print the optimizer's rewritten costed \
+           plan tree — per-node state estimates and each fuse-vs-materialise decision — \
+           instead of the input-shape plan.")
+
+let fuse_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuse-states" ] ~docv:"N"
+        ~doc:
+          "Fuse budget: compose a Select-free subtree into one automaton only while its \
+           estimated product stays within $(docv) states, falling back to materialised \
+           evaluation above it (default: 4096, capped by --max-states).")
+
 let explain_term =
   Term.(
-    const (fun formula doc file slp session dbfile limits ->
-        catch (fun () -> explain_cmd formula doc file slp session dbfile limits))
+    const (fun formula doc file slp session dbfile algebra fuse_states limits ->
+        catch (fun () ->
+            explain_cmd formula doc file slp session dbfile algebra fuse_states limits))
     $ formula_arg $ doc_arg $ file_arg $ slp_shape_arg $ session_shape_arg $ db_shape_arg
-    $ limits_term)
+    $ algebra_flag $ fuse_states_arg $ limits_term)
+
+let expr_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EXPR"
+        ~doc:
+          "Algebra expression over spanner formulas: $(b,rgx:\"...\") and $(b,file:\"...\") \
+           leaves combined with $(b,|) (union), $(b,&) (join), $(b,pi[x,y](e)) (projection) \
+           and $(b,sel[x,y](e)) (string-equality selection); $(b,&) binds tighter than \
+           $(b,|), parentheses group.")
+
+let qfiles_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Read a document from $(docv); repeat for a batch (compile once, run per file).")
+
+let query_term =
+  Term.(
+    const (fun expr doc files jobs fuse_states contents limits offset limit format ->
+        catch (fun () ->
+            query_cmd expr doc files jobs fuse_states contents limits offset limit
+              (table_default format)))
+    $ expr_arg $ doc_arg $ qfiles_arg $ jobs_arg $ fuse_states_arg $ contents_arg
+    $ limits_term $ offset_arg $ limit_arg $ format_arg)
 
 let cmds =
   [
@@ -706,6 +854,14 @@ let cmds =
            "Apply complex document edits and re-evaluate incrementally: per-node transition \
             summaries are cached, so each edit recomputes only the nodes it created (§4.3).")
       edit_term;
+    Cmd.v
+      (Cmd.info "query"
+         ~doc:
+           "Evaluate an algebra expression (unions, joins, projections, selections over \
+            spanner formulas) through the cost-based optimizer: Select-free subtrees fuse \
+            into single automata under a state budget, joins reorder by sampled \
+            cardinality, and results stream without intermediate relations.")
+      query_term;
     Cmd.v
       (Cmd.info "explain"
          ~doc:

@@ -65,6 +65,18 @@ let targets =
       run = (fun s -> ignore (Spanner_slp.Cde.parse s));
     };
     {
+      name = "algebra";
+      alphabet = "rgxfileps&|()[],\":\\!xy{}ab*+? ";
+      run =
+        (fun s ->
+          let e = Spanner_core.Algebra.parse s in
+          (* a parse that succeeds must also plan, evaluate under the
+             budget, and print back re-parseably *)
+          let plan = Spanner_engine.Optimizer.optimize ~limits:budget e in
+          ignore (Spanner_engine.Optimizer.eval ~limits:budget plan "abab");
+          ignore (Spanner_core.Algebra.parse (Spanner_core.Algebra.to_string e)));
+    };
+    {
       name = "slpdb";
       alphabet = "";
       (* empty alphabet: full byte range *)

@@ -43,10 +43,203 @@ let rec size = function
   | Union (a, b) | Join (a, b) -> 1 + size a + size b
   | Project (_, e) | Select (_, e) -> 1 + size e
 
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax.
+
+   pp and parse share one unambiguous grammar, so printed expressions
+   re-parse (modulo the Automaton leaf, which has no textual form):
+
+     expr   := join ("|" join)*                    union, lowest precedence
+     join   := atom ("&" atom)*
+     atom   := "rgx:" STRING | "file:" STRING
+             | "pi" varset "(" expr ")"            projection
+             | "sel" varset "(" expr ")"           string-equality selection
+             | "(" expr ")"
+     varset := "[" [ident ("," ident)*] "]"
+     STRING := '"' (char | '\"' | '\\')* '"'
+
+   pp prints binary operators fully parenthesised, so the printed form
+   is a fixpoint of parse∘pp (the round-trip property tested in
+   test_optimizer.ml). *)
+
+module Limits = Spanner_util.Limits
+
+let escape_formula s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      (match c with '"' | '\\' -> Buffer.add_char buf '\\' | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_vars ppf vars =
+  Format.fprintf ppf "[%s]"
+    (String.concat ", " (List.map Variable.name (Variable.Set.elements vars)))
+
 let rec pp ppf = function
-  | Formula f -> Format.fprintf ppf "⟦%a⟧" Regex_formula.pp f
-  | Automaton a -> Format.fprintf ppf "⟦automaton:%d states⟧" (Evset.size a)
-  | Union (a, b) -> Format.fprintf ppf "(%a ∪ %a)" pp a pp b
-  | Join (a, b) -> Format.fprintf ppf "(%a ⋈ %a)" pp a pp b
-  | Project (vars, e) -> Format.fprintf ppf "π_%a(%a)" Variable.pp_set vars pp e
-  | Select (vars, e) -> Format.fprintf ppf "ς=_%a(%a)" Variable.pp_set vars pp e
+  | Formula f -> Format.fprintf ppf "rgx:\"%s\"" (escape_formula (Regex_formula.to_string f))
+  | Automaton a -> Format.fprintf ppf "<automaton:%d states>" (Evset.size a)
+  | Union (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | Join (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | Project (vars, e) -> Format.fprintf ppf "pi%a(%a)" pp_vars vars pp e
+  | Select (vars, e) -> Format.fprintf ppf "sel%a(%a)" pp_vars vars pp e
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Hostile inputs are expected here (the CLI and the fuzz harness feed
+   this parser raw bytes): every failure is a typed
+   [Spanner_error (Parse _)], and nesting is capped so deeply
+   parenthesised garbage cannot overflow the OCaml stack. *)
+let max_depth = 1_000
+
+let err pos msg = Limits.parse_error ~what:"algebra" ~pos msg
+
+let default_load path =
+  ignore path;
+  err 0 "file: formulas are not enabled in this context"
+
+let parse ?(load = default_load) s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let looking_at kw =
+    !pos + String.length kw <= n && String.sub s !pos (String.length kw) = kw
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else err !pos (Printf.sprintf "expected '%c'" c)
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    let is_head c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+    let is_tail c = is_head c || (c >= '0' && c <= '9') in
+    if !pos < n && is_head s.[!pos] then begin
+      incr pos;
+      while !pos < n && is_tail s.[!pos] do
+        incr pos
+      done;
+      String.sub s start (!pos - start)
+    end
+    else err start "expected a variable name"
+  in
+  let varset () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Variable.Set.empty
+    end
+    else
+      let rec go acc =
+        let acc = Variable.Set.add (Variable.of_string (ident ())) acc in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go acc
+        | Some ']' ->
+            incr pos;
+            acc
+        | _ -> err !pos "expected ',' or ']' in variable set"
+      in
+      go Variable.Set.empty
+  in
+  let string_lit () =
+    skip_ws ();
+    let start = !pos in
+    if peek () <> Some '"' then err !pos "expected '\"'";
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then err start "unterminated string literal"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then err start "unterminated string literal";
+            (match s.[!pos + 1] with
+            | ('"' | '\\') as c -> Buffer.add_char buf c
+            | _ -> err !pos "invalid escape in string literal (only \\\" and \\\\)");
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    (start + 1, Buffer.contents buf)
+  in
+  let formula_of ~what lit_start text =
+    try Formula (Regex_formula.parse text)
+    with Spanner_fa.Regex.Parse_error (msg, p) ->
+      Limits.parse_error ~what ~pos:(lit_start + p) msg
+  in
+  let rec expr d =
+    if d > max_depth then err !pos "expression nested too deeply";
+    let lhs = ref (join_chain d) in
+    skip_ws ();
+    while peek () = Some '|' do
+      incr pos;
+      lhs := Union (!lhs, join_chain d);
+      skip_ws ()
+    done;
+    !lhs
+  and join_chain d =
+    let lhs = ref (atom d) in
+    skip_ws ();
+    while peek () = Some '&' do
+      incr pos;
+      lhs := Join (!lhs, atom d);
+      skip_ws ()
+    done;
+    !lhs
+  and atom d =
+    skip_ws ();
+    if looking_at "rgx:" then begin
+      pos := !pos + 4;
+      let lit_start, text = string_lit () in
+      formula_of ~what:"algebra formula" lit_start text
+    end
+    else if looking_at "file:" then begin
+      pos := !pos + 5;
+      let lit_start, path = string_lit () in
+      formula_of ~what:("algebra formula (" ^ path ^ ")") lit_start (load path)
+    end
+    else if looking_at "pi" then begin
+      pos := !pos + 2;
+      let vars = varset () in
+      expect '(';
+      let e = expr (d + 1) in
+      expect ')';
+      Project (vars, e)
+    end
+    else if looking_at "sel" then begin
+      pos := !pos + 3;
+      let vars = varset () in
+      expect '(';
+      let e = expr (d + 1) in
+      expect ')';
+      Select (vars, e)
+    end
+    else if peek () = Some '(' then begin
+      incr pos;
+      let e = expr (d + 1) in
+      expect ')';
+      e
+    end
+    else err !pos "expected an expression (rgx:, file:, pi, sel or '(')"
+  in
+  let e = expr 0 in
+  skip_ws ();
+  if !pos < n then err !pos "trailing input after expression";
+  e

@@ -38,4 +38,33 @@ val eval : t -> string -> Span_relation.t
 (** [size e] is the number of algebra nodes. *)
 val size : t -> int
 
+(** [parse ?load s] parses the concrete algebra syntax:
+
+    {v
+    expr   := join ("|" join)*                 union (lowest precedence)
+    join   := atom ("&" atom)*                 natural join
+    atom   := rgx:"FORMULA" | file:"PATH"      primitive RGX spanners
+            | pi[x, y](expr)                   projection
+            | sel[x, y](expr)                  string-equality selection
+            | (expr)
+    v}
+
+    String literals escape the quote and backslash characters with a
+    backslash; whitespace is free between tokens.  The [file:] leaf
+    resolves its path through [load] (the
+    CLI passes a file reader); by default it is rejected, so untrusted
+    expressions cannot touch the filesystem.  Nesting is capped, and
+    every syntax error — including one inside an embedded formula —
+    raises {!Spanner_util.Limits.Spanner_error}[ (Parse _)] with a
+    byte offset into [s].  Inverse of {!pp} on [Formula]-leaf
+    expressions. *)
+val parse : ?load:(string -> string) -> string -> t
+
+(** [pp ppf e] prints [e] in the concrete syntax of {!parse}, binary
+    operators fully parenthesised — re-parseable, except for
+    [Automaton] leaves, which have no textual form and print as
+    [<automaton:N states>]. *)
 val pp : Format.formatter -> t -> unit
+
+(** [to_string e] is [pp] to a string. *)
+val to_string : t -> string

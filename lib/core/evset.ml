@@ -422,6 +422,14 @@ let join a b =
   | [] -> assert false (* subsets is never empty *)
   | p :: rest -> List.fold_left union p rest
 
+let join_branches a b =
+  let shared = Variable.Set.inter a.vars b.vars in
+  let optional e =
+    List.length (List.filter (possibly_unbound e) (Variable.Set.elements shared))
+  in
+  let bits = optional a + optional b in
+  if bits >= Sys.int_size - 2 then max_int else 1 lsl bits
+
 let rename_vars f e =
   let mapped = Variable.Set.map f e.vars in
   if Variable.Set.cardinal mapped <> Variable.Set.cardinal e.vars then

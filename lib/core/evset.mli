@@ -92,6 +92,16 @@ val project : Variable.Set.t -> t -> t
     interleaves private markers. *)
 val join : t -> t -> t
 
+(** [join_branches a b] is the number of synchronised products {!join}
+    would union: one per guess of which {e possibly-unbound} shared
+    variables each side leaves unbound (schemaless semantics), so
+    [2^(opt_a + opt_b)] — and 1 whenever every shared variable is
+    bound on every run.  Each product has at most
+    [size a * size b] states, which makes
+    [join_branches a b * size a * size b] the state-blowup estimate a
+    cost-based planner can check {e before} paying for the product. *)
+val join_branches : t -> t -> int
+
 (** [rename_vars f e] renames every variable [x] to [f x]; [f] must be
     injective on [vars e].
     @raise Invalid_argument otherwise. *)

@@ -1,0 +1,98 @@
+The query subcommand evaluates an algebra expression through the
+cost-based optimizer.  A Select-free expression — here a projection
+over a union joined with a third formula — fuses into one automaton
+and streams its results:
+
+  $ Q='pi[x]((rgx:"[ab]*!x{aba}[ab]*" | rgx:"[ab]*!x{bab}[ab]*") & rgx:"[ab]*!x{[ab][ab][ab]}[ab]*")'
+  $ spanner_cli query "$Q" abababa
+  | x       |
+  |---------|
+  | [1,4⟩ |
+  | [2,5⟩ |
+  | [3,6⟩ |
+  | [4,7⟩ |
+  | [5,8⟩ |
+  5 tuple(s)
+
+The streamed formats and windowing flags work as in eval:
+
+  $ spanner_cli query "$Q" abababa --format count
+  5
+  $ spanner_cli query "$Q" abababa --format tuples --limit 2
+  (x ↦ [1,4⟩)
+  (x ↦ [2,5⟩)
+
+String-equality selections run as a streaming Strhash filter above
+the fused automaton:
+
+  $ spanner_cli query 'sel[x, y](rgx:"!x{[ab]+} !y{[ab]+}")' 'aba aba' --contents
+  | x             | y             |
+  |---------------+---------------|
+  | [1,4⟩ "aba" | [5,8⟩ "aba" |
+  1 tuple(s)
+
+Repeated --file flags make a batch: the expression is planned once
+(against the first file as the sample) and run per document:
+
+  $ printf aababa > d1.txt
+  $ printf bbabab > d2.txt
+  $ spanner_cli query 'rgx:"[ab]*!x{aba}[ab]*" & rgx:"[ab]*!x{[ab][ab][ab]}[ab]*"' -f d1.txt -f d2.txt
+  fused: one automaton, 51 states
+  d1.txt: 2 tuple(s)
+  d2.txt: 1 tuple(s)
+  2 document(s), 3 tuple(s) total
+
+explain --algebra prints the rewritten costed plan tree without
+running the query.  The projection below is recognised as the
+identity and dropped, the join chain is reordered by sampled
+cardinality, and the whole Select-free tree fuses:
+
+  $ spanner_cli explain --algebra "$Q" abababa
+  plan: algebra (fully fused: one automaton)
+    rewritten: ((rgx:"[ab]*!x{aba}[ab]*" | rgx:"[ab]*!x{bab}[ab]*") & rgx:"[ab]*!x{[ab][ab][ab]}[ab]*")
+    fuse budget: 4096 states
+    sample: 7 bytes; join chain reordered by sampled cardinality
+    fuse: 101 states (est 1177); sample: 5 tuple(s) in 7 bytes <- (rgx:"[ab]*!x{[ab][ab][ab]}[ab]*" & (rgx:"[ab]*!x{aba}[ab]*" | rgx:"[ab]*!x{bab}[ab]*"))
+
+Starving the fuse budget makes the cost guard split the same query:
+each leaf still compiles, but the union and the join fall back to
+stream/materialise evaluation, and the tree says why at each node:
+
+  $ spanner_cli explain --algebra --fuse-states 1 "$Q" abababa
+  plan: algebra (3 fused automata under stream operators)
+    rewritten: ((rgx:"[ab]*!x{aba}[ab]*" | rgx:"[ab]*!x{bab}[ab]*") & rgx:"[ab]*!x{[ab][ab][ab]}[ab]*")
+    fuse budget: 1 states
+    sample: 7 bytes; join chain reordered by sampled cardinality
+    join (materialise: operand already split by the fuse budget)
+      fuse: 24 states (est 24); sample: 5 tuple(s) in 7 bytes <- rgx:"[ab]*!x{[ab][ab][ab]}[ab]*"
+      union (stream, dedup: estimated 49 states > fuse budget 1)
+        fuse: 24 states (est 24); sample: 3 tuple(s) in 7 bytes <- rgx:"[ab]*!x{aba}[ab]*"
+        fuse: 24 states (est 24); sample: 2 tuple(s) in 7 bytes <- rgx:"[ab]*!x{bab}[ab]*"
+
+A selection keeps its subtree un-fused and the explain tree shows the
+stream filter:
+
+  $ spanner_cli explain --algebra 'rgx:"[ab]*!x{aba}[ab]*" & sel[x, y](rgx:"!x{[ab]+} !y{[ab]+}")'
+  plan: algebra (2 fused automata under stream operators)
+    rewritten: (rgx:"[ab]*!x{aba}[ab]*" & sel[x, y](rgx:"!x{[ab]+} !y{[ab]+}"))
+    fuse budget: 4096 states
+    sample: none (join chains keep their written order)
+    join (materialise: operand contains a string-equality selection)
+      fuse: 24 states (est 24) <- rgx:"[ab]*!x{aba}[ab]*"
+      select [x, y] (stream: Strhash equality filter)
+        fuse: 18 states (est 18) <- rgx:"!x{[ab]+} !y{[ab]+}"
+
+Budget trips keep the exit-code contract — 3 for an exceeded limit:
+
+  $ spanner_cli query 'rgx:"[ab]*!x{a+}[ab]*"' aaaaaaaaaa --fuel 3
+  error: fuel limit exceeded (spent 4 steps)
+  [3]
+
+and 2 for a malformed expression or usage error:
+
+  $ spanner_cli query 'rgx:"[ab' x
+  error: algebra parse error at offset 4: unterminated string literal
+  [2]
+  $ spanner_cli query 'rgx:"a"' doc -f d1.txt
+  usage error: give either DOC or --file, not both
+  [2]
