@@ -1053,6 +1053,246 @@ let e17_algebra () =
   List.rev !json
 
 (* ------------------------------------------------------------------ *)
+(* E18: the spanner service under load (DESIGN.md §2g)                 *)
+
+module Serve_server = Spanner_serve.Server
+module Serve_client = Spanner_serve.Client
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+
+let e18_serve () =
+  section
+    "E18: the spanner service — warm-cache request latency vs per-request cold start, \
+     concurrent clients, admission-control shedding, and slow-reader isolation (§2g)";
+  let doc_bits = sc 8 7 in
+  let clients = sc 50 8 in
+  let reqs_per_client = sc 40 10 in
+  let rng = X.create 4242 in
+  let doc = X.string rng "ab" (1 lsl doc_bits) in
+  (* a second, larger document for the streaming sections: the
+     quadratic spanner on it yields megabytes of tuples, enough to
+     fill any socket buffer and to make overload jobs genuinely slow *)
+  let doc2 = X.string rng "ab" (1 lsl (doc_bits + 2)) in
+  (* a serving-realistic point query: extraction on a small document,
+     where the per-request fixed costs a one-shot CLI pays every time
+     (process start, parse, optimizer rewrite + compile, document IO)
+     dwarf the evaluation itself — exactly what a persistent server
+     amortises *)
+  let formula = "rgx:\"[ab]*!x{ab}[ab]*\"" in
+  let json = ref [] in
+  let push k v = json := (k, Some v) :: !json in
+
+  let sock = Printf.sprintf "/tmp/spanner-bench-%d.sock" (Unix.getpid ()) in
+  let addr = Serve_server.Unix_socket sock in
+  let server =
+    Serve_server.start
+      { (Serve_server.default_config addr) with Serve_server.queue = 256 }
+  in
+  let seed = Serve_client.connect addr in
+  ignore (Serve_client.request seed (Printf.sprintf "DEFINE q\n%s" formula));
+  ignore (Serve_client.request seed (Printf.sprintf "LOAD s DOC d\n%s" doc));
+  ignore (Serve_client.request seed (Printf.sprintf "LOAD s DOC d2\n%s" doc2));
+
+  (* --- per-request CLI cold start: the same query through an actual
+     spanner_cli subprocess, once per request — process start, parse,
+     compile, document read, evaluate, exit.  This is what serving
+     without a server costs. *)
+  let docfile = Filename.temp_file "spanner-bench-e18" ".txt" in
+  let och = open_out docfile in
+  output_string och doc;
+  close_out och;
+  let cli =
+    let near =
+      Filename.concat
+        (Filename.dirname (Filename.dirname Sys.executable_name))
+        (Filename.concat "bin" "spanner_cli.exe")
+    in
+    if Sys.file_exists near then Some near else None
+  in
+  let cold_cli_t =
+    Option.map
+      (fun exe ->
+        let cmd =
+          Printf.sprintf "%s query '%s' -f %s --format first > /dev/null" exe formula docfile
+        in
+        best_of 5 (fun () -> if Sys.command cmd <> 0 then failwith "cold CLI run failed"))
+      cli
+  in
+  (* --- the same work in-process (no fork/exec), for the breakdown:
+     parse, optimizer rewrite + compile, SLP compression, freeze,
+     decompress, evaluate the first tuple *)
+  let cold_work () =
+    let e = Algebra.parse formula in
+    let plan = Optimizer.optimize e in
+    let db = Doc_db.create () in
+    let id = Doc_db.add_string db "d" doc in
+    let fz = Doc_db.freeze db in
+    let text = Slp.frozen_to_string fz id in
+    ignore (Cursor.next (Optimizer.cursor plan text))
+  in
+  let cold_work_t = best_of 5 cold_work in
+  let cold_t = Option.value cold_cli_t ~default:cold_work_t in
+
+  (* --- warm server, one persistent connection: every artefact is
+     cached, a request is one round-trip + one cursor pull *)
+  let latencies k payload =
+    let c = seed in
+    Array.init k (fun _ -> time_unit (fun () -> ignore (Serve_client.request c payload)))
+  in
+  let warm = latencies (sc 400 50) "QUERY q s d format=first" in
+  Array.sort compare warm;
+  let warm_p50 = percentile warm 0.50 and warm_p99 = percentile warm 0.99 in
+
+  (* --- plan cache, hit vs miss: distinct inline bodies compile every
+     time; a repeated body is one LRU probe *)
+  let miss_t =
+    time_unit (fun () ->
+        for i = 0 to 19 do
+          ignore
+            (Serve_client.request seed
+               (Printf.sprintf "QUERY - s d format=count\n[ab]*!x{ab}[ab]*a{0,%d}" (i + 1)))
+        done)
+    /. 20.
+  in
+  let hit_t =
+    time_unit (fun () ->
+        for _ = 0 to 19 do
+          ignore (Serve_client.request seed "QUERY - s d format=count\n[ab]*!x{ab}[ab]*a{0,1}")
+        done)
+    /. 20.
+  in
+
+  (* --- open-loop fan-out: [clients] concurrent connections, each
+     firing [reqs_per_client] back-to-back queries *)
+  let errors = Atomic.make 0 in
+  let fanout () =
+    let thread _ =
+      Thread.create
+        (fun () ->
+          try
+            let c = Serve_client.connect addr in
+            for _ = 1 to reqs_per_client do
+              match Serve_client.request c "QUERY q s d format=count" with
+              | [ one ] when Serve_client.err_code one = None -> ()
+              | _ -> Atomic.incr errors
+            done;
+            Serve_client.close c
+          with _ -> Atomic.incr errors)
+        ()
+    in
+    let threads = List.init clients thread in
+    List.iter Thread.join threads
+  in
+  let fan_t = time_unit fanout in
+  let total_reqs = clients * reqs_per_client in
+  let throughput = float_of_int total_reqs /. fan_t in
+
+  (* --- slow-reader isolation: a client opens a huge stream (the
+     quadratic spanner), reads only the header, and stalls; its
+     session thread blocks on the socket buffer while a second client
+     keeps querying — the stall must not move the fast path *)
+  ignore (Serve_client.request seed "DEFINE big\n[ab]*!x{a[ab]*b}[ab]*");
+  let slow_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect slow_fd (ADDR_UNIX sock);
+  let slow_ic = Unix.in_channel_of_descr slow_fd
+  and slow_oc = Unix.out_channel_of_descr slow_fd in
+  Spanner_serve.Protocol.write_frame slow_oc "QUERY big s d2";
+  (* read only the stream header, then stall: the session thread
+     serving this stream blocks once the socket buffer fills *)
+  ignore (Spanner_serve.Protocol.read_frame slow_ic);
+  let stalled = latencies (sc 200 30) "QUERY q s d format=first" in
+  Array.sort compare stalled;
+  let stalled_p50 = percentile stalled 0.50 in
+  (try Unix.close slow_fd with _ -> ());
+
+  ignore (Serve_client.request seed "STATS");
+  ignore (Serve_client.request seed "SHUTDOWN");
+  Serve_client.close seed;
+  Serve_server.wait server;
+
+  (* --- overload: a one-worker, two-slot server flooded with slow
+     queries must shed cleanly (ERR 3) and never hang *)
+  let sock2 = Printf.sprintf "/tmp/spanner-bench-ovl-%d.sock" (Unix.getpid ()) in
+  let addr2 = Serve_server.Unix_socket sock2 in
+  let server2 =
+    Serve_server.start
+      {
+        (Serve_server.default_config addr2) with
+        Serve_server.workers = Some 1;
+        queue = 2;
+      }
+  in
+  let c2 = Serve_client.connect addr2 in
+  ignore (Serve_client.request c2 "DEFINE big\n[ab]*!x{a[ab]*b}[ab]*");
+  ignore (Serve_client.request c2 (Printf.sprintf "LOAD s DOC d\n%s" doc2));
+  Serve_client.close c2;
+  let shed = Atomic.make 0 and answered = Atomic.make 0 in
+  let flood_threads =
+    List.init (sc 16 6) (fun _ ->
+        Thread.create
+          (fun () ->
+            try
+              let c = Serve_client.connect addr2 in
+              (match Serve_client.request c "QUERY big s d format=count" with
+              | [ one ] when Serve_client.err_code one = Some 3 -> Atomic.incr shed
+              | _ -> Atomic.incr answered);
+              Serve_client.close c
+            with _ -> ())
+          ())
+  in
+  List.iter Thread.join flood_threads;
+  let c2 = Serve_client.connect addr2 in
+  ignore (Serve_client.request c2 "SHUTDOWN");
+  Serve_client.close c2;
+  Serve_server.wait server2;
+
+  (try Sys.remove docfile with Sys_error _ -> ());
+  push "e18/cold-start" (cold_t *. 1e9);
+  push "e18/cold-work" (cold_work_t *. 1e9);
+  push "e18/warm-p50" (warm_p50 *. 1e9);
+  push "e18/warm-p99" (warm_p99 *. 1e9);
+  push "e18/plan-miss" (miss_t *. 1e9);
+  push "e18/plan-hit" (hit_t *. 1e9);
+  push (Printf.sprintf "e18/throughput-rps-%dc" clients) throughput;
+  push "e18/stalled-p50" (stalled_p50 *. 1e9);
+  push "e18/shed" (float_of_int (Atomic.get shed));
+  print_table ~title:(Printf.sprintf "service vs cold start, |D| = %d" (1 lsl doc_bits))
+    ~header:[ "metric"; "value" ]
+    [
+      [
+        (match cold_cli_t with
+        | Some _ -> "per-request CLI cold start (fork+exec spanner_cli)"
+        | None -> "per-request cold start (CLI missing; in-process work)");
+        pretty_time cold_t;
+      ];
+      [ "  of which query work (parse+compile+compress+eval)"; pretty_time cold_work_t ];
+      [ "warm request p50"; pretty_time warm_p50 ];
+      [ "warm request p99"; pretty_time warm_p99 ];
+      [ "speedup p50 vs cold"; Printf.sprintf "%.0fx" (cold_t /. max warm_p50 1e-9) ];
+      [ "inline query, plan-cache miss"; pretty_time miss_t ];
+      [ "inline query, plan-cache hit"; pretty_time hit_t ];
+      [
+        Printf.sprintf "%d clients x %d requests" clients reqs_per_client;
+        Printf.sprintf "%s (%.0f req/s)" (pretty_time fan_t) throughput;
+      ];
+      [ "client errors under fan-out"; pretty_int (Atomic.get errors) ];
+      [ "p50 beside a stalled streaming reader"; pretty_time stalled_p50 ];
+      [
+        "overload (1 worker, queue 2)";
+        Printf.sprintf "%d shed / %d answered" (Atomic.get shed) (Atomic.get answered);
+      ];
+    ];
+  note
+    "expected shape: warm p50 at least 10x below the per-request CLI cold start (the \
+     acceptance bar) — the server amortises process start, parsing, compilation and \
+     document IO across requests; the stalled-reader p50 within noise of the plain warm \
+     p50; overload sheds with status 3 instead of queueing without bound.";
+  List.rev !json
+
+(* ------------------------------------------------------------------ *)
 (* A: ablations of design choices                                      *)
 
 let a1_join_strategy () =
@@ -1293,6 +1533,7 @@ let registry =
     { id = "E15"; run = e15_compressed_batch; json = Some "BENCH_slp.json" };
     { id = "E16"; run = e16_cursor; json = Some "BENCH_cursor.json" };
     { id = "E17"; run = e17_algebra; json = Some "BENCH_algebra.json" };
+    { id = "E18"; run = e18_serve; json = Some "BENCH_serve.json" };
     { id = "A1"; run = silent a1_join_strategy; json = None };
     { id = "A2"; run = silent a2_balanced_editing; json = None };
     { id = "A3"; run = silent a3_equality_strategy; json = None };

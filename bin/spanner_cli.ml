@@ -827,6 +827,162 @@ let query_term =
     $ expr_arg $ doc_arg $ qfiles_arg $ jobs_arg $ fuse_states_arg $ contents_arg
     $ limits_term $ offset_arg $ limit_arg $ format_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client *)
+
+module Server = Spanner_serve.Server
+module Serve_client = Spanner_serve.Client
+
+let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_states limits =
+  let address = Server.address_of_string address in
+  let config =
+    {
+      (Server.default_config address) with
+      Server.workers = jobs;
+      queue;
+      plan_cache;
+      doc_cache;
+      window;
+      max_frame;
+      fuse_states;
+      defaults = limits;
+    }
+  in
+  let t = Server.start config in
+  Printf.eprintf "listening on %s\n%!" (Server.address_to_string address);
+  let stop_on_signal _ = Server.stop t in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal) with _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal) with _ -> ());
+  Server.wait t
+
+let client_cmd address words body body_file retry_ms =
+  if words = [] then raise (Usage "client: expected a protocol command, e.g. STATS");
+  let address = Server.address_of_string address in
+  let body =
+    match (body, body_file) with
+    | Some _, Some _ -> raise (Usage "client: --body and --body-file are exclusive")
+    | Some b, None -> Some b
+    | None, Some f -> Some (In_channel.with_open_bin f In_channel.input_all)
+    | None, None -> None
+  in
+  let payload =
+    String.concat " " words ^ match body with Some b -> "\n" ^ b | None -> ""
+  in
+  (* the server may still be coming up (cram starts it in the
+     background): retry the connect within the deadline *)
+  let deadline = Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.) in
+  let rec connect () =
+    try Serve_client.connect address
+    with Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) as e ->
+      if Unix.gettimeofday () >= deadline then raise e
+      else begin
+        Unix.sleepf 0.02;
+        connect ()
+      end
+  in
+  let conn = connect () in
+  let frames =
+    Fun.protect ~finally:(fun () -> Serve_client.close conn) (fun () ->
+        Serve_client.request conn payload)
+  in
+  List.iter print_endline frames;
+  match List.filter_map Serve_client.err_code frames with
+  | [] -> ()
+  | codes -> exit (List.nth codes (List.length codes - 1))
+
+let address_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "Server address: $(b,unix:PATH) (or a bare socket path) or $(b,tcp:HOST:PORT).")
+
+let serve_jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains executing queries (default: all cores minus one).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission-queue capacity: queries beyond $(docv) waiting are shed with the \
+           over-budget status instead of queueing without bound.")
+
+let plan_cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "plan-cache" ] ~docv:"N"
+        ~doc:"Compiled-plan LRU capacity, in queries (keyed by normalized algebra text).")
+
+let doc_cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "doc-cache" ] ~docv:"N"
+        ~doc:"Decompressed-document LRU capacity, in documents.")
+
+let window_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "window" ] ~docv:"K"
+        ~doc:"Stream at most $(docv) tuples per response frame (backpressure granularity).")
+
+let max_frame_arg =
+  Arg.(
+    value
+    & opt int Spanner_serve.Protocol.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:"Reject request frames larger than $(docv) bytes (default 4 MiB).")
+
+let serve_term =
+  Term.(
+    const (fun address jobs queue plan_cache doc_cache window max_frame fuse_states limits ->
+        catch (fun () ->
+            serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_states
+              limits))
+    $ address_arg $ serve_jobs_arg $ queue_arg $ plan_cache_arg $ doc_cache_arg
+    $ window_arg $ max_frame_arg $ fuse_states_arg $ limits_term)
+
+let words_arg =
+  Arg.(
+    value & pos_right 0 string []
+    & info [] ~docv:"WORD"
+        ~doc:
+          "Protocol command words, e.g. $(b,DEFINE name), $(b,LOAD store DOC doc), \
+           $(b,QUERY name store doc limit=10), $(b,STATS), $(b,SHUTDOWN).")
+
+let body_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "body" ] ~docv:"TEXT" ~doc:"Request body (the text after the command line).")
+
+let body_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "body-file" ] ~docv:"FILE" ~doc:"Read the request body from $(docv).")
+
+let retry_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry-ms" ] ~docv:"MS"
+        ~doc:"Keep retrying a refused connection for up to $(docv) ms (a just-started server).")
+
+let client_term =
+  Term.(
+    const (fun address words body body_file retry_ms ->
+        catch (fun () ->
+            try client_cmd address words body body_file retry_ms
+            with Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "error: cannot reach server: %s\n" (Unix.error_message e);
+              Stdlib.exit 1))
+    $ address_arg $ words_arg $ body_arg $ body_file_arg $ retry_ms_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "eval" ~doc:"Evaluate a regex-formula spanner on a document.") eval_term;
@@ -868,6 +1024,20 @@ let cmds =
            "Print the evaluation plan the planner would pick for a query — chosen engine, \
             the input-shape facts it decided from, and why — without running it.")
       explain_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the persistent query service: named spanners and frozen document stores \
+            shared across connections, a compiled-plan cache keyed by normalized query \
+            text, worker domains behind a bounded admission queue that sheds under \
+            overload, and streamed responses with windowed backpressure.")
+      serve_term;
+    Cmd.v
+      (Cmd.info "client"
+         ~doc:
+           "Send one request to a running spanner service and print the response frames; \
+            the exit code follows the server's ERR status (the usual taxonomy).")
+      client_term;
   ]
 
 let () =

@@ -98,6 +98,13 @@ let targets =
               failwith "frozen node with non-positive length"
           done);
     };
+    {
+      name = "serve";
+      alphabet = "0123456789\nDEFINELOADQUERYXPSTACOUH abxy_-.=/{}*+";
+      run = Spanner_serve.Protocol.fuzz_entry;
+      (* frame decoding (hostile length prefixes, truncations), the
+         request grammar, and the canonical-print round-trip *)
+    };
   |]
 
 let target_of_name name =

@@ -1,0 +1,68 @@
+(* Client-side helper: one connection, synchronous request/response.
+
+   Shared by the CLI [client] command, the serve smoke test and the
+   E18 load generator, so they all speak the protocol through the
+   same code path.  A response is the list of frames up to and
+   including the terminal one: single-frame replies are themselves
+   terminal; a streamed query reply ([OK stream ...]) continues until
+   its [END] or mid-stream [ERR] frame. *)
+
+module Limits = Spanner_util.Limits
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect address =
+  Server.ignore_sigpipe ();
+  let fd, sockaddr =
+    match address with
+    | Server.Unix_socket path -> (Unix.socket PF_UNIX SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.getaddrinfo host "" [ AI_FAMILY PF_INET ] with
+            | { ai_addr = ADDR_INET (a, _); _ } :: _ -> a
+            | _ -> Limits.eval_failure ~what:"client" ("cannot resolve host " ^ host))
+        in
+        (Unix.socket PF_INET SOCK_STREAM 0, Unix.ADDR_INET (addr, port))
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t =
+  (try flush t.oc with _ -> ());
+  try Unix.close t.fd with _ -> ()
+
+let is_stream_header frame =
+  String.length frame >= 9 && String.sub frame 0 9 = "OK stream"
+
+let is_terminal_frame frame =
+  let starts p =
+    String.length frame >= String.length p && String.sub frame 0 (String.length p) = p
+  in
+  starts "END" || starts "ERR"
+
+(* [err_code frame] is [Some code] iff [frame] is an ERR status. *)
+let err_code frame =
+  match String.split_on_char ' ' frame with
+  | "ERR" :: code :: _ -> int_of_string_opt code
+  | _ -> None
+
+let request ?max_frame t payload =
+  Protocol.write_frame t.oc payload;
+  let read () =
+    match Protocol.read_frame ?max_frame t.ic with
+    | Some frame -> frame
+    | None -> Limits.corrupt ~what:"response" "connection closed mid-response"
+  in
+  let first = read () in
+  if not (is_stream_header first) then [ first ]
+  else
+    let rec rest acc =
+      let frame = read () in
+      if is_terminal_frame frame then List.rev (frame :: acc) else rest (frame :: acc)
+    in
+    first :: rest []

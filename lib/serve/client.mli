@@ -1,0 +1,22 @@
+(** Client-side helper: one connection, synchronous request/response.
+
+    The one protocol-speaking code path shared by the CLI [client]
+    command, the serve smoke test and the E18 load generator. *)
+
+type t
+
+(** [connect address] opens a connection (SIGPIPE ignored).
+    @raise Unix.Unix_error when nothing listens there. *)
+val connect : Server.address -> t
+
+val close : t -> unit
+
+(** [request t payload] sends one request and reads the full
+    response: the frames up to and including the terminal one (a
+    streamed reply spans header, windows, and [END]/[ERR]).
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) if the
+    server hangs up mid-response. *)
+val request : ?max_frame:int -> t -> string -> string list
+
+(** [err_code frame] is [Some code] iff [frame] is an [ERR] status. *)
+val err_code : string -> int option

@@ -1,0 +1,222 @@
+(* The server's shared state: named queries, compiled-plan cache,
+   document stores, decompressed-text cache.
+
+   Reuse across requests is the whole point of serving (ROADMAP item
+   1): a CLI invocation pays regex parse + Optimizer rewrite +
+   automaton compilation + SLPDB load on every call, and everything
+   it builds dies with the process.  Here each of those artefacts is
+   built once and shared:
+
+   - DEFINE binds a *name* to the normalized text of a parsed query.
+     The compiled artefact lives in the plan cache, keyed by that
+     normalized text (Algebra.to_string of the parsed expression) —
+     so a named query, the same query re-DEFINEd under another name,
+     and the same text sent inline all hit one cache entry, and
+     repeated QUERY bodies skip parse + rewrite + fuse entirely (the
+     PR 6 follow-up cross-query plan cache).
+
+   - LOAD builds a shared-SLP document store and freezes it
+     (Slp.freeze): an immutable snapshot the worker domains read
+     without locks.  Every LOAD refreshes the snapshot; queries
+     always resolve against the snapshot current at admission time.
+
+   - Query evaluation runs over the *decompressed* text of the
+     requested document through the compiled/optimized engines; the
+     text is decompressed from the frozen snapshot once (metered by
+     the requesting gauge) and kept in a bounded LRU keyed by
+     (store, doc, root id) — a reload of the same document name gets
+     a fresh root id and therefore a fresh entry, so stale text can
+     never serve.
+
+   Plans are compiled under the server's *default* limits and fuse
+   budget: compilation is a shared, cached artefact and must not vary
+   per request (a per-request max-states override governs only that
+   request's evaluation gauge).
+
+   Locking: one registry mutex guards the name/store tables; the two
+   LRUs are Locked_lru and guard themselves; compilation and
+   decompression run outside any lock. *)
+
+open Spanner_core
+module Limits = Spanner_util.Limits
+module Locked_lru = Spanner_util.Locked_lru
+module Slp = Spanner_slp.Slp
+module Doc_db = Spanner_slp.Doc_db
+module Serialize = Spanner_slp.Serialize
+module Optimizer = Spanner_engine.Optimizer
+
+type store_entry = {
+  db : Doc_db.t;
+  mutable frozen : Slp.frozen;
+  mutable docs : (string * Slp.id) list;  (* name -> designated root, insertion order *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  named : (string, string) Hashtbl.t;  (* query name -> normalized text *)
+  stores : (string, store_entry) Hashtbl.t;
+  plans : (string, Optimizer.t) Locked_lru.t;  (* normalized text -> compiled plan *)
+  texts : (string * string * Slp.id, string) Locked_lru.t;
+  defaults : Limits.t;
+  fuse_states : int option;
+}
+
+let create ?(plan_capacity = 128) ?(doc_capacity = 128) ?fuse_states ~defaults () =
+  {
+    mutex = Mutex.create ();
+    named = Hashtbl.create 16;
+    stores = Hashtbl.create 16;
+    plans = Locked_lru.create ~capacity:plan_capacity ();
+    texts = Locked_lru.create ~capacity:doc_capacity ();
+    defaults;
+    fuse_states;
+  }
+
+let defaults t = t.defaults
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Per-request budgets: the server defaults with any per-request
+   overrides applied axis-wise (Limits uses max_int as "unbounded",
+   so overriding is plain field replacement). *)
+let effective_limits t (o : Protocol.opts) =
+  {
+    Limits.fuel = Option.value o.Protocol.fuel ~default:t.defaults.Limits.fuel;
+    time_ms = Option.value o.Protocol.deadline_ms ~default:t.defaults.Limits.time_ms;
+    max_states = Option.value o.Protocol.max_states ~default:t.defaults.Limits.max_states;
+    max_tuples = Option.value o.Protocol.max_tuples ~default:t.defaults.Limits.max_tuples;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries and plans *)
+
+(* A body is either a bare regex formula or an algebra expression.
+   Bodies that use algebra syntax ([rgx:], [pi[], [sel[], [file:])
+   parse as algebra; anything else tries the formula grammar first
+   and falls back to algebra, re-raising the formula error if both
+   fail (it is the more helpful one for a bare-formula typo).  Note
+   [file:] leaves stay gated: the parser gets no loader, so a remote
+   query cannot touch the server's filesystem. *)
+let looks_like_algebra body =
+  let has sub =
+    let n = String.length body and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub body i m = sub || at (i + 1)) in
+    at 0
+  in
+  has "rgx:" || has "file:" || has "pi[" || has "sel["
+
+let parse_body body =
+  if looks_like_algebra body then Algebra.parse body
+  else
+    match Regex_formula.parse body with
+    | f -> Algebra.Formula f
+    | exception (Spanner_fa.Regex.Parse_error _ as formula_err) -> (
+        match Algebra.parse body with e -> e | exception _ -> raise formula_err)
+
+let normalize body = Algebra.to_string (parse_body body)
+
+let compile t normalized =
+  Locked_lru.find_or_add t.plans normalized (fun () ->
+      Optimizer.optimize ~limits:t.defaults ?fuse_states:t.fuse_states
+        (Algebra.parse normalized))
+
+let define t ~name ~body =
+  let normalized = normalize body in
+  let plan = compile t normalized in
+  locked t (fun () -> Hashtbl.replace t.named name normalized);
+  plan
+
+(* [plan t source] resolves a query source to its compiled plan: by
+   name through the registry, or by normalizing the inline text —
+   either way one plan-cache probe, so repeated bodies share work. *)
+let plan t source =
+  match source with
+  | Protocol.Named name ->
+      let normalized =
+        locked t (fun () ->
+            match Hashtbl.find_opt t.named name with
+            | Some n -> n
+            | None -> Limits.eval_failure ~what:"query" (Printf.sprintf "unknown query %S" name))
+      in
+      compile t normalized
+  | Protocol.Inline body -> compile t (normalize body)
+
+(* ------------------------------------------------------------------ *)
+(* Stores and documents *)
+
+let load_doc t ~store ~doc ~text =
+  if String.length text = 0 then
+    Limits.eval_failure ~what:"load" "SLPs derive non-empty documents";
+  locked t (fun () ->
+      let entry =
+        match Hashtbl.find_opt t.stores store with
+        | Some e -> e
+        | None ->
+            let db = Doc_db.create () in
+            let e = { db; frozen = Slp.freeze (Doc_db.store db); docs = [] } in
+            Hashtbl.add t.stores store e;
+            e
+      in
+      let id = Doc_db.add_string entry.db doc text in
+      entry.frozen <- Doc_db.freeze entry.db;
+      entry.docs <- List.remove_assoc doc entry.docs @ [ (doc, id) ];
+      (String.length text, Doc_db.compressed_size entry.db))
+
+let load_path t ~store ~path =
+  let db = Serialize.read_file path in
+  let docs = List.map (fun name -> (name, Doc_db.find db name)) (Doc_db.names db) in
+  let entry = { db; frozen = Doc_db.freeze db; docs } in
+  locked t (fun () -> Hashtbl.replace t.stores store entry);
+  List.length docs
+
+(* [resolve t ~store ~doc] is the frozen snapshot and root of one
+   document, as of now — immutable, so safe to evaluate against on
+   any domain while later LOADs move the entry forward. *)
+let resolve t ~store ~doc =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.stores store with
+      | None -> Limits.eval_failure ~what:"query" (Printf.sprintf "unknown store %S" store)
+      | Some entry -> (
+          match List.assoc_opt doc entry.docs with
+          | None ->
+              Limits.eval_failure ~what:"query"
+                (Printf.sprintf "unknown document %S in store %S" doc store)
+          | Some id -> (entry.frozen, id)))
+
+let doc_text t ~gauge ~store ~doc =
+  let frozen, id = resolve t ~store ~doc in
+  Locked_lru.find_or_add t.texts (store, doc, id) (fun () ->
+      Slp.frozen_to_string ~gauge frozen id)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+type counts = { queries : int; stores : int; docs : int }
+
+let counts t =
+  locked t (fun () ->
+      {
+        queries = Hashtbl.length t.named;
+        stores = Hashtbl.length t.stores;
+        docs =
+          Hashtbl.fold
+            (fun _ (e : store_entry) acc -> acc + List.length e.docs)
+            t.stores 0;
+      })
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+let cache_stats lru =
+  let s = Locked_lru.stats lru in
+  {
+    hits = s.Spanner_util.Lru.hits;
+    misses = s.Spanner_util.Lru.misses;
+    evictions = s.Spanner_util.Lru.evictions;
+    entries = Locked_lru.length lru;
+    capacity = Locked_lru.capacity lru;
+  }
+
+let plan_cache_stats t = cache_stats t.plans
+let doc_cache_stats t = cache_stats t.texts

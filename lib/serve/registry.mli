@@ -1,0 +1,83 @@
+(** The server's shared state: named queries, the cross-query plan
+    cache, document stores, and the decompressed-text cache.
+
+    Everything a CLI run rebuilds per invocation is built once here
+    and shared across requests and connections.  Compiled plans are
+    keyed by the {e normalized} query text
+    ({!Spanner_core.Algebra.to_string} of the parsed expression), so
+    repeated inline bodies, re-DEFINEs, and named references to the
+    same query all share one cache entry.  Stores are frozen SLP
+    snapshots ({!Spanner_slp.Slp.freeze}) that worker domains read
+    without locks.
+
+    All operations are thread- and domain-safe; parsing, plan
+    compilation and decompression run outside the registry lock. *)
+
+type t
+
+(** [create ?plan_capacity ?doc_capacity ?fuse_states ~defaults ()]
+    is an empty registry.  [defaults] are the server-side budgets:
+    plans are compiled under them, and {!effective_limits} starts
+    from them.  [fuse_states] is the optimizer's fusion budget
+    (default {!Spanner_engine.Optimizer.default_fuse_states}). *)
+val create :
+  ?plan_capacity:int ->
+  ?doc_capacity:int ->
+  ?fuse_states:int ->
+  defaults:Spanner_util.Limits.t ->
+  unit ->
+  t
+
+val defaults : t -> Spanner_util.Limits.t
+
+(** [effective_limits t opts] is [defaults] with any per-request
+    overrides from [opts] applied axis-wise. *)
+val effective_limits : t -> Protocol.opts -> Spanner_util.Limits.t
+
+(** [define t ~name ~body] parses [body] (regex formula, falling back
+    to algebra), compiles it through the plan cache, and binds [name]
+    to the normalized text.  Returns the compiled plan.
+    @raise Spanner_util.Limits.Spanner_error ([Parse]) on a body
+    neither grammar accepts. *)
+val define : t -> name:string -> body:string -> Spanner_engine.Optimizer.t
+
+(** [plan t source] is the compiled plan of a query source — a
+    registry name or inline text — via one plan-cache probe.
+    @raise Spanner_util.Limits.Spanner_error ([Eval_failure]) on an
+    unknown name. *)
+val plan : t -> Protocol.source -> Spanner_engine.Optimizer.t
+
+(** [load_doc t ~store ~doc ~text] compresses [text] into [store]
+    (created on first use) as document [doc] and refreshes the frozen
+    snapshot.  Returns [(uncompressed_len, compressed_size)] of the
+    store after the load.
+    @raise Spanner_util.Limits.Spanner_error ([Eval_failure]) on an
+    empty [text]. *)
+val load_doc : t -> store:string -> doc:string -> text:string -> int * int
+
+(** [load_path t ~store ~path] replaces [store] with the SLPDB file at
+    [path] (server filesystem).  Returns the number of documents. *)
+val load_path : t -> store:string -> path:string -> int
+
+(** [doc_text t ~gauge ~store ~doc] is the decompressed text of one
+    document, through the text cache; a miss decompresses from the
+    current frozen snapshot, charged to [gauge]. *)
+val doc_text :
+  t -> gauge:Spanner_util.Limits.gauge -> store:string -> doc:string -> string
+
+(** {1 Introspection} *)
+
+type counts = { queries : int; stores : int; docs : int }
+
+val counts : t -> counts
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val plan_cache_stats : t -> cache_stats
+val doc_cache_stats : t -> cache_stats

@@ -1,0 +1,159 @@
+(* Admission control: a bounded job queue in front of a fixed crew of
+   worker domains.
+
+   The CLI's Pool spawns domains per batch; a server cannot afford
+   that (domain spawn is ~ms and unbounded concurrent spawns defeat
+   admission control), so the scheduler spawns its workers once and
+   feeds them through one mutex-guarded queue.  [submit] is the
+   admission decision: when the queue already holds [capacity] jobs
+   the request is *shed* — the caller gets [None] immediately and
+   maps it onto the over-budget wire status, so an overloaded server
+   degrades by rejecting cleanly instead of queueing without bound or
+   blocking the accept path.
+
+   Results travel through tickets (mutex + condition per ticket);
+   [await] blocks only the session thread that owns the request.
+   Worker domains never touch a socket: they run the compute closure
+   and signal, so a slow client can never pin a worker. *)
+
+type stats = {
+  workers : int;
+  capacity : int;
+  submitted : int;
+  completed : int;
+  shed : int;
+  queued : int;
+  max_queued : int;
+}
+
+type job = { run : unit -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  capacity : int;
+  mutable workers : unit Domain.t array;
+  mutable stopping : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable max_queued : int;
+}
+
+type 'a ticket = {
+  tm : Mutex.t;
+  done_ : Condition.t;
+  mutable result : ('a, exn) result option;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job.run ();
+      Mutex.lock t.mutex;
+      t.completed <- t.completed + 1;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?workers ~capacity () =
+  if capacity < 1 then invalid_arg "Scheduler.create: capacity must be at least 1";
+  let n =
+    match workers with
+    | Some w when w >= 1 -> w
+    | Some w -> invalid_arg (Printf.sprintf "Scheduler.create: %d workers" w)
+    | None ->
+        (* leave one domain's worth of headroom for the accept loop
+           and session threads, which all live on the main domain *)
+        max 1 (Spanner_util.Pool.default_jobs () - 1)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      workers = [||];
+      stopping = false;
+      submitted = 0;
+      completed = 0;
+      shed = 0;
+      max_queued = 0;
+    }
+  in
+  t.workers <- Array.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t f =
+  let ticket = { tm = Mutex.create (); done_ = Condition.create (); result = None } in
+  let run () =
+    let r = match f () with v -> Ok v | exception e -> Error e in
+    Mutex.lock ticket.tm;
+    ticket.result <- Some r;
+    Condition.signal ticket.done_;
+    Mutex.unlock ticket.tm
+  in
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.mutex;
+    None
+  end
+  else if Queue.length t.queue >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.mutex;
+    None
+  end
+  else begin
+    Queue.push { run } t.queue;
+    t.submitted <- t.submitted + 1;
+    t.max_queued <- max t.max_queued (Queue.length t.queue);
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    Some ticket
+  end
+
+let await ticket =
+  Mutex.lock ticket.tm;
+  while ticket.result = None do
+    Condition.wait ticket.done_ ticket.tm
+  done;
+  let r = Option.get ticket.result in
+  Mutex.unlock ticket.tm;
+  r
+
+(* [run t f] — submit + await, or [None] when shed. *)
+let run t f = Option.map await (submit t f)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      workers = Array.length t.workers;
+      capacity = t.capacity;
+      submitted = t.submitted;
+      completed = t.completed;
+      shed = t.shed;
+      queued = Queue.length t.queue;
+      max_queued = t.max_queued;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers

@@ -1,0 +1,50 @@
+(** Bounded-admission job scheduler over persistent worker domains.
+
+    The serve subsystem's execution backend: worker domains are
+    spawned once at server start and fed through a single bounded
+    queue.  {!submit} is the admission decision — a full queue sheds
+    the request immediately ([None]) instead of queueing without
+    bound, which the session layer maps onto the over-budget wire
+    status.  Workers run pure compute closures and never touch
+    sockets, so a slow client can only ever pin its own session
+    thread. *)
+
+type t
+
+(** A pending result; {!await} blocks the calling thread until the
+    job ran. *)
+type 'a ticket
+
+(** [create ?workers ~capacity ()] spawns [workers] domains (default:
+    {!Spanner_util.Pool.default_jobs}[ - 1], at least 1) behind a
+    queue of at most [capacity] waiting jobs.
+    @raise Invalid_argument on a non-positive [capacity] or
+    [workers]. *)
+val create : ?workers:int -> capacity:int -> unit -> t
+
+(** [submit t f] enqueues [f] unless the queue is full ([None]: the
+    request was shed, counted in {!stats}). *)
+val submit : t -> (unit -> 'a) -> 'a ticket option
+
+(** [await ticket] blocks until the job finished; a job that raised
+    yields its exception as [Error]. *)
+val await : 'a ticket -> ('a, exn) result
+
+(** [run t f] is {!submit} + {!await}; [None] when shed. *)
+val run : t -> (unit -> 'a) -> ('a, exn) result option
+
+type stats = {
+  workers : int;
+  capacity : int;
+  submitted : int;  (** jobs accepted into the queue, ever *)
+  completed : int;  (** jobs finished by a worker, ever *)
+  shed : int;  (** submissions rejected because the queue was full *)
+  queued : int;  (** jobs waiting right now *)
+  max_queued : int;  (** high-water mark of [queued] *)
+}
+
+val stats : t -> stats
+
+(** [shutdown t] stops the crew: queued jobs are drained, then every
+    worker domain exits and is joined.  Subsequent {!submit}s shed. *)
+val shutdown : t -> unit

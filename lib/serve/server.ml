@@ -1,0 +1,252 @@
+(* The spanner service: listener lifecycle and connection fan-out.
+
+   Threading model (the shape ROADMAP item 1 asks for):
+
+   - one *accept* systhread owns the listening socket;
+   - one *session* systhread per connection owns that socket's IO
+     (Session.handle);
+   - a fixed crew of worker *domains* (Scheduler) does all the
+     compute.
+
+   Systhreads all share the main domain — perfect for IO-bound
+   session loops, and it keeps every mutable server structure on one
+   domain except the explicitly shared registry/scheduler, which
+   carry their own locks.
+
+   Shutdown is cooperative and idempotent: [stop] flips the flag,
+   closes the listener (unblocking accept) and half-closes every live
+   session socket (unblocking their reads into clean EOFs); [wait]
+   then joins the accept thread, joins the sessions, and retires the
+   worker crew.  A client's SHUTDOWN verb funnels into the same
+   [stop]. *)
+
+module Limits = Spanner_util.Limits
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* "unix:/path", "tcp:host:port", "host:port", or a bare filesystem
+   path (anything with a '/' or no ':').  Used by both the serve and
+   client commands, so the two cannot drift. *)
+let address_of_string s =
+  let starts p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  if starts "unix:" then
+    Unix_socket (String.sub s 5 (String.length s - 5))
+  else
+    let tcp rest =
+      match String.rindex_opt rest ':' with
+      | Some i -> (
+          let host = String.sub rest 0 i
+          and port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 ->
+              Tcp ((if host = "" then "127.0.0.1" else host), p)
+          | _ ->
+              Limits.parse_error ~what:"address" ~pos:(i + 1)
+                (Printf.sprintf "invalid port %S" port))
+      | None ->
+          Limits.parse_error ~what:"address" ~pos:0
+            "expected unix:PATH, tcp:HOST:PORT or a socket path"
+    in
+    if starts "tcp:" then tcp (String.sub s 4 (String.length s - 4))
+    else if String.contains s '/' || not (String.contains s ':') then Unix_socket s
+    else tcp s
+
+type config = {
+  address : address;
+  workers : int option;  (* None: Scheduler's default crew *)
+  queue : int;  (* admission-queue capacity *)
+  plan_cache : int;
+  doc_cache : int;
+  window : int;  (* tuples per stream frame *)
+  max_frame : int;
+  fuse_states : int option;
+  defaults : Limits.t;  (* server-side budget defaults *)
+}
+
+let default_config address =
+  {
+    address;
+    workers = None;
+    queue = 64;
+    plan_cache = 128;
+    doc_cache = 128;
+    window = 64;
+    max_frame = Protocol.default_max_frame;
+    fuse_states = None;
+    defaults = Limits.none;
+  }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  scheduler : Scheduler.t;
+  listener : Unix.file_descr;
+  mutex : Mutex.t;
+  mutable live : (int * Unix.file_descr) list;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable accepted : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let ignore_sigpipe () =
+  (* a client hanging up mid-write must surface as an exception on
+     the write, not kill the process *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let listen_on = function
+  | Unix_socket path ->
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      (try
+         if Sys.file_exists path then Unix.unlink path;
+         Unix.bind fd (ADDR_UNIX path);
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd SO_REUSEADDR true;
+         let addr =
+           try Unix.inet_addr_of_string host
+           with Failure _ -> (
+             match Unix.getaddrinfo host "" [ AI_FAMILY PF_INET ] with
+             | { ai_addr = ADDR_INET (a, _); _ } :: _ -> a
+             | _ -> Limits.eval_failure ~what:"serve" ("cannot resolve host " ^ host))
+         in
+         Unix.bind fd (ADDR_INET (addr, port));
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stop t =
+  let proceed =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          (* half-close live sessions under the lock — sessions only
+             close their fd after removing themselves under the same
+             lock, so every fd here is still open (no reuse race);
+             their next read becomes a clean EOF *)
+          List.iter
+            (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ())
+            t.live;
+          true
+        end)
+  in
+  if proceed then begin
+    (* unblock accept: closing an fd another thread is blocked on
+       does not reliably wake it on Linux, but shutdown() on the
+       listening socket makes the blocked accept return EINVAL; the
+       loop then reads t.stopping and exits *)
+    (try Unix.shutdown t.listener SHUTDOWN_ALL with _ -> ());
+    try Unix.close t.listener with _ -> ()
+  end
+
+let session_thread t (id, fd) =
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let ctx =
+    {
+      Session.registry = t.registry;
+      scheduler = t.scheduler;
+      window = t.config.window;
+      max_frame = t.config.max_frame;
+      extra_stats =
+        (fun () ->
+          let live, accepted = locked t (fun () -> (List.length t.live, t.accepted)) in
+          [ Printf.sprintf "connections: live=%d accepted=%d" live accepted ]);
+    }
+  in
+  let result = Session.handle ctx ic oc in
+  (try flush oc with _ -> ());
+  locked t (fun () ->
+      t.live <- List.remove_assoc id t.live;
+      Hashtbl.remove t.threads id);
+  (* the channels share [fd]: close it exactly once, at the fd level *)
+  (try Unix.close fd with _ -> ());
+  match result with `Shutdown_requested -> stop t | `Closed -> ()
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | fd, _addr ->
+        let spawn =
+          locked t (fun () ->
+              if t.stopping then false
+              else begin
+                let id = t.next_id in
+                t.next_id <- id + 1;
+                t.accepted <- t.accepted + 1;
+                t.live <- (id, fd) :: t.live;
+                Hashtbl.replace t.threads id (Thread.create (session_thread t) (id, fd));
+                true
+              end)
+        in
+        if not spawn then (try Unix.close fd with _ -> ());
+        loop ()
+    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop ()
+    | exception _ -> if locked t (fun () -> t.stopping) then () else loop ()
+  in
+  loop ()
+
+let start config =
+  ignore_sigpipe ();
+  let listener = listen_on config.address in
+  let registry =
+    Registry.create ~plan_capacity:config.plan_cache ~doc_capacity:config.doc_cache
+      ?fuse_states:config.fuse_states ~defaults:config.defaults ()
+  in
+  let scheduler = Scheduler.create ?workers:config.workers ~capacity:config.queue () in
+  let t =
+    {
+      config;
+      registry;
+      scheduler;
+      listener;
+      mutex = Mutex.create ();
+      live = [];
+      threads = Hashtbl.create 16;
+      next_id = 0;
+      accepted = 0;
+      stopping = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* sessions remove themselves as they finish; join whatever is
+     still live until none remain (joining a finished thread is a
+     no-op, so racing against self-removal is harmless) *)
+  let rec drain () =
+    match locked t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []) with
+    | [] -> ()
+    | threads ->
+        List.iter Thread.join threads;
+        drain ()
+  in
+  drain ();
+  Scheduler.shutdown t.scheduler;
+  match t.config.address with
+  | Unix_socket path -> ( try Unix.unlink path with _ -> ())
+  | Tcp _ -> ()
+
+let registry t = t.registry
+let scheduler t = t.scheduler
+let address t = t.config.address

@@ -1,0 +1,58 @@
+(** The spanner service: a persistent, concurrent query server.
+
+    One accept systhread, one session systhread per connection
+    ({!Session}), a fixed crew of worker domains ({!Scheduler}) doing
+    all compute, and one shared {!Registry}.  See DESIGN.md §2g. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+val address_to_string : address -> string
+
+(** [address_of_string s] parses ["unix:PATH"], ["tcp:HOST:PORT"],
+    ["HOST:PORT"], or a bare filesystem path (a unix socket).
+    @raise Spanner_util.Limits.Spanner_error ([Parse]) otherwise. *)
+val address_of_string : string -> address
+
+type config = {
+  address : address;
+  workers : int option;  (** worker domains; [None]: machine default - 1 *)
+  queue : int;  (** admission-queue capacity; beyond it requests shed *)
+  plan_cache : int;  (** compiled-plan LRU capacity (entries) *)
+  doc_cache : int;  (** decompressed-text LRU capacity (entries) *)
+  window : int;  (** tuples per stream frame *)
+  max_frame : int;  (** request frame-size cap, bytes *)
+  fuse_states : int option;  (** optimizer fusion budget *)
+  defaults : Spanner_util.Limits.t;  (** server-side budget defaults *)
+}
+
+(** [default_config address] is the documented defaults: queue 64,
+    caches 128 entries, window 64 tuples, 4 MiB frames, unbounded
+    budgets. *)
+val default_config : address -> config
+
+(** [ignore_sigpipe ()] makes a vanished peer surface as a write
+    exception instead of killing the process; {!start} and
+    {!Client.connect} both call it. *)
+val ignore_sigpipe : unit -> unit
+
+type t
+
+(** [start config] binds, listens and returns immediately; a stale
+    unix socket file is unlinked first.  SIGPIPE is ignored
+    process-wide (a vanished client must not kill the server). *)
+val start : config -> t
+
+(** [stop t] initiates shutdown (idempotent, callable from any
+    thread, including a session handling the SHUTDOWN verb): closes
+    the listener and half-closes live sessions.  Completion is
+    observed via {!wait}. *)
+val stop : t -> unit
+
+(** [wait t] blocks until the server has fully stopped — accept
+    thread and all sessions joined, worker domains retired, unix
+    socket file removed. *)
+val wait : t -> unit
+
+val registry : t -> Registry.t
+val scheduler : t -> Scheduler.t
+val address : t -> address

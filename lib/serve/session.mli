@@ -1,0 +1,24 @@
+(** One connected client: the per-connection request/response loop.
+
+    Sessions are systhreads owning all socket IO for one client; every
+    heavy step of a QUERY (plan resolution and compilation, document
+    decompression, cursor construction, offset skipping, count/first
+    drains) runs as a {!Scheduler} job on a worker domain, and only
+    the O(output) streaming of an already-prepared cursor happens on
+    the session thread — so a slow reader pins its own thread, never a
+    worker.  Response framing is documented in README.md ("The serve
+    protocol"). *)
+
+type ctx = {
+  registry : Registry.t;
+  scheduler : Scheduler.t;
+  window : int;  (** tuples ([R]-lines) per stream frame *)
+  max_frame : int;  (** request frame-size cap, bytes *)
+  extra_stats : unit -> string list;
+      (** server-level lines appended to a STATS response *)
+}
+
+(** [handle ctx ic oc] serves requests until the client closes,
+    framing breaks, or a terminal verb arrives.  Never raises: IO
+    failures (client gone) read as [`Closed]. *)
+val handle : ctx -> in_channel -> out_channel -> [ `Closed | `Shutdown_requested ]

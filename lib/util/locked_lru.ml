@@ -1,0 +1,33 @@
+(* A mutex around Lru: the server registry is probed from session
+   threads and worker domains concurrently, and Lru's intrusive
+   recency list cannot tolerate interleaved updates.  Every operation
+   takes the lock for O(1) expected time; [find_or_add] deliberately
+   computes *outside* the lock, so a slow computation (compiling a
+   plan, decompressing a document) never serialises unrelated cache
+   traffic — two racing misses may both compute, and the second add
+   simply replaces the first with an equal value. *)
+
+type ('k, 'v) t = { mutex : Mutex.t; lru : ('k, 'v) Lru.t }
+
+let create ~capacity () = { mutex = Mutex.create (); lru = Lru.create ~capacity () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t k = locked t (fun () -> Lru.find t.lru k)
+let add t k v = locked t (fun () -> Lru.add t.lru k v)
+let remove t k = locked t (fun () -> Lru.remove t.lru k)
+let length t = locked t (fun () -> Lru.length t.lru)
+let capacity t = t.lru |> Lru.capacity
+let stats t = locked t (fun () -> Lru.stats t.lru)
+let reset_stats t = locked t (fun () -> Lru.reset_stats t.lru)
+let clear t = locked t (fun () -> Lru.clear t.lru)
+
+let find_or_add t k compute =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t k v;
+      v

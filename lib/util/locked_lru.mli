@@ -1,0 +1,34 @@
+(** Thread-safe wrapper around {!Lru}: one mutex per cache.
+
+    The serve registry shares its caches (compiled plans, decompressed
+    document texts) between session threads and worker domains; this
+    wrapper makes each {!Lru} operation atomic.  Counters have the
+    same meaning as in {!Lru.stats}. *)
+
+type ('k, 'v) t
+
+(** [create ~capacity ()] is an empty bounded cache ({!Lru.create}).
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> unit -> ('k, 'v) t
+
+(** [find t k] is the cached value, refreshing recency; one hit or one
+    miss is counted, atomically. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] binds [k] atomically, evicting the least recently used
+    entry if full. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t k compute] is the cached value for [k], or
+    [compute ()] added under [k].  The computation runs {e outside}
+    the lock: concurrent misses on the same key may compute twice
+    (last add wins) — by design, so an expensive compute cannot block
+    the cache.  [compute]'s exceptions propagate; nothing is added. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val remove : ('k, 'v) t -> 'k -> unit
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val stats : ('k, 'v) t -> Lru.stats
+val reset_stats : ('k, 'v) t -> unit
+val clear : ('k, 'v) t -> unit

@@ -1,14 +1,35 @@
 (* SPANNER_JOBS overrides the machine default so operators can pin the
-   domain count without threading a flag through every entry point;
-   ill-formed or non-positive values fall back silently (a batch must
-   not die on a stray env var). *)
+   domain count without threading a flag through every entry point.  A
+   batch must not die on a stray env var, so an ill-formed value still
+   falls back to the machine default — but loudly: silently ignoring
+   "SPANNER_JOBS=all" or "=0" makes an operator believe the pin took
+   effect when it did not. *)
+let parse_jobs s =
+  let s = String.trim s in
+  if s = "" then Error "empty value"
+  else
+    match int_of_string_opt s with
+    | None -> Error "not an integer"
+    | Some n when n < 1 -> Error (Printf.sprintf "%d is not a positive job count" n)
+    | Some n -> Ok n
+
+(* Warn once per process: the pool is consulted per batch, and a
+   repeated warning for the same stray variable is noise. *)
+let warned = ref false
+
 let env_jobs () =
   match Sys.getenv_opt "SPANNER_JOBS" with
   | None -> None
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | _ -> None)
+      match parse_jobs s with
+      | Ok n -> Some n
+      | Error why ->
+          if not !warned then begin
+            warned := true;
+            Printf.eprintf
+              "warning: ignoring SPANNER_JOBS=%S (%s); using the machine default\n%!" s why
+          end;
+          None)
 
 let default_jobs () =
   match env_jobs () with

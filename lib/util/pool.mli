@@ -14,12 +14,20 @@
 (** [default_jobs ()] is the recommended parallelism for this machine
     ({!Domain.recommended_domain_count}), at least 1.  The
     [SPANNER_JOBS] environment variable (a positive integer) overrides
-    the machine default; ill-formed or non-positive values are
-    ignored. *)
+    the machine default; an ill-formed or non-positive value is
+    rejected with a one-time warning on stderr and the machine default
+    is used. *)
 val default_jobs : unit -> int
 
+(** [parse_jobs s] validates a job-count string as [SPANNER_JOBS]
+    does: trimmed, an integer, at least 1.  [Error] carries the reason
+    the value was rejected. *)
+val parse_jobs : string -> (int, string) result
+
 (** [env_jobs ()] is the [SPANNER_JOBS] override if one is set and
-    well-formed — lets callers report where the job count came from. *)
+    well-formed — lets callers report where the job count came from.
+    The first ill-formed value observed warns on stderr (once per
+    process) and is treated as unset. *)
 val env_jobs : unit -> int option
 
 (** [effective_jobs ?jobs n] is the domain count {!map} actually uses

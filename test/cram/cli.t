@@ -134,10 +134,13 @@ effective value (clamped to the number of documents):
   d3.txt: 4 tuple(s)
   3 document(s), 10 tuple(s) total
 
-Ill-formed overrides are ignored rather than fatal:
+Ill-formed overrides are not fatal, but they warn (once) instead of
+being silently ignored — zero, negative and non-numeric values all
+fall back to the machine default:
 
   $ SPANNER_JOBS=bogus spanner_cli batch '!x{[ab]*}!y{b}!z{[ab]*}' d1.txt
   compiled: 20 states, 3 byte classes, 12 marker-set labels
+  warning: ignoring SPANNER_JOBS="bogus" (not an integer); using the machine default
   d1.txt: 4 tuple(s)
   1 document(s), 4 tuple(s) total
 

@@ -1,0 +1,96 @@
+The spanner service: define queries and load documents once, then
+query them over a unix socket with streamed, windowed responses.
+
+Start a server in the background (fixed worker/queue sizes keep the
+STATS output deterministic):
+
+  $ SOCK="$PWD/serve.sock"
+  $ spanner_cli serve "$SOCK" --jobs 2 --queue 8 2>server.log &
+  $ SRV=$!
+
+Define a named query and load a document store; the client retries
+until the server is up:
+
+  $ spanner_cli client "$SOCK" --retry-ms 10000 DEFINE pairs --body '[ab]*!x{ab*}[ab]*'
+  OK defined pairs schema={x} fused=1
+  $ spanner_cli client "$SOCK" LOAD corpus DOC d1 --body 'abab'
+  OK loaded corpus/d1 bytes=4 nodes=4
+
+Query by name: the response is a stream header, windowed tuple
+frames, and a terminal END carrying the tuple count:
+
+  $ spanner_cli client "$SOCK" QUERY pairs corpus d1
+  OK stream {x}
+  R (x ↦ [1,2⟩)
+  R (x ↦ [1,3⟩)
+  R (x ↦ [3,4⟩)
+  R (x ↦ [3,5⟩)
+  END 4
+
+Streaming options are honored mid-stream — offset is skipped on the
+worker, the limit bounds what is pulled:
+
+  $ spanner_cli client "$SOCK" QUERY pairs corpus d1 offset=1 limit=2
+  OK stream {x}
+  R (x ↦ [1,3⟩)
+  R (x ↦ [3,4⟩)
+  END 2
+  $ spanner_cli client "$SOCK" QUERY pairs corpus d1 format=count
+  OK count 4
+  $ spanner_cli client "$SOCK" QUERY pairs corpus d1 format=first
+  OK first (x ↦ [1,2⟩)
+
+Inline queries (source "-") carry the query text as the body and go
+through the same normalized plan cache as named ones:
+
+  $ spanner_cli client "$SOCK" QUERY - corpus d1 format=count --body '[ab]*!x{ab*}[ab]*'
+  OK count 4
+
+A per-request budget that trips maps onto the usual exit-code
+taxonomy: status 3 on the wire, exit 3 from the client:
+
+  $ spanner_cli client "$SOCK" QUERY pairs corpus d1 fuel=3
+  ERR 3 fuel limit exceeded (spent 4 steps)
+  [3]
+
+So do bad requests (status 2) and unknown names (status 1):
+
+  $ spanner_cli client "$SOCK" FROBNICATE
+  ERR 2 request parse error at offset 0: unknown command "FROBNICATE" (expected DEFINE, LOAD, QUERY, EXPLAIN, STATS, CLOSE or SHUTDOWN)
+  [2]
+  $ spanner_cli client "$SOCK" QUERY nosuch corpus d1
+  ERR 1 query evaluation failure: unknown query "nosuch"
+  [1]
+
+EXPLAIN shows the optimizer's view of a registered query:
+
+  $ spanner_cli client "$SOCK" EXPLAIN pairs
+  OK explain
+  original: rgx:"[ab]*!x{ab*}[ab]*"
+  rewritten: rgx:"[ab]*!x{ab*}[ab]*"
+  schema: {x}
+  fused: 1 (threshold 4096 states)
+  compiled: whole query, 22 states
+
+STATS exposes the registry, both caches (the plan cache counts the
+cross-query hits), and the admission scheduler:
+
+  $ spanner_cli client "$SOCK" STATS
+  OK stats
+  queries: 1
+  stores: 1
+  docs: 1
+  plan_cache: hits=7 misses=1 evictions=0 entries=1/128
+  doc_cache: hits=5 misses=1 evictions=0 entries=1/128
+  scheduler: workers=2 capacity=8 submitted=7 completed=7 shed=0 queued=0 max_queued=1
+  connections: live=1 accepted=12
+
+SHUTDOWN stops the server cleanly; it removes its socket and exits 0:
+
+  $ spanner_cli client "$SOCK" SHUTDOWN
+  OK shutting down
+  $ wait $SRV
+  $ test -e "$SOCK" || echo gone
+  gone
+  $ cat server.log
+  listening on unix:$TESTCASE_ROOT/serve.sock

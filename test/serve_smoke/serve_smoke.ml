@@ -1,0 +1,24 @@
+(* Smoke test for the serve subsystem: start a real server on a unix
+   socket, run one define/load/query round over a client connection,
+   shut down cleanly.  Wired into `dune runtest` via the @serve-smoke
+   alias; finishes in well under a second. *)
+
+open Spanner_serve
+
+let () =
+  let path = Printf.sprintf "/tmp/spanner-smoke-%d.sock" (Unix.getpid ()) in
+  let config =
+    { (Server.default_config (Server.Unix_socket path)) with Server.workers = Some 2; queue = 8 }
+  in
+  let server = Server.start config in
+  let c = Client.connect (Server.Unix_socket path) in
+  let req payload = Client.request c payload in
+  List.iter print_endline (req "DEFINE q\n[ab]*!x{ab}[ab]*");
+  List.iter print_endline (req "LOAD s DOC d\nabab");
+  List.iter print_endline (req "QUERY q s d");
+  List.iter print_endline (req "QUERY q s d format=count");
+  List.iter print_endline (req "SHUTDOWN");
+  Client.close c;
+  Server.wait server;
+  assert (not (Sys.file_exists path));
+  print_endline "serve smoke: ok"

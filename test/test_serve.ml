@@ -1,0 +1,309 @@
+(* Tests for the serve subsystem: wire protocol round-trips (QCheck),
+   the bounded scheduler, the registry, and a full in-process server
+   driven over a real unix socket. *)
+
+open Spanner_serve
+module Limits = Spanner_util.Limits
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let frame_roundtrip_basic () =
+  let payloads = [ ""; "x"; "OK stats"; String.make 4096 'a'; "line1\nline2\n" ] in
+  let buf = Buffer.create 64 in
+  List.iter (fun p -> Protocol.encode_frame buf p) payloads;
+  check
+    Alcotest.(list string)
+    "decode inverts encode" payloads
+    (Protocol.decode_frames (Buffer.contents buf))
+
+let frame_hostile () =
+  let corrupt s =
+    match Protocol.decode_frames ~max_frame:65536 s with
+    | _ -> false
+    | exception Limits.Spanner_error (Limits.Corrupt_input _) -> true
+  in
+  check Alcotest.bool "oversized length prefix" true (corrupt "999999999999999999\nX");
+  check Alcotest.bool "truncated frame" true (corrupt "50\nhello");
+  check Alcotest.bool "no newline after length" true (corrupt "123");
+  check Alcotest.bool "non-digit length" true (corrupt "12a\nhello");
+  check Alcotest.bool "negative length" true (corrupt "-3\nabc");
+  check Alcotest.bool "just over the cap" true (corrupt "65537\nx")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck round-trips *)
+
+let payload_gen =
+  (* arbitrary bytes including newlines and digits, the characters
+     framing actually cares about *)
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 300))
+
+let qcheck_frames =
+  QCheck2.Test.make ~name:"frame encode/decode round-trip" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 8) payload_gen)
+    (fun payloads ->
+      let buf = Buffer.create 64 in
+      List.iter (fun p -> Protocol.encode_frame buf p) payloads;
+      Protocol.decode_frames (Buffer.contents buf) = payloads)
+
+let name_gen =
+  QCheck2.Gen.(
+    string_size
+      ~gen:(oneof [ char_range 'a' 'z'; char_range '0' '9'; return '_'; return '.' ])
+      (int_range 1 12))
+
+let opts_gen =
+  let open QCheck2.Gen in
+  let axis = opt (int_range 0 1000) in
+  let* limit = axis
+  and* offset = int_range 0 50
+  and* format = oneofl [ Protocol.Tuples; Protocol.Count; Protocol.First ]
+  and* fuel = axis
+  and* deadline_ms = axis
+  and* max_states = axis
+  and* max_tuples = axis in
+  return { Protocol.limit; offset; format; fuel; deadline_ms; max_states; max_tuples }
+
+let request_gen =
+  let open QCheck2.Gen in
+  let body_gen = string_size ~gen:printable (int_range 1 40) in
+  let source_gen =
+    oneof
+      [
+        map (fun n -> Protocol.Named n) name_gen;
+        (* an inline body is the rest of the payload: any text
+           without leading whitespace ambiguity round-trips *)
+        map (fun b -> Protocol.Inline ("q" ^ b)) body_gen;
+      ]
+  in
+  oneof
+    [
+      (let* name = name_gen and* body = body_gen in
+       return (Protocol.Define { name; body = "b" ^ body }));
+      (let* store = name_gen and* doc = name_gen and* body = body_gen in
+       return (Protocol.Load_doc { store; doc; body = "b" ^ body }));
+      (let* store = name_gen and* path = name_gen in
+       return (Protocol.Load_path { store; path }));
+      (let* source = source_gen and* store = name_gen and* doc = name_gen and* opts = opts_gen in
+       return (Protocol.Query { source; store; doc; opts }));
+      (let* source = source_gen and* opts = opts_gen in
+       return (Protocol.Explain { source; opts }));
+      return Protocol.Stats;
+      return Protocol.Close;
+      return Protocol.Shutdown;
+    ]
+
+let qcheck_requests =
+  QCheck2.Test.make ~name:"request print/parse round-trip" ~count:1000 request_gen
+    (fun req -> Protocol.parse_request (Protocol.request_to_string req) = req)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let scheduler_runs_jobs () =
+  (* capacity covers every job: nothing may shed here *)
+  let s = Scheduler.create ~workers:2 ~capacity:32 () in
+  let results =
+    List.init 20 (fun i -> Scheduler.submit s (fun () -> i * i))
+    |> List.map (function Some t -> Scheduler.await t | None -> Alcotest.fail "shed")
+  in
+  Scheduler.shutdown s;
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check Alcotest.int "job result" (i * i) v
+      | Error _ -> Alcotest.fail "job raised")
+    results
+
+let scheduler_sheds () =
+  (* one worker wedged on a slow job, capacity 1: the first extra job
+     queues, the next is shed *)
+  let s = Scheduler.create ~workers:1 ~capacity:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let slow =
+    Scheduler.submit s (fun () ->
+        Mutex.lock gate;
+        Mutex.unlock gate)
+  in
+  (* wait until the worker picked the slow job up, so the queue is
+     observably empty before we fill it *)
+  let rec settle n =
+    if (Scheduler.stats s).Scheduler.queued > 0 then
+      if n = 0 then Alcotest.fail "worker never started"
+      else begin
+        Unix.sleepf 0.001;
+        settle (n - 1)
+      end
+  in
+  settle 5_000;
+  let queued = Scheduler.submit s (fun () -> ()) in
+  let shed = Scheduler.submit s (fun () -> ()) in
+  check Alcotest.bool "second job queued" true (queued <> None);
+  check Alcotest.bool "third job shed" true (shed = None);
+  check Alcotest.int "shed counted" 1 (Scheduler.stats s).Scheduler.shed;
+  Mutex.unlock gate;
+  (match slow with Some t -> ignore (Scheduler.await t) | None -> ());
+  Scheduler.shutdown s
+
+let scheduler_propagates_exn () =
+  let s = Scheduler.create ~workers:1 ~capacity:4 () in
+  let r = Scheduler.run s (fun () -> failwith "boom") in
+  Scheduler.shutdown s;
+  match r with
+  | Some (Error (Failure m)) -> check Alcotest.string "exn carried" "boom" m
+  | _ -> Alcotest.fail "expected Error (Failure _)"
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let registry () = Registry.create ~defaults:Limits.none ()
+
+let registry_define_and_plan () =
+  let r = registry () in
+  let p1 = Registry.define r ~name:"q" ~body:"[ab]*!x{ab}[ab]*" in
+  (* the same body inline, and under another name, share the entry *)
+  let p2 = Registry.plan r (Protocol.Inline "[ab]*!x{ab}[ab]*") in
+  let p3 = Registry.define r ~name:"q2" ~body:"[ab]*!x{ab}[ab]*" in
+  check Alcotest.bool "inline shares the compiled plan" true (p1 == p2);
+  check Alcotest.bool "re-define shares the compiled plan" true (p1 == p3);
+  let stats = Registry.plan_cache_stats r in
+  check Alcotest.int "one compilation" 1 stats.Registry.misses;
+  check Alcotest.int "two cache hits" 2 stats.Registry.hits;
+  match Registry.plan r (Protocol.Named "absent") with
+  | _ -> Alcotest.fail "unknown name must fail"
+  | exception Limits.Spanner_error (Limits.Eval_failure _) -> ()
+
+let registry_docs () =
+  let r = registry () in
+  let bytes, _nodes = Registry.load_doc r ~store:"s" ~doc:"d" ~text:"abab" in
+  check Alcotest.int "bytes" 4 bytes;
+  let gauge = Limits.unlimited () in
+  check Alcotest.string "decompressed" "abab" (Registry.doc_text r ~gauge ~store:"s" ~doc:"d");
+  check Alcotest.string "cached" "abab" (Registry.doc_text r ~gauge ~store:"s" ~doc:"d");
+  check Alcotest.int "one decompression" 1 (Registry.doc_cache_stats r).Registry.misses;
+  (* reloading the same name must serve the new text, not stale cache *)
+  ignore (Registry.load_doc r ~store:"s" ~doc:"d" ~text:"bbbb");
+  check Alcotest.string "reload refreshes" "bbbb" (Registry.doc_text r ~gauge ~store:"s" ~doc:"d");
+  (match Registry.load_doc r ~store:"s" ~doc:"e" ~text:"" with
+  | _ -> Alcotest.fail "empty doc must fail"
+  | exception Limits.Spanner_error (Limits.Eval_failure _) -> ());
+  let c = Registry.counts r in
+  check Alcotest.int "stores" 1 c.Registry.stores;
+  check Alcotest.int "docs" 1 c.Registry.docs
+
+(* ------------------------------------------------------------------ *)
+(* In-process server over a real unix socket *)
+
+let with_server f =
+  let path = Printf.sprintf "/tmp/spanner-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000) in
+  let config =
+    { (Server.default_config (Server.Unix_socket path)) with Server.workers = Some 2; queue = 8 }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server)
+    (fun () -> f (Server.Unix_socket path))
+
+let server_end_to_end () =
+  with_server (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let req payload = Client.request c payload in
+      (match req "DEFINE q\n[ab]*!x{ab}[ab]*" with
+      | [ one ] -> check Alcotest.string "define ok" "OK defined q schema={x} fused=1" one
+      | fs -> Alcotest.fail (String.concat "|" fs));
+      (match req "LOAD s DOC d\nabab" with
+      | [ one ] -> check Alcotest.bool "load ok" true (String.length one > 2 && String.sub one 0 2 = "OK")
+      | _ -> Alcotest.fail "load: expected one frame");
+      (match req "QUERY q s d" with
+      | header :: rest ->
+          check Alcotest.string "stream header" "OK stream {x}" header;
+          check Alcotest.string "terminal" "END 2" (List.nth rest (List.length rest - 1))
+      | [] -> Alcotest.fail "query: empty response");
+      (match req "QUERY q s d format=count" with
+      | [ one ] -> check Alcotest.string "count" "OK count 2" one
+      | _ -> Alcotest.fail "count: expected one frame");
+      (* per-request budget failure surfaces as ERR 3, connection stays usable *)
+      (match req "QUERY q s d fuel=3" with
+      | frames ->
+          check Alcotest.(option int) "budget is ERR 3" (Some 3)
+            (List.nth frames (List.length frames - 1) |> Client.err_code));
+      (match req "QUERY nosuch s d" with
+      | [ one ] -> check Alcotest.(option int) "unknown query is ERR 1" (Some 1) (Client.err_code one)
+      | _ -> Alcotest.fail "unknown: expected one frame");
+      match req "STATS" with
+      | [ one ] ->
+          check Alcotest.bool "stats ok" true (String.length one >= 8 && String.sub one 0 8 = "OK stats")
+      | _ -> Alcotest.fail "stats: expected one frame")
+
+let server_concurrent_clients () =
+  with_server (fun addr ->
+      (let c = Client.connect addr in
+       ignore (Client.request c "DEFINE q\n[ab]*!x{ab}[ab]*");
+       ignore (Client.request c "LOAD s DOC d\nabababab");
+       Client.close c);
+      let errors = Atomic.make 0 in
+      let client_thread _ =
+        Thread.create
+          (fun () ->
+            try
+              let c = Client.connect addr in
+              for _ = 1 to 20 do
+                match Client.request c "QUERY q s d format=count" with
+                | [ "OK count 4" ] -> ()
+                | _ -> Atomic.incr errors
+              done;
+              Client.close c
+            with _ -> Atomic.incr errors)
+          ()
+      in
+      let threads = List.init 8 client_thread in
+      List.iter Thread.join threads;
+      check Alcotest.int "no client saw a wrong answer" 0 (Atomic.get errors))
+
+let server_shutdown_verb () =
+  let path = Printf.sprintf "/tmp/spanner-test-sd-%d.sock" (Unix.getpid ()) in
+  let config = { (Server.default_config (Server.Unix_socket path)) with Server.workers = Some 1 } in
+  let server = Server.start config in
+  let c = Client.connect (Server.Unix_socket path) in
+  (match Client.request c "SHUTDOWN" with
+  | [ one ] -> check Alcotest.string "ack" "OK shutting down" one
+  | _ -> Alcotest.fail "expected one frame");
+  Client.close c;
+  Server.wait server;
+  check Alcotest.bool "socket removed" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          tc "frame round-trip" `Quick frame_roundtrip_basic;
+          tc "hostile frames" `Quick frame_hostile;
+          QCheck_alcotest.to_alcotest qcheck_frames;
+          QCheck_alcotest.to_alcotest qcheck_requests;
+        ] );
+      ( "scheduler",
+        [
+          tc "runs jobs" `Quick scheduler_runs_jobs;
+          tc "sheds at capacity" `Quick scheduler_sheds;
+          tc "propagates exceptions" `Quick scheduler_propagates_exn;
+        ] );
+      ( "registry",
+        [
+          tc "define and plan cache" `Quick registry_define_and_plan;
+          tc "stores and doc cache" `Quick registry_docs;
+        ] );
+      ( "server",
+        [
+          tc "end to end" `Quick server_end_to_end;
+          tc "concurrent clients" `Quick server_concurrent_clients;
+          tc "shutdown verb" `Quick server_shutdown_verb;
+        ] );
+    ]

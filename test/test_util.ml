@@ -7,6 +7,59 @@ let check = Alcotest.check
 let tc = Alcotest.test_case
 
 (* ------------------------------------------------------------------ *)
+(* Pool.parse_jobs — the SPANNER_JOBS override must reject garbage
+   loudly (warning + machine default) instead of silently ignoring *)
+
+let pool_parse_jobs () =
+  let ok = Alcotest.(result int string) in
+  let is_ok v r = check Alcotest.bool v true (match r with Ok _ -> true | Error _ -> false) in
+  check ok "positive" (Ok 4) (Pool.parse_jobs "4");
+  check ok "one" (Ok 1) (Pool.parse_jobs "1");
+  check ok "trimmed" (Ok 8) (Pool.parse_jobs " 8 ");
+  is_ok "large" (Pool.parse_jobs "1024");
+  let is_err v r = check Alcotest.bool v true (match r with Error _ -> true | Ok _ -> false) in
+  is_err "empty" (Pool.parse_jobs "");
+  is_err "blank" (Pool.parse_jobs "   ");
+  is_err "alpha" (Pool.parse_jobs "four");
+  is_err "trailing junk" (Pool.parse_jobs "4x");
+  is_err "zero" (Pool.parse_jobs "0");
+  is_err "negative" (Pool.parse_jobs "-2");
+  is_err "float" (Pool.parse_jobs "2.5")
+
+(* ------------------------------------------------------------------ *)
+(* Locked_lru *)
+
+let locked_lru_basic () =
+  let l = Locked_lru.create ~capacity:2 () in
+  check Alcotest.int "computed once" 10 (Locked_lru.find_or_add l 1 (fun () -> 10));
+  check Alcotest.int "cached" 10 (Locked_lru.find_or_add l 1 (fun () -> 99));
+  Locked_lru.add l 2 20;
+  Locked_lru.add l 3 30;
+  check Alcotest.(option int) "evicted lru key" None (Locked_lru.find l 1);
+  check Alcotest.int "length" 2 (Locked_lru.length l);
+  let s = Locked_lru.stats l in
+  check Alcotest.int "evictions counted" 1 s.Lru.evictions
+
+let locked_lru_concurrent () =
+  (* hammer one cache from several domains: every lookup must return
+     the value computed for its key, and the structure must stay
+     consistent (length <= capacity) *)
+  let l = Locked_lru.create ~capacity:16 () in
+  let worker seed () =
+    let r = ref seed in
+    for i = 0 to 4_999 do
+      let k = (seed + i) mod 32 in
+      let v = Locked_lru.find_or_add l k (fun () -> k * 7) in
+      if v <> k * 7 then failwith "wrong value from cache";
+      r := !r + v
+    done;
+    !r
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter (fun d -> ignore (Domain.join d)) domains;
+  check Alcotest.bool "bounded" true (Locked_lru.length l <= 16)
+
+(* ------------------------------------------------------------------ *)
 (* Vec *)
 
 let vec_push_get () =
@@ -356,4 +409,7 @@ let () =
         ] );
       ( "xoshiro",
         [ tc "deterministic" `Quick xoshiro_deterministic; tc "ranges" `Quick xoshiro_ranges ] );
+      ("pool", [ tc "parse_jobs" `Quick pool_parse_jobs ]);
+      ( "locked_lru",
+        [ tc "basic" `Quick locked_lru_basic; tc "concurrent" `Quick locked_lru_concurrent ] );
     ]
