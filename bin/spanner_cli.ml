@@ -850,9 +850,26 @@ let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_stat
   in
   let t = Server.start config in
   Printf.eprintf "listening on %s\n%!" (Server.address_to_string address);
-  let stop_on_signal _ = Server.stop t in
+  (* the handler must not call Server.stop directly: it takes the
+     server mutex, and OCaml signal handlers run at safe points on a
+     running thread — if the signal lands inside a locked section the
+     error-checking mutex raises from the handler.  So the handler
+     only flips an atomic; a watcher thread performs the stop.  (The
+     watcher lingers after a SHUTDOWN-verb stop; process exit after
+     [wait] reaps it.) *)
+  let stop_requested = Atomic.make false in
+  let stop_on_signal _ = Atomic.set stop_requested true in
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal) with _ -> ());
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal) with _ -> ());
+  let _watcher =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop_requested) do
+          Thread.delay 0.05
+        done;
+        Server.stop t)
+      ()
+  in
   Server.wait t
 
 let client_cmd address words body body_file retry_ms =

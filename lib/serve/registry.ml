@@ -24,9 +24,13 @@
      requested document through the compiled/optimized engines; the
      text is decompressed from the frozen snapshot once (metered by
      the requesting gauge) and kept in a bounded LRU keyed by
-     (store, doc, root id) — a reload of the same document name gets
-     a fresh root id and therefore a fresh entry, so stale text can
-     never serve.
+     (store, generation, doc, root id).  Root ids alone are not a
+     safe key: LOAD DOC reuses one Doc_db whose ids are monotonic,
+     but LOAD PATH installs a brand-new Doc_db whose ids restart
+     from scratch, so a reloaded store could collide with cached
+     entries from the snapshot it replaced.  The generation — bumped
+     every time a store's Doc_db is (re)created — disambiguates, so
+     stale text can never serve.
 
    Plans are compiled under the server's *default* limits and fuse
    budget: compilation is a shared, cached artefact and must not vary
@@ -47,6 +51,7 @@ module Optimizer = Spanner_engine.Optimizer
 
 type store_entry = {
   db : Doc_db.t;
+  gen : int;  (* bumped per Doc_db (re)creation; text-cache key component *)
   mutable frozen : Slp.frozen;
   mutable docs : (string * Slp.id) list;  (* name -> designated root, insertion order *)
 }
@@ -56,9 +61,10 @@ type t = {
   named : (string, string) Hashtbl.t;  (* query name -> normalized text *)
   stores : (string, store_entry) Hashtbl.t;
   plans : (string, Optimizer.t) Locked_lru.t;  (* normalized text -> compiled plan *)
-  texts : (string * string * Slp.id, string) Locked_lru.t;
+  texts : (string * int * string * Slp.id, string) Locked_lru.t;
   defaults : Limits.t;
   fuse_states : int option;
+  mutable next_gen : int;  (* guarded by [mutex] *)
 }
 
 let create ?(plan_capacity = 128) ?(doc_capacity = 128) ?fuse_states ~defaults () =
@@ -70,6 +76,7 @@ let create ?(plan_capacity = 128) ?(doc_capacity = 128) ?fuse_states ~defaults (
     texts = Locked_lru.create ~capacity:doc_capacity ();
     defaults;
     fuse_states;
+    next_gen = 0;
   }
 
 let defaults t = t.defaults
@@ -79,14 +86,18 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 (* Per-request budgets: the server defaults with any per-request
-   overrides applied axis-wise (Limits uses max_int as "unbounded",
-   so overriding is plain field replacement). *)
+   overrides applied axis-wise.  Overrides can only *tighten* — each
+   axis is the min of the override and the server default — so a
+   client cannot buy more fuel/time/states/tuples than the operator
+   configured (Limits uses max_int as "unbounded", which min handles:
+   an unbounded default accepts any override, a bounded one caps). *)
 let effective_limits t (o : Protocol.opts) =
+  let clamp dflt = function None -> dflt | Some v -> min v dflt in
   {
-    Limits.fuel = Option.value o.Protocol.fuel ~default:t.defaults.Limits.fuel;
-    time_ms = Option.value o.Protocol.deadline_ms ~default:t.defaults.Limits.time_ms;
-    max_states = Option.value o.Protocol.max_states ~default:t.defaults.Limits.max_states;
-    max_tuples = Option.value o.Protocol.max_tuples ~default:t.defaults.Limits.max_tuples;
+    Limits.fuel = clamp t.defaults.Limits.fuel o.Protocol.fuel;
+    time_ms = clamp t.defaults.Limits.time_ms o.Protocol.deadline_ms;
+    max_states = clamp t.defaults.Limits.max_states o.Protocol.max_states;
+    max_tuples = clamp t.defaults.Limits.max_tuples o.Protocol.max_tuples;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -155,7 +166,9 @@ let load_doc t ~store ~doc ~text =
         | Some e -> e
         | None ->
             let db = Doc_db.create () in
-            let e = { db; frozen = Slp.freeze (Doc_db.store db); docs = [] } in
+            let gen = t.next_gen in
+            t.next_gen <- gen + 1;
+            let e = { db; gen; frozen = Slp.freeze (Doc_db.store db); docs = [] } in
             Hashtbl.add t.stores store e;
             e
       in
@@ -167,13 +180,19 @@ let load_doc t ~store ~doc ~text =
 let load_path t ~store ~path =
   let db = Serialize.read_file path in
   let docs = List.map (fun name -> (name, Doc_db.find db name)) (Doc_db.names db) in
-  let entry = { db; frozen = Doc_db.freeze db; docs } in
-  locked t (fun () -> Hashtbl.replace t.stores store entry);
+  let frozen = Doc_db.freeze db in
+  locked t (fun () ->
+      (* a fresh Doc_db restarts root ids from 0, so the replaced
+         snapshot's cached texts would collide without a new gen *)
+      let gen = t.next_gen in
+      t.next_gen <- gen + 1;
+      Hashtbl.replace t.stores store { db; gen; frozen; docs });
   List.length docs
 
-(* [resolve t ~store ~doc] is the frozen snapshot and root of one
-   document, as of now — immutable, so safe to evaluate against on
-   any domain while later LOADs move the entry forward. *)
+(* [resolve t ~store ~doc] is the frozen snapshot, store generation
+   and root of one document, as of now — immutable, so safe to
+   evaluate against on any domain while later LOADs move the entry
+   forward. *)
 let resolve t ~store ~doc =
   locked t (fun () ->
       match Hashtbl.find_opt t.stores store with
@@ -183,11 +202,11 @@ let resolve t ~store ~doc =
           | None ->
               Limits.eval_failure ~what:"query"
                 (Printf.sprintf "unknown document %S in store %S" doc store)
-          | Some id -> (entry.frozen, id)))
+          | Some id -> (entry.frozen, entry.gen, id)))
 
 let doc_text t ~gauge ~store ~doc =
-  let frozen, id = resolve t ~store ~doc in
-  Locked_lru.find_or_add t.texts (store, doc, id) (fun () ->
+  let frozen, gen, id = resolve t ~store ~doc in
+  Locked_lru.find_or_add t.texts (store, gen, doc, id) (fun () ->
       Slp.frozen_to_string ~gauge frozen id)
 
 (* ------------------------------------------------------------------ *)

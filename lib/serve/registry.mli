@@ -31,7 +31,9 @@ val create :
 val defaults : t -> Spanner_util.Limits.t
 
 (** [effective_limits t opts] is [defaults] with any per-request
-    overrides from [opts] applied axis-wise. *)
+    overrides from [opts] applied axis-wise.  Overrides can only
+    tighten: each axis is the minimum of the override and the server
+    default, so clients cannot exceed operator-configured budgets. *)
 val effective_limits : t -> Protocol.opts -> Spanner_util.Limits.t
 
 (** [define t ~name ~body] parses [body] (regex formula, falling back

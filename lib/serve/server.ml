@@ -199,7 +199,14 @@ let accept_loop t () =
         if not spawn then (try Unix.close fd with _ -> ());
         loop ()
     | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop ()
-    | exception _ -> if locked t (fun () -> t.stopping) then () else loop ()
+    | exception _ ->
+        if locked t (fun () -> t.stopping) then ()
+        else begin
+          (* persistent accept failures (EMFILE/ENFILE — exactly the
+             under-load cases) must back off, not pin a core *)
+          Unix.sleepf 0.05;
+          loop ()
+        end
   in
   loop ()
 

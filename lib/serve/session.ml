@@ -68,9 +68,9 @@ let handle_define ctx oc ~name ~body =
        (Optimizer.fused_count plan))
 
 let handle_load_doc ctx oc ~store ~doc ~body =
-  let bytes, nodes = Registry.load_doc ctx.registry ~store ~doc ~text:body in
+  let bytes, store_nodes = Registry.load_doc ctx.registry ~store ~doc ~text:body in
   Protocol.write_frame oc
-    (Printf.sprintf "OK loaded %s/%s bytes=%d nodes=%d" store doc bytes nodes)
+    (Printf.sprintf "OK loaded %s/%s bytes=%d store_nodes=%d" store doc bytes store_nodes)
 
 let handle_load_path ctx oc ~store ~path =
   let docs = Registry.load_path ctx.registry ~store ~path in

@@ -14,7 +14,7 @@ until the server is up:
   $ spanner_cli client "$SOCK" --retry-ms 10000 DEFINE pairs --body '[ab]*!x{ab*}[ab]*'
   OK defined pairs schema={x} fused=1
   $ spanner_cli client "$SOCK" LOAD corpus DOC d1 --body 'abab'
-  OK loaded corpus/d1 bytes=4 nodes=4
+  OK loaded corpus/d1 bytes=4 store_nodes=4
 
 Query by name: the response is a stream header, windowed tuple
 frames, and a terminal END carrying the tuple count:

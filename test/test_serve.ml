@@ -195,6 +195,51 @@ let registry_docs () =
   check Alcotest.int "stores" 1 c.Registry.stores;
   check Alcotest.int "docs" 1 c.Registry.docs
 
+let registry_load_path_generation () =
+  (* LOAD PATH installs a brand-new Doc_db whose root ids restart
+     from zero, so a reloaded document can collide with the replaced
+     snapshot's cached (store, doc, id): the per-store generation in
+     the text-cache key is what keeps stale text from serving *)
+  let r = registry () in
+  let write text =
+    let db = Spanner_slp.Doc_db.create () in
+    ignore (Spanner_slp.Doc_db.add_string db "d" text);
+    let path = Filename.temp_file "spanner-slpdb" ".slpdb" in
+    Spanner_slp.Serialize.write_file db path;
+    path
+  in
+  (* same length and structure: both snapshots give "d" the same id *)
+  let p1 = write "aaaa" and p2 = write "bbbb" in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ p1; p2 ])
+    (fun () ->
+      let gauge = Limits.unlimited () in
+      check Alcotest.int "one doc" 1 (Registry.load_path r ~store:"s" ~path:p1);
+      check Alcotest.string "first snapshot" "aaaa"
+        (Registry.doc_text r ~gauge ~store:"s" ~doc:"d");
+      check Alcotest.int "reloaded" 1 (Registry.load_path r ~store:"s" ~path:p2);
+      check Alcotest.string "reload must not serve stale text" "bbbb"
+        (Registry.doc_text r ~gauge ~store:"s" ~doc:"d"))
+
+let registry_limits_clamp () =
+  (* per-request overrides may only tighten the server defaults *)
+  let defaults = { Limits.fuel = 100; time_ms = max_int; max_states = 50; max_tuples = max_int } in
+  let r = Registry.create ~defaults () in
+  let opts =
+    {
+      Protocol.default_opts with
+      Protocol.fuel = Some 1_000_000;
+      deadline_ms = Some 500;
+      max_states = Some 10;
+      max_tuples = None;
+    }
+  in
+  let eff = Registry.effective_limits r opts in
+  check Alcotest.int "override cannot raise fuel" 100 eff.Limits.fuel;
+  check Alcotest.int "override tightens unbounded time" 500 eff.Limits.time_ms;
+  check Alcotest.int "override tightens states" 10 eff.Limits.max_states;
+  check Alcotest.int "no override keeps default" max_int eff.Limits.max_tuples
+
 (* ------------------------------------------------------------------ *)
 (* In-process server over a real unix socket *)
 
@@ -299,6 +344,8 @@ let () =
         [
           tc "define and plan cache" `Quick registry_define_and_plan;
           tc "stores and doc cache" `Quick registry_docs;
+          tc "load_path bumps generation" `Quick registry_load_path_generation;
+          tc "limits clamp to defaults" `Quick registry_limits_clamp;
         ] );
       ( "server",
         [
