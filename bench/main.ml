@@ -1293,6 +1293,179 @@ let e18_serve () =
   List.rev !json
 
 (* ------------------------------------------------------------------ *)
+(* E19: the serve stack under deterministic fault injection            *)
+
+module Fault = Spanner_util.Fault
+
+let e19_chaos () =
+  section
+    "E19: chaos — availability and error taxonomy under seeded fault injection across \
+     the serve stack, worker-domain restarts, and the faults-off p50 baseline (§2h)";
+  let doc_bits = sc 8 7 in
+  let clients = sc 16 4 in
+  let reqs_per_client = sc 40 10 in
+  let rng = X.create 1717 in
+  let doc = X.string rng "ab" (1 lsl doc_bits) in
+  let json = ref [] in
+  let push k v = json := (k, Some v) :: !json in
+
+  let sock = Printf.sprintf "/tmp/spanner-bench-chaos-%d.sock" (Unix.getpid ()) in
+  let addr = Serve_server.Unix_socket sock in
+  let server =
+    Serve_server.start
+      {
+        (Serve_server.default_config addr) with
+        Serve_server.workers = Some 2;
+        queue = 64;
+        io_timeout_ms = 5000;
+        idle_timeout_ms = 10000;
+        drain_ms = 2000;
+      }
+  in
+  let seed = Serve_client.connect ~timeout_ms:5000 addr in
+  let req ?(attempts = 6) p = Serve_client.request ~attempts ~backoff_ms:2 seed p in
+  ignore (req (Printf.sprintf "DEFINE q\n%s" "rgx:\"[ab]*!x{ab}[ab]*\""));
+  ignore (req (Printf.sprintf "LOAD s DOC d\n%s" doc));
+
+  (* --- faults off: warm request p50 on the instrumented stack.  The
+     acceptance bar is that this sits within noise of e18/warm-p50 —
+     every disarmed probe is one field load and a never-taken branch. *)
+  let off =
+    Array.init
+      (sc 400 50)
+      (fun _ -> time_unit (fun () -> ignore (req "QUERY q s d format=first")))
+  in
+  Array.sort compare off;
+  let p50_off = percentile off 0.50 in
+  (* the faults-off answer is the oracle every later reply is held to *)
+  let expected =
+    match req "QUERY q s d format=count" with
+    | [ one ] when Serve_client.err_code one = None -> one
+    | _ -> failwith "E19: faults-off baseline query failed"
+  in
+
+  (* --- arm moderate fault rates at every serve-stack site and fan
+     out.  The client retries transient failures (idempotent verbs
+     only) with exponential backoff; every reply that arrives must be
+     either the exact answer or a typed ERR — the taxonomy below
+     counts silent wrong answers as a distinct (expected-zero) bucket. *)
+  Fault.configure ~seed:1717
+    [
+      { Fault.site = "serve.read"; prob = 0.10; behavior = Fault.Eintr };
+      { Fault.site = "serve.write"; prob = 0.05; behavior = Fault.Short };
+      { Fault.site = "session.request"; prob = 0.03; behavior = Fault.Exn };
+      { Fault.site = "scheduler.worker"; prob = 0.05; behavior = Fault.Exn };
+    ];
+  let ok = Atomic.make 0
+  and typed_err = Atomic.make 0
+  and transport = Atomic.make 0
+  and wrong = Atomic.make 0 in
+  let fanout () =
+    let thread _ =
+      Thread.create
+        (fun () ->
+          let c = try Some (Serve_client.connect ~timeout_ms:5000 addr) with _ -> None in
+          match c with
+          | None -> for _ = 1 to reqs_per_client do Atomic.incr transport done
+          | Some c ->
+              for _ = 1 to reqs_per_client do
+                match Serve_client.request ~attempts:8 ~backoff_ms:2 c "QUERY q s d format=count" with
+                | [ one ] when Serve_client.err_code one = None ->
+                    if one = expected then Atomic.incr ok else Atomic.incr wrong
+                | frames
+                  when frames <> []
+                       && Serve_client.err_code (List.nth frames (List.length frames - 1))
+                          <> None ->
+                    Atomic.incr typed_err
+                | _ -> Atomic.incr wrong
+                | exception _ -> Atomic.incr transport
+              done;
+              (try Serve_client.close c with _ -> ()))
+        ()
+    in
+    let threads = List.init clients thread in
+    List.iter Thread.join threads
+  in
+  let fan_t = time_unit fanout in
+  let injected = Fault.injected_total () in
+
+  (* restarts come out of STATS; under faults the request itself can
+     draw an injected typed error, so re-ask until a real stats frame
+     lands *)
+  let stats =
+    let rec go n =
+      if n = 0 then ""
+      else
+        match req ~attempts:8 "STATS" with
+        | frames ->
+            let s = String.concat "\n" frames in
+            if String.length s >= 8 && String.sub s 0 8 = "OK stats" then s else go (n - 1)
+        | exception _ -> go (n - 1)
+    in
+    go 50
+  in
+  let stat_field key =
+    let needle = key ^ "=" in
+    let nl = String.length needle and sl = String.length stats in
+    let rec find i =
+      if i + nl > sl then 0
+      else if String.sub stats i nl = needle then (
+        let k = ref (i + nl) and v = ref 0 in
+        while !k < sl && stats.[!k] >= '0' && stats.[!k] <= '9' do
+          v := (10 * !v) + (Char.code stats.[!k] - Char.code '0');
+          incr k
+        done;
+        !v)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let restarts = stat_field "restarts" in
+
+  (* --- disarm and verify the stack settles back to exact answers *)
+  Fault.disable ();
+  let settled = match req "QUERY q s d format=count" with [ one ] -> one = expected | _ -> false in
+  ignore (req "SHUTDOWN");
+  Serve_client.close seed;
+  Serve_server.wait server;
+
+  let attempted = clients * reqs_per_client in
+  let availability =
+    100. *. float_of_int (Atomic.get ok) /. float_of_int (max attempted 1)
+  in
+  push "e19/warm-p50-faults-off" (p50_off *. 1e9);
+  push "e19/availability-pct" availability;
+  push "e19/errors-typed" (float_of_int (Atomic.get typed_err));
+  push "e19/errors-transport" (float_of_int (Atomic.get transport));
+  push "e19/errors-wrong-answer" (float_of_int (Atomic.get wrong));
+  push "e19/restarts" (float_of_int restarts);
+  push "e19/injected" (float_of_int injected);
+  print_table
+    ~title:
+      (Printf.sprintf
+         "serve stack under seed-1717 faults: read=eintr@0.10 write=short@0.05 \
+          request=exn@0.03 worker=exn@0.05 (%d clients x %d requests)"
+         clients reqs_per_client)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "warm p50, faults off (vs e18/warm-p50)"; pretty_time p50_off ];
+      [ "availability (exact answers)"; Printf.sprintf "%.1f%%" availability ];
+      [ "typed errors (ERR n on the wire)"; pretty_int (Atomic.get typed_err) ];
+      [ "transport failures (after client retries)"; pretty_int (Atomic.get transport) ];
+      [ "wrong answers"; pretty_int (Atomic.get wrong) ];
+      [ "worker-domain restarts"; pretty_int restarts ];
+      [ "faults injected"; pretty_int injected ];
+      [ "fan-out wall time"; pretty_time fan_t ];
+      [ "exact answer after disarm"; (if settled then "yes" else "NO") ];
+    ];
+  note
+    "expected shape: the faults-off p50 within noise of e18/warm-p50 (disarmed probes \
+     are free); availability well above 90%% with every degraded reply a typed ERR and \
+     zero wrong answers; restarts > 0 with the pool back at full strength (STATS still \
+     reports workers=2); exact answers resume the moment faults disarm.";
+  List.rev !json
+
+(* ------------------------------------------------------------------ *)
 (* A: ablations of design choices                                      *)
 
 let a1_join_strategy () =
@@ -1534,6 +1707,7 @@ let registry =
     { id = "E16"; run = e16_cursor; json = Some "BENCH_cursor.json" };
     { id = "E17"; run = e17_algebra; json = Some "BENCH_algebra.json" };
     { id = "E18"; run = e18_serve; json = Some "BENCH_serve.json" };
+    { id = "E19"; run = e19_chaos; json = Some "BENCH_robust.json" };
     { id = "A1"; run = silent a1_join_strategy; json = None };
     { id = "A2"; run = silent a2_balanced_editing; json = None };
     { id = "A3"; run = silent a3_equality_strategy; json = None };
@@ -1586,6 +1760,15 @@ let () =
   in
   note "Document Spanners — benchmark harness (see DESIGN.md section 2 and EXPERIMENTS.md)";
   if !smoke then note "smoke mode: tiny sizes, sanity only — timings are not meaningful";
+  (* experiments can share a JSON sink (E14 and E19 both extend
+     BENCH_robust.json), so rows accumulate per file and each file is
+     written once at the end instead of per experiment *)
+  let sinks = ref [] in
+  let accumulate file rows =
+    match List.assoc_opt file !sinks with
+    | Some prev -> sinks := (file, prev @ rows) :: List.remove_assoc file !sinks
+    | None -> sinks := (file, rows) :: !sinks
+  in
   List.iter
     (fun e ->
       let rows = e.run () in
@@ -1593,7 +1776,8 @@ let () =
       | None -> ()
       | Some ols_file -> (
           match e.json with
-          | Some file -> write_json file rows
-          | None -> if e.id = "OLS" then write_json ols_file rows))
+          | Some file -> accumulate file rows
+          | None -> if e.id = "OLS" then accumulate ols_file rows))
     selected;
+  List.iter (fun (file, rows) -> write_json file rows) (List.rev !sinks);
   note "\nall experiments completed."

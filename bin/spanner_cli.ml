@@ -833,7 +833,8 @@ let query_term =
 module Server = Spanner_serve.Server
 module Serve_client = Spanner_serve.Client
 
-let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_states limits =
+let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_states limits
+    io_timeout_ms idle_timeout_ms drain_ms =
   let address = Server.address_of_string address in
   let config =
     {
@@ -846,6 +847,9 @@ let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_stat
       max_frame;
       fuse_states;
       defaults = limits;
+      io_timeout_ms;
+      idle_timeout_ms;
+      drain_ms;
     }
   in
   let t = Server.start config in
@@ -872,7 +876,7 @@ let serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_stat
   in
   Server.wait t
 
-let client_cmd address words body body_file retry_ms =
+let client_cmd address words body body_file retry_ms backoff_ms =
   if words = [] then raise (Usage "client: expected a protocol command, e.g. STATS");
   let address = Server.address_of_string address in
   let body =
@@ -900,7 +904,7 @@ let client_cmd address words body body_file retry_ms =
   let conn = connect () in
   let frames =
     Fun.protect ~finally:(fun () -> Serve_client.close conn) (fun () ->
-        Serve_client.request conn payload)
+        Serve_client.request ~backoff_ms conn payload)
   in
   List.iter print_endline frames;
   match List.filter_map Serve_client.err_code frames with
@@ -955,14 +959,39 @@ let max_frame_arg =
     & info [ "max-frame" ] ~docv:"BYTES"
         ~doc:"Reject request frames larger than $(docv) bytes (default 4 MiB).")
 
+let io_timeout_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "io-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Cut a connection whose request frame stalls mid-read or whose response write \
+           stalls for $(docv) ms (slowloris defense; 0 disables).")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "idle-timeout-ms" ] ~docv:"MS"
+        ~doc:"Reap a connection that sends no request for $(docv) ms (0 disables).")
+
+let drain_ms_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "drain-ms" ] ~docv:"MS"
+        ~doc:
+          "On SHUTDOWN or SIGTERM, let in-flight requests finish for up to $(docv) ms \
+           before force-closing their connections (0 forces immediately).")
+
 let serve_term =
   Term.(
-    const (fun address jobs queue plan_cache doc_cache window max_frame fuse_states limits ->
+    const
+      (fun address jobs queue plan_cache doc_cache window max_frame fuse_states limits
+           io_timeout_ms idle_timeout_ms drain_ms ->
         catch (fun () ->
             serve_cmd address jobs queue plan_cache doc_cache window max_frame fuse_states
-              limits))
+              limits io_timeout_ms idle_timeout_ms drain_ms))
     $ address_arg $ serve_jobs_arg $ queue_arg $ plan_cache_arg $ doc_cache_arg
-    $ window_arg $ max_frame_arg $ fuse_states_arg $ limits_term)
+    $ window_arg $ max_frame_arg $ fuse_states_arg $ limits_term $ io_timeout_arg
+    $ idle_timeout_arg $ drain_ms_arg)
 
 let words_arg =
   Arg.(
@@ -990,15 +1019,23 @@ let retry_ms_arg =
     & info [ "retry-ms" ] ~docv:"MS"
         ~doc:"Keep retrying a refused connection for up to $(docv) ms (a just-started server).")
 
+let backoff_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "backoff" ] ~docv:"MS"
+        ~doc:
+          "Retry idempotent requests (QUERY, EXPLAIN, STATS) on transport failures with \
+           exponential backoff starting at $(docv) ms plus jitter (0 disables).")
+
 let client_term =
   Term.(
-    const (fun address words body body_file retry_ms ->
+    const (fun address words body body_file retry_ms backoff_ms ->
         catch (fun () ->
-            try client_cmd address words body body_file retry_ms
+            try client_cmd address words body body_file retry_ms backoff_ms
             with Unix.Unix_error (e, _, _) ->
               Printf.eprintf "error: cannot reach server: %s\n" (Unix.error_message e);
               Stdlib.exit 1))
-    $ address_arg $ words_arg $ body_arg $ body_file_arg $ retry_ms_arg)
+    $ address_arg $ words_arg $ body_arg $ body_file_arg $ retry_ms_arg $ backoff_arg)
 
 let cmds =
   [

@@ -5,14 +5,29 @@
    same code path.  A response is the list of frames up to and
    including the terminal one: single-frame replies are themselves
    terminal; a streamed query reply ([OK stream ...]) continues until
-   its [END] or mid-stream [ERR] frame. *)
+   its [END] or mid-stream [ERR] frame.
+
+   IO goes through Protocol's fd-level conn, so EINTR is retried and
+   partial writes are looped — a signal during a large --body-file
+   send can no longer corrupt a frame.  On top of that, [request]
+   offers structured retry for idempotent verbs (QUERY, EXPLAIN,
+   STATS): transport-class failures reconnect and resend with
+   exponential backoff + jitter, never mutating verbs (a DEFINE or
+   LOAD that died mid-flight may or may not have applied). *)
 
 module Limits = Spanner_util.Limits
+module Xoshiro = Spanner_util.Xoshiro
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = {
+  address : Server.address;
+  max_frame : int;
+  timeout_ms : int;
+  rng : Xoshiro.t;  (* backoff jitter *)
+  mutable fd : Unix.file_descr;
+  mutable conn : Protocol.conn;
+}
 
-let connect address =
-  Server.ignore_sigpipe ();
+let connect_fd address =
   let fd, sockaddr =
     match address with
     | Server.Unix_socket path -> (Unix.socket PF_UNIX SOCK_STREAM 0, Unix.ADDR_UNIX path)
@@ -30,11 +45,30 @@ let connect address =
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  fd
 
-let close t =
-  (try flush t.oc with _ -> ());
-  try Unix.close t.fd with _ -> ()
+let make_conn ~max_frame ~timeout_ms fd =
+  Protocol.conn_of_fd ~max_frame ~idle_timeout_ms:timeout_ms ~io_timeout_ms:timeout_ms fd
+
+let connect ?(max_frame = Protocol.default_max_frame) ?(timeout_ms = 0) address =
+  Server.ignore_sigpipe ();
+  let fd = connect_fd address in
+  {
+    address;
+    max_frame;
+    timeout_ms;
+    rng = Xoshiro.create (Unix.getpid () lxor Hashtbl.hash (Server.address_to_string address));
+    fd;
+    conn = make_conn ~max_frame ~timeout_ms fd;
+  }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let reconnect t =
+  (try Unix.close t.fd with _ -> ());
+  let fd = connect_fd t.address in
+  t.fd <- fd;
+  t.conn <- make_conn ~max_frame:t.max_frame ~timeout_ms:t.timeout_ms fd
 
 let is_stream_header frame =
   String.length frame >= 9 && String.sub frame 0 9 = "OK stream"
@@ -51,10 +85,10 @@ let err_code frame =
   | "ERR" :: code :: _ -> int_of_string_opt code
   | _ -> None
 
-let request ?max_frame t payload =
-  Protocol.write_frame t.oc payload;
+let request_once t payload =
+  Protocol.write_frame_conn t.conn payload;
   let read () =
-    match Protocol.read_frame ?max_frame t.ic with
+    match Protocol.read_frame_conn t.conn with
     | Some frame -> frame
     | None -> Limits.corrupt ~what:"response" "connection closed mid-response"
   in
@@ -66,3 +100,46 @@ let request ?max_frame t payload =
       if is_terminal_frame frame then List.rev (frame :: acc) else rest (frame :: acc)
     in
     first :: rest []
+
+(* Only verbs whose replay is observationally safe are retried. *)
+let idempotent payload =
+  let line =
+    match String.index_opt payload '\n' with
+    | Some i -> String.sub payload 0 i
+    | None -> payload
+  in
+  match List.filter (fun w -> w <> "") (String.split_on_char ' ' line) with
+  | ("QUERY" | "EXPLAIN" | "STATS") :: _ -> true
+  | _ -> false
+
+(* Transport-class failures: the server went away, reset us, timed us
+   out, or hung up mid-response (Corrupt_input from [request_once]) —
+   as opposed to a well-formed ERR reply, which is never retried.
+   EBADF covers a failed [reconnect] leaving a closed fd behind. *)
+let transient = function
+  | Unix.Unix_error
+      ( ( ECONNREFUSED | ECONNRESET | ECONNABORTED | EPIPE | ENOENT | EINTR | ETIMEDOUT
+        | EAGAIN | EWOULDBLOCK | EBADF ),
+        _,
+        _ )
+  | End_of_file
+  | Sys_error _
+  | Protocol.Io_timeout _
+  | Limits.Spanner_error (Limits.Corrupt_input _) ->
+      true
+  | _ -> false
+
+let request ?(attempts = 4) ?(backoff_ms = 0) t payload =
+  if backoff_ms <= 0 || not (idempotent payload) then request_once t payload
+  else
+    let rec go k =
+      match request_once t payload with
+      | frames -> frames
+      | exception e when transient e && k < attempts - 1 ->
+          let base = backoff_ms * (1 lsl k) in
+          let jitter = Xoshiro.int t.rng (max 1 base) in
+          Unix.sleepf (float_of_int (base + jitter) /. 1000.);
+          (try reconnect t with _ -> ());
+          go (k + 1)
+    in
+    go 0

@@ -1,22 +1,36 @@
 (** Client-side helper: one connection, synchronous request/response.
 
     The one protocol-speaking code path shared by the CLI [client]
-    command, the serve smoke test and the E18 load generator. *)
+    command, the serve smoke test and the E18 load generator.  All IO
+    rides on {!Protocol}'s fd-level connections: EINTR is retried and
+    partial writes looped, so signals cannot corrupt frames. *)
 
 type t
 
-(** [connect address] opens a connection (SIGPIPE ignored).
+(** [connect ?max_frame ?timeout_ms address] opens a connection
+    (SIGPIPE ignored).  [timeout_ms] bounds every read and write on
+    the socket — a server that stops answering surfaces as
+    {!Protocol.Io_timeout} instead of a hang (0, the default,
+    disables).
     @raise Unix.Unix_error when nothing listens there. *)
-val connect : Server.address -> t
+val connect : ?max_frame:int -> ?timeout_ms:int -> Server.address -> t
 
 val close : t -> unit
 
-(** [request t payload] sends one request and reads the full
-    response: the frames up to and including the terminal one (a
-    streamed reply spans header, windows, and [END]/[ERR]).
+(** [request ?attempts ?backoff_ms t payload] sends one request and
+    reads the full response: the frames up to and including the
+    terminal one (a streamed reply spans header, windows, and
+    [END]/[ERR]).
+
+    With [backoff_ms > 0] and an idempotent verb (QUERY, EXPLAIN,
+    STATS), transport-class failures — connection refused/reset, EOF
+    mid-response, a tripped timeout — reconnect and resend up to
+    [attempts] times (default 4), sleeping [backoff_ms * 2^k] plus
+    jitter between tries.  Mutating verbs and wire-level [ERR]
+    replies are never retried.
     @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) if the
-    server hangs up mid-response. *)
-val request : ?max_frame:int -> t -> string -> string list
+    server hangs up mid-response (after retries, if enabled). *)
+val request : ?attempts:int -> ?backoff_ms:int -> t -> string -> string list
 
 (** [err_code frame] is [Some code] iff [frame] is an [ERR] status. *)
 val err_code : string -> int option

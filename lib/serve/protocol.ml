@@ -26,8 +26,22 @@
    [request_to_string] ∘ [parse_request]. *)
 
 module Limits = Spanner_util.Limits
+module Fault = Spanner_util.Fault
 
 let default_max_frame = 4 * 1024 * 1024
+
+(* Fault-injection sites on the two syscall wrappers every byte of
+   the protocol moves through (see Spanner_util.Fault): disarmed in
+   production, they are one load + never-taken branch. *)
+let read_site = Fault.site "serve.read"
+let write_site = Fault.site "serve.write"
+
+exception Io_timeout of [ `Idle | `Read | `Write ]
+
+let timeout_to_string = function
+  | `Idle -> "idle timeout: no request within the idle window"
+  | `Read -> "io timeout: request frame stalled mid-read"
+  | `Write -> "io timeout: response write stalled"
 
 (* ------------------------------------------------------------------ *)
 (* Framing *)
@@ -83,9 +97,28 @@ let decode_frames ?(max_frame = default_max_frame) s =
   in
   go 0 []
 
-(* Channel-level framing, used by the live server and clients.  A
-   clean EOF before any length byte is the end of the conversation
-   ([None]); EOF inside a frame is a truncation error. *)
+(* [length_of_digits ~max_frame digits] validates a complete length
+   line (shared by the channel and conn readers, which enforce the
+   19-digit cap while accumulating). *)
+let length_of_digits ~max_frame digits =
+  if digits = "" then corrupt "empty length line";
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then
+        corrupt (Printf.sprintf "non-digit byte 0x%02x in length line" (Char.code c)))
+    digits;
+  match int_of_string_opt digits with
+  | None -> corrupt "length overflows"
+  | Some len ->
+      if len > max_frame then
+        corrupt (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame);
+      len
+
+(* Channel-level framing, kept for in-process harnesses (the bench
+   drives raw channels at a server); the live server and client use
+   the fd-level [conn] below.  A clean EOF before any length byte is
+   the end of the conversation ([None]); EOF inside a frame is a
+   truncation error. *)
 let read_frame ?(max_frame = default_max_frame) ic =
   let line = Buffer.create 20 in
   let rec read_length () =
@@ -101,26 +134,140 @@ let read_frame ?(max_frame = default_max_frame) ic =
   in
   match read_length () with
   | exception End_of_file -> None
-  | digits ->
-      if digits = "" then corrupt "empty length line";
-      String.iter
-        (fun c ->
-          if c < '0' || c > '9' then
-            corrupt (Printf.sprintf "non-digit byte 0x%02x in length line" (Char.code c)))
-        digits;
-      (match int_of_string_opt digits with
-      | None -> corrupt "length overflows"
-      | Some len ->
-          if len > max_frame then
-            corrupt (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame);
-          (try Some (really_input_string ic len)
-           with End_of_file -> corrupt "truncated frame: payload cut short"))
+  | digits -> (
+      match length_of_digits ~max_frame digits with
+      | len -> (
+          try Some (really_input_string ic len)
+          with End_of_file -> corrupt "truncated frame: payload cut short"))
 
 let write_frame oc payload =
   output_string oc (string_of_int (String.length payload));
   output_char oc '\n';
   output_string oc payload;
   flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Connection-level framing on raw file descriptors.
+
+   The live server and client no longer speak through stdlib channels:
+   a [conn] owns the fd and a read buffer, every [Unix.read]/[write]
+   retries EINTR and loops partial transfers (a signal during a large
+   --body-file send can no longer corrupt a frame), and — when
+   configured — per-connection deadlines ride on SO_RCVTIMEO /
+   SO_SNDTIMEO.  A deadline that trips surfaces as {!Io_timeout},
+   classified [`Idle] (no byte of a new frame yet — a parked
+   connection), [`Read] (stalled mid-frame — the slowloris shape) or
+   [`Write] (a stream consumer that stopped reading). *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;
+  max_frame : int;
+  idle_timeout : float;  (* seconds; 0. = unbounded *)
+  io_timeout : float;  (* seconds; 0. = unbounded *)
+  mutable cur_rcv : float;  (* last SO_RCVTIMEO written, to skip redundant syscalls *)
+}
+
+let conn_of_fd ?(max_frame = default_max_frame) ?(idle_timeout_ms = 0) ?(io_timeout_ms = 0) fd =
+  let io_timeout = float_of_int io_timeout_ms /. 1000. in
+  (* the write deadline is static: SO_SNDTIMEO's clock restarts on
+     every syscall, so it bounds zero-progress stalls, which is the
+     failure mode that matters (a consumer that stopped reading) *)
+  if io_timeout > 0. then
+    (try Unix.setsockopt_float fd SO_SNDTIMEO io_timeout with Unix.Unix_error _ -> ());
+  {
+    fd;
+    rbuf = Bytes.create 65536;
+    rpos = 0;
+    rlen = 0;
+    max_frame;
+    idle_timeout = float_of_int idle_timeout_ms /. 1000.;
+    io_timeout;
+    cur_rcv = 0.;
+  }
+
+let conn_fd c = c.fd
+
+let set_rcv c v =
+  if v <> c.cur_rcv then begin
+    (try Unix.setsockopt_float c.fd SO_RCVTIMEO v with Unix.Unix_error _ -> ());
+    c.cur_rcv <- v
+  end
+
+(* [refill c ~started] blocks for more bytes; false on EOF.  [started]
+   selects the deadline (idle before the first byte of a frame, io
+   after) and the timeout classification. *)
+let refill c ~started =
+  if c.idle_timeout > 0. || c.io_timeout > 0. then
+    set_rcv c (if started then c.io_timeout else c.idle_timeout);
+  let rec go () =
+    match
+      let cap = match Fault.io read_site with Fault.Full -> Bytes.length c.rbuf | Fault.Partial -> 1 in
+      Unix.read c.fd c.rbuf 0 cap
+    with
+    | 0 -> false
+    | n ->
+        c.rpos <- 0;
+        c.rlen <- n;
+        true
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        raise (Io_timeout (if started then `Read else `Idle))
+  in
+  go ()
+
+let getc c ~started =
+  if c.rpos >= c.rlen then if not (refill c ~started) then raise End_of_file;
+  let ch = Bytes.get c.rbuf c.rpos in
+  c.rpos <- c.rpos + 1;
+  ch
+
+let read_frame_conn c =
+  let line = Buffer.create 20 in
+  let rec read_length ~started =
+    match getc c ~started with
+    | '\n' -> Buffer.contents line
+    | ch ->
+        if Buffer.length line >= 19 then corrupt "length line longer than 19 digits";
+        Buffer.add_char line ch;
+        read_length ~started:true
+    | exception End_of_file ->
+        if Buffer.length line = 0 && not started then raise End_of_file
+        else corrupt "truncated frame: length line without newline"
+  in
+  match read_length ~started:false with
+  | exception End_of_file -> None
+  | digits ->
+      let len = length_of_digits ~max_frame:c.max_frame digits in
+      let payload = Bytes.create len in
+      let filled = ref 0 in
+      while !filled < len do
+        if c.rpos >= c.rlen then
+          if not (refill c ~started:true) then corrupt "truncated frame: payload cut short";
+        let take = min (c.rlen - c.rpos) (len - !filled) in
+        Bytes.blit c.rbuf c.rpos payload !filled take;
+        c.rpos <- c.rpos + take;
+        filled := !filled + take
+      done;
+      Some (Bytes.unsafe_to_string payload)
+
+let write_frame_conn c payload =
+  let msg = frame payload in
+  let len = String.length msg in
+  let off = ref 0 in
+  while !off < len do
+    match
+      let cap =
+        match Fault.io write_site with Fault.Full -> len - !off | Fault.Partial -> 1
+      in
+      Unix.write_substring c.fd msg !off cap
+    with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> raise (Io_timeout `Write)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Requests *)
@@ -361,6 +508,8 @@ let status_of_exn = function
       (2, Printf.sprintf "parse error at offset %d: %s" pos msg)
   | Invalid_argument msg -> (2, msg)
   | Failure msg -> (1, msg)
+  | Fault.Injected site -> (1, Printf.sprintf "injected fault at %s" site)
+  | Io_timeout k -> (3, timeout_to_string k)
   | e -> (1, Printexc.to_string e)
 
 (* [fuzz_entry s] — the surface the fuzz harness drives: split [s]

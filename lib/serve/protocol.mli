@@ -43,6 +43,44 @@ val read_frame : ?max_frame:int -> in_channel -> string option
 (** [write_frame oc payload] writes one frame and flushes. *)
 val write_frame : out_channel -> string -> unit
 
+(** {1 Connections}
+
+    Fd-level framing used by the live server and client: EINTR is
+    retried, partial reads/writes are looped, and optional
+    per-connection deadlines surface as {!Io_timeout}.  The fault
+    sites ["serve.read"] and ["serve.write"]
+    (see {!Spanner_util.Fault}) sit on these syscall wrappers. *)
+
+(** A deadline tripped: [`Idle] — no byte of a new frame arrived
+    within the idle window; [`Read] — a frame stalled mid-read (the
+    slowloris shape); [`Write] — the peer stopped draining our
+    response. *)
+exception Io_timeout of [ `Idle | `Read | `Write ]
+
+val timeout_to_string : [ `Idle | `Read | `Write ] -> string
+
+(** A buffered framed connection over a file descriptor. *)
+type conn
+
+(** [conn_of_fd ?max_frame ?idle_timeout_ms ?io_timeout_ms fd] wraps
+    [fd].  Timeouts of 0 (the default) mean unbounded; the conn does
+    not own [fd] — closing it is the caller's job. *)
+val conn_of_fd : ?max_frame:int -> ?idle_timeout_ms:int -> ?io_timeout_ms:int -> Unix.file_descr -> conn
+
+val conn_fd : conn -> Unix.file_descr
+
+(** [read_frame_conn c] reads one frame ([None] on a clean EOF before
+    the first length byte).
+    @raise Io_timeout when a configured deadline trips.
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) on a
+    truncated or malformed frame. *)
+val read_frame_conn : conn -> string option
+
+(** [write_frame_conn c payload] writes one frame, looping partial
+    writes and retrying EINTR.
+    @raise Io_timeout when the send deadline trips. *)
+val write_frame_conn : conn -> string -> unit
+
 (** {1 Requests} *)
 
 type format = Tuples | Count | First

@@ -14,7 +14,19 @@
    Results travel through tickets (mutex + condition per ticket);
    [await] blocks only the session thread that owns the request.
    Worker domains never touch a socket: they run the compute closure
-   and signal, so a slow client can never pin a worker. *)
+   and signal, so a slow client can never pin a worker.
+
+   Workers are supervised: an exception that escapes a worker body
+   (jobs themselves are caught into their ticket, so in practice this
+   means a crash in the runtime around the job — modelled by the
+   "scheduler.worker" fault site) respawns a replacement into the same
+   slot and counts a restart, instead of silently shrinking the crew.
+   The dying domain parks its own handle on [retired] so [shutdown]
+   can still join every domain ever spawned. *)
+
+module Fault = Spanner_util.Fault
+
+let worker_site = Fault.site "scheduler.worker"
 
 type stats = {
   workers : int;
@@ -24,6 +36,7 @@ type stats = {
   shed : int;
   queued : int;
   max_queued : int;
+  restarts : int;
 }
 
 type job = { run : unit -> unit }
@@ -34,11 +47,13 @@ type t = {
   queue : job Queue.t;
   capacity : int;
   mutable workers : unit Domain.t array;
+  mutable retired : unit Domain.t list;
   mutable stopping : bool;
   mutable submitted : int;
   mutable completed : int;
   mutable shed : int;
   mutable max_queued : int;
+  mutable restarts : int;
 }
 
 type 'a ticket = {
@@ -47,7 +62,7 @@ type 'a ticket = {
   mutable result : ('a, exn) result option;
 }
 
-let worker t () =
+let rec worker t slot () =
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopping do
@@ -61,10 +76,27 @@ let worker t () =
       Mutex.lock t.mutex;
       t.completed <- t.completed + 1;
       Mutex.unlock t.mutex;
+      (* the crash probe sits BETWEEN jobs, after the ticket was
+         signalled — a fault here kills the worker without stranding
+         any [await]er, which is the invariant the chaos suite pins *)
+      Fault.point worker_site;
       loop ()
     end
   in
-  loop ()
+  try loop ()
+  with _ ->
+    (* Supervision: respawn a replacement into our slot (unless the
+       scheduler is stopping) and park our own handle for [shutdown]
+       to join.  The stopping check and the spawn happen under the
+       same mutex as [shutdown]'s snapshot, so no domain is ever
+       spawned after the snapshot or lost from it. *)
+    Mutex.lock t.mutex;
+    if not t.stopping then begin
+      t.restarts <- t.restarts + 1;
+      t.retired <- t.workers.(slot) :: t.retired;
+      t.workers.(slot) <- Domain.spawn (worker t slot)
+    end;
+    Mutex.unlock t.mutex
 
 let create ?workers ~capacity () =
   if capacity < 1 then invalid_arg "Scheduler.create: capacity must be at least 1";
@@ -84,14 +116,21 @@ let create ?workers ~capacity () =
       queue = Queue.create ();
       capacity;
       workers = [||];
+      retired = [];
       stopping = false;
       submitted = 0;
       completed = 0;
       shed = 0;
       max_queued = 0;
+      restarts = 0;
     }
   in
-  t.workers <- Array.init n (fun _ -> Domain.spawn (worker t));
+  (* spawn under the mutex: a worker that crashes instantly (armed
+     fault sites) must not observe the placeholder [||] when it
+     retires its slot *)
+  Mutex.lock t.mutex;
+  t.workers <- Array.init n (fun slot -> Domain.spawn (worker t slot));
+  Mutex.unlock t.mutex;
   t
 
 let submit t f =
@@ -146,6 +185,7 @@ let stats t =
       shed = t.shed;
       queued = Queue.length t.queue;
       max_queued = t.max_queued;
+      restarts = t.restarts;
     }
   in
   Mutex.unlock t.mutex;
@@ -155,5 +195,9 @@ let shutdown t =
   Mutex.lock t.mutex;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
+  (* snapshot under the same mutex that gates respawns: once
+     [stopping] is set no new domain can appear, and every domain
+     ever spawned is in [workers] or [retired] *)
+  let crew = Array.to_list t.workers @ t.retired in
   Mutex.unlock t.mutex;
-  Array.iter Domain.join t.workers
+  List.iter Domain.join crew

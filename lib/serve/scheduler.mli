@@ -7,7 +7,13 @@
     bound, which the session layer maps onto the over-budget wire
     status.  Workers run pure compute closures and never touch
     sockets, so a slow client can only ever pin its own session
-    thread. *)
+    thread.
+
+    Workers are supervised: an exception escaping a worker body (the
+    ["scheduler.worker"] fault site models a crash in the runtime
+    around a job) respawns a replacement into the same slot and
+    increments {!stats.restarts}; {!shutdown} still joins every
+    domain ever spawned. *)
 
 type t
 
@@ -41,6 +47,7 @@ type stats = {
   shed : int;  (** submissions rejected because the queue was full *)
   queued : int;  (** jobs waiting right now *)
   max_queued : int;  (** high-water mark of [queued] *)
+  restarts : int;  (** crashed workers respawned by supervision *)
 }
 
 val stats : t -> stats

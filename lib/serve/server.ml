@@ -13,14 +13,25 @@
    domain except the explicitly shared registry/scheduler, which
    carry their own locks.
 
-   Shutdown is cooperative and idempotent: [stop] flips the flag,
-   closes the listener (unblocking accept) and half-closes every live
-   session socket (unblocking their reads into clean EOFs); [wait]
-   then joins the accept thread, joins the sessions, and retires the
-   worker crew.  A client's SHUTDOWN verb funnels into the same
-   [stop]. *)
+   Shutdown is cooperative, idempotent, and *drains*: [stop] flips
+   the flag and closes the listener (no new connections), then a
+   drain thread gives in-flight sessions up to [drain_ms] to finish —
+   sessions poll the flag between requests — before force half-closing
+   whatever is left; [wait] joins the accept thread, the drain
+   thread, the sessions, and retires the worker crew.  A client's
+   SHUTDOWN verb funnels into the same [stop].
+
+   Hostile-client defenses: optional per-connection deadlines
+   (io/idle, see Protocol) turn a slowloris or parked connection into
+   a counted timeout, and the accept loop backs off exponentially
+   (50 -> 800 ms) under persistent accept failures such as EMFILE. *)
 
 module Limits = Spanner_util.Limits
+module Fault = Spanner_util.Fault
+
+(* Probed before every accept: with an eintr/oom rule this models a
+   flaky accept(2); the loop must retry/back off, never exit early. *)
+let accept_site = Fault.site "server.accept"
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -65,6 +76,9 @@ type config = {
   max_frame : int;
   fuse_states : int option;
   defaults : Limits.t;  (* server-side budget defaults *)
+  io_timeout_ms : int;  (* mid-frame read / response write deadline; 0 = off *)
+  idle_timeout_ms : int;  (* between-requests deadline; 0 = off *)
+  drain_ms : int;  (* graceful-drain budget on stop *)
 }
 
 let default_config address =
@@ -78,6 +92,9 @@ let default_config address =
     max_frame = Protocol.default_max_frame;
     fuse_states = None;
     defaults = Limits.none;
+    io_timeout_ms = 0;
+    idle_timeout_ms = 0;
+    drain_ms = 1000;
   }
 
 type t = {
@@ -90,8 +107,11 @@ type t = {
   threads : (int, Thread.t) Hashtbl.t;
   mutable next_id : int;
   mutable accepted : int;
+  mutable timeouts_io : int;  (* sessions cut mid-frame or mid-write *)
+  mutable timeouts_idle : int;  (* sessions reaped while parked *)
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
+  mutable drain_thread : Thread.t option;
 }
 
 let ignore_sigpipe () =
@@ -132,19 +152,35 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Force half-close whatever sessions remain — under the lock:
+   sessions only close their fd after removing themselves under the
+   same lock, so every fd here is still open (no reuse race); their
+   next read becomes a clean EOF. *)
+let force_close_live t =
+  locked t (fun () ->
+      List.iter (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ()) t.live)
+
+(* The bounded graceful drain: in-flight sessions see [stopping]
+   between requests (or hit their own deadlines) and wind down on
+   their own; whoever is still around after [drain_ms] is cut. *)
+let drain_body t () =
+  let deadline = Unix.gettimeofday () +. (float_of_int t.config.drain_ms /. 1000.) in
+  let rec poll () =
+    if locked t (fun () -> t.live = []) then ()
+    else if Unix.gettimeofday () >= deadline then force_close_live t
+    else begin
+      Thread.delay 0.01;
+      poll ()
+    end
+  in
+  poll ()
+
 let stop t =
   let proceed =
     locked t (fun () ->
         if t.stopping then false
         else begin
           t.stopping <- true;
-          (* half-close live sessions under the lock — sessions only
-             close their fd after removing themselves under the same
-             lock, so every fd here is still open (no reuse race);
-             their next read becomes a clean EOF *)
-          List.iter
-            (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with _ -> ())
-            t.live;
           true
         end)
   in
@@ -154,35 +190,58 @@ let stop t =
        listening socket makes the blocked accept return EINVAL; the
        loop then reads t.stopping and exits *)
     (try Unix.shutdown t.listener SHUTDOWN_ALL with _ -> ());
-    try Unix.close t.listener with _ -> ()
+    (try Unix.close t.listener with _ -> ());
+    if t.config.drain_ms <= 0 then force_close_live t
+    else locked t (fun () -> t.drain_thread <- Some (Thread.create (drain_body t) ()))
   end
 
 let session_thread t (id, fd) =
-  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let conn =
+    Protocol.conn_of_fd ~max_frame:t.config.max_frame
+      ~idle_timeout_ms:t.config.idle_timeout_ms ~io_timeout_ms:t.config.io_timeout_ms fd
+  in
   let ctx =
     {
       Session.registry = t.registry;
       scheduler = t.scheduler;
       window = t.config.window;
       max_frame = t.config.max_frame;
+      draining = (fun () -> locked t (fun () -> t.stopping));
       extra_stats =
         (fun () ->
-          let live, accepted = locked t (fun () -> (List.length t.live, t.accepted)) in
-          [ Printf.sprintf "connections: live=%d accepted=%d" live accepted ]);
+          let live, accepted, tio, tidle =
+            locked t (fun () -> (List.length t.live, t.accepted, t.timeouts_io, t.timeouts_idle))
+          in
+          [
+            Printf.sprintf "connections: live=%d accepted=%d" live accepted;
+            Printf.sprintf "timeouts: io=%d idle=%d" tio tidle;
+          ]
+          @
+          if Fault.armed () then
+            [ Printf.sprintf "faults: injected=%d" (Fault.injected_total ()) ]
+          else []);
     }
   in
-  let result = Session.handle ctx ic oc in
-  (try flush oc with _ -> ());
+  let result = Session.handle ctx conn in
   locked t (fun () ->
+      (match result with
+      | `Timed_out (`Read | `Write) -> t.timeouts_io <- t.timeouts_io + 1
+      | `Timed_out `Idle -> t.timeouts_idle <- t.timeouts_idle + 1
+      | `Closed | `Shutdown_requested -> ());
       t.live <- List.remove_assoc id t.live;
       Hashtbl.remove t.threads id);
-  (* the channels share [fd]: close it exactly once, at the fd level *)
   (try Unix.close fd with _ -> ());
-  match result with `Shutdown_requested -> stop t | `Closed -> ()
+  match result with `Shutdown_requested -> stop t | `Closed | `Timed_out _ -> ()
+
+let min_backoff = 0.05
+let max_backoff = 0.8
 
 let accept_loop t () =
-  let rec loop () =
-    match Unix.accept t.listener with
+  let rec loop backoff =
+    match
+      Fault.point accept_site;
+      Unix.accept t.listener
+    with
     | fd, _addr ->
         let spawn =
           locked t (fun () ->
@@ -197,18 +256,19 @@ let accept_loop t () =
               end)
         in
         if not spawn then (try Unix.close fd with _ -> ());
-        loop ()
-    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop ()
+        loop min_backoff
+    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop backoff
     | exception _ ->
         if locked t (fun () -> t.stopping) then ()
         else begin
           (* persistent accept failures (EMFILE/ENFILE — exactly the
-             under-load cases) must back off, not pin a core *)
-          Unix.sleepf 0.05;
-          loop ()
+             under-load cases) back off exponentially up to 800 ms,
+             resetting on the next successful accept *)
+          Unix.sleepf backoff;
+          loop (Float.min max_backoff (backoff *. 2.))
         end
   in
-  loop ()
+  loop min_backoff
 
 let start config =
   ignore_sigpipe ();
@@ -229,8 +289,11 @@ let start config =
       threads = Hashtbl.create 16;
       next_id = 0;
       accepted = 0;
+      timeouts_io = 0;
+      timeouts_idle = 0;
       stopping = false;
       accept_thread = None;
+      drain_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
@@ -238,6 +301,7 @@ let start config =
 
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match locked t (fun () -> t.drain_thread) with Some th -> Thread.join th | None -> ());
   (* sessions remove themselves as they finish; join whatever is
      still live until none remain (joining a finished thread is a
      no-op, so racing against self-removal is harmless) *)

@@ -23,11 +23,20 @@ type config = {
   max_frame : int;  (** request frame-size cap, bytes *)
   fuse_states : int option;  (** optimizer fusion budget *)
   defaults : Spanner_util.Limits.t;  (** server-side budget defaults *)
+  io_timeout_ms : int;
+      (** deadline for a frame read in progress or a response write
+          (slowloris / stalled-consumer defense); 0 disables *)
+  idle_timeout_ms : int;
+      (** reap a session whose client sends nothing between requests
+          for this long; 0 disables *)
+  drain_ms : int;
+      (** on {!stop}, let in-flight sessions finish for up to this
+          long before force-closing them; 0 forces immediately *)
 }
 
 (** [default_config address] is the documented defaults: queue 64,
     caches 128 entries, window 64 tuples, 4 MiB frames, unbounded
-    budgets. *)
+    budgets, no io/idle deadlines, 1 s drain. *)
 val default_config : address -> config
 
 (** [ignore_sigpipe ()] makes a vanished peer surface as a write
@@ -44,13 +53,14 @@ val start : config -> t
 
 (** [stop t] initiates shutdown (idempotent, callable from any
     thread, including a session handling the SHUTDOWN verb): closes
-    the listener and half-closes live sessions.  Completion is
-    observed via {!wait}. *)
+    the listener, then drains — in-flight sessions get up to
+    [config.drain_ms] to finish before being force-closed.
+    Completion is observed via {!wait}. *)
 val stop : t -> unit
 
-(** [wait t] blocks until the server has fully stopped — accept
-    thread and all sessions joined, worker domains retired, unix
-    socket file removed. *)
+(** [wait t] blocks until the server has fully stopped — accept and
+    drain threads joined, all sessions joined, worker domains
+    retired, unix socket file removed. *)
 val wait : t -> unit
 
 val registry : t -> Registry.t

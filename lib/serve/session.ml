@@ -27,9 +27,14 @@
    carry code 3; the message says which. *)
 
 module Limits = Spanner_util.Limits
+module Fault = Spanner_util.Fault
 open Spanner_core
 module Cursor = Spanner_engine.Cursor
 module Optimizer = Spanner_engine.Optimizer
+
+(* Probed once per parsed request, before dispatch: with an exn rule
+   this models a handler crash (answered ERR 1, session survives). *)
+let request_site = Fault.site "session.request"
 
 type ctx = {
   registry : Registry.t;
@@ -37,6 +42,7 @@ type ctx = {
   window : int;  (* R-lines per stream frame *)
   max_frame : int;
   extra_stats : unit -> string list;  (* server-level STATS lines *)
+  draining : unit -> bool;  (* server is draining: stop between requests *)
 }
 
 (* What a worker job hands back to the session thread.  The mutex
@@ -60,21 +66,21 @@ let err_frame e =
 (* Request handlers (every one returns the response payload(s) it
    wrote; exceptions are turned into ERR frames by the caller) *)
 
-let handle_define ctx oc ~name ~body =
+let handle_define ctx c ~name ~body =
   let plan = Registry.define ctx.registry ~name ~body in
-  Protocol.write_frame oc
+  Protocol.write_frame_conn c
     (Printf.sprintf "OK defined %s schema=%s fused=%d" name
        (pp_vars (Optimizer.schema plan))
        (Optimizer.fused_count plan))
 
-let handle_load_doc ctx oc ~store ~doc ~body =
+let handle_load_doc ctx c ~store ~doc ~body =
   let bytes, store_nodes = Registry.load_doc ctx.registry ~store ~doc ~text:body in
-  Protocol.write_frame oc
+  Protocol.write_frame_conn c
     (Printf.sprintf "OK loaded %s/%s bytes=%d store_nodes=%d" store doc bytes store_nodes)
 
-let handle_load_path ctx oc ~store ~path =
+let handle_load_path ctx c ~store ~path =
   let docs = Registry.load_path ctx.registry ~store ~path in
-  Protocol.write_frame oc (Printf.sprintf "OK loaded %s docs=%d" store docs)
+  Protocol.write_frame_conn c (Printf.sprintf "OK loaded %s docs=%d" store docs)
 
 (* The worker-side half of QUERY: resolve, decompress, build the
    cursor, and consume whatever the format lets us consume eagerly. *)
@@ -93,8 +99,8 @@ let query_job ctx source ~store ~doc (opts : Protocol.opts) () =
   | Protocol.Count -> Counted (Cursor.cardinal cursor)
   | Protocol.First -> First_of (Cursor.next cursor)
 
-let stream ctx oc cursor vars =
-  Protocol.write_frame oc (Printf.sprintf "OK stream %s" (pp_vars vars));
+let stream ctx c cursor vars =
+  Protocol.write_frame_conn c (Printf.sprintf "OK stream %s" (pp_vars vars));
   let buf = Buffer.create 256 in
   let count = ref 0 in
   let flush_window () =
@@ -102,7 +108,7 @@ let stream ctx oc cursor vars =
       (* drop the trailing newline: frames carry exact payloads *)
       let payload = Buffer.sub buf 0 (Buffer.length buf - 1) in
       Buffer.clear buf;
-      Protocol.write_frame oc payload
+      Protocol.write_frame_conn c payload
     end
   in
   match
@@ -126,28 +132,28 @@ let stream ctx oc cursor vars =
   with
   | () ->
       flush_window ();
-      Protocol.write_frame oc (Printf.sprintf "END %d" !count)
+      Protocol.write_frame_conn c (Printf.sprintf "END %d" !count)
   | exception e ->
       (* a mid-stream failure (budget tripped between pulls) still
          ends the response with a well-formed terminal frame *)
       flush_window ();
-      Protocol.write_frame oc (err_frame e)
+      Protocol.write_frame_conn c (err_frame e)
 
-let handle_query ctx oc source ~store ~doc opts =
+let handle_query ctx c source ~store ~doc opts =
   match Scheduler.run ctx.scheduler (query_job ctx source ~store ~doc opts) with
   | None ->
       let s = Scheduler.stats ctx.scheduler in
-      Protocol.write_frame oc
+      Protocol.write_frame_conn c
         (Printf.sprintf "ERR 3 server overloaded: admission queue full (%d waiting)"
            s.Scheduler.queued)
-  | Some (Error e) -> Protocol.write_frame oc (err_frame e)
-  | Some (Ok (Counted n)) -> Protocol.write_frame oc (Printf.sprintf "OK count %d" n)
-  | Some (Ok (First_of None)) -> Protocol.write_frame oc "OK first"
+  | Some (Error e) -> Protocol.write_frame_conn c (err_frame e)
+  | Some (Ok (Counted n)) -> Protocol.write_frame_conn c (Printf.sprintf "OK count %d" n)
+  | Some (Ok (First_of None)) -> Protocol.write_frame_conn c "OK first"
   | Some (Ok (First_of (Some t))) ->
-      Protocol.write_frame oc (Printf.sprintf "OK first %s" (pp_tuple t))
-  | Some (Ok (Stream (cursor, vars))) -> stream ctx oc cursor vars
+      Protocol.write_frame_conn c (Printf.sprintf "OK first %s" (pp_tuple t))
+  | Some (Ok (Stream (cursor, vars))) -> stream ctx c cursor vars
 
-let handle_explain ctx oc source =
+let handle_explain ctx c source =
   let plan = Registry.plan ctx.registry source in
   let b = Buffer.create 256 in
   Buffer.add_string b "OK explain\n";
@@ -159,13 +165,13 @@ let handle_explain ctx oc source =
   (match Optimizer.compiled plan with
   | Some ct -> Printf.bprintf b "compiled: whole query, %d states" (Compiled.states ct)
   | None -> Buffer.add_string b "compiled: per-node (materialised joins)");
-  Protocol.write_frame oc (Buffer.contents b)
+  Protocol.write_frame_conn c (Buffer.contents b)
 
 let cache_line name (c : Registry.cache_stats) =
   Printf.sprintf "%s: hits=%d misses=%d evictions=%d entries=%d/%d" name c.hits
     c.misses c.evictions c.entries c.capacity
 
-let handle_stats ctx oc =
+let handle_stats ctx c =
   let b = Buffer.create 256 in
   Buffer.add_string b "OK stats\n";
   let counts = Registry.counts ctx.registry in
@@ -175,58 +181,75 @@ let handle_stats ctx oc =
   Printf.bprintf b "%s\n" (cache_line "doc_cache" (Registry.doc_cache_stats ctx.registry));
   let s = Scheduler.stats ctx.scheduler in
   Printf.bprintf b
-    "scheduler: workers=%d capacity=%d submitted=%d completed=%d shed=%d queued=%d max_queued=%d"
+    "scheduler: workers=%d capacity=%d submitted=%d completed=%d shed=%d queued=%d \
+     max_queued=%d restarts=%d"
     s.Scheduler.workers s.Scheduler.capacity s.Scheduler.submitted
-    s.Scheduler.completed s.Scheduler.shed s.Scheduler.queued s.Scheduler.max_queued;
+    s.Scheduler.completed s.Scheduler.shed s.Scheduler.queued s.Scheduler.max_queued
+    s.Scheduler.restarts;
   List.iter (fun line -> Printf.bprintf b "\n%s" line) (ctx.extra_stats ());
-  Protocol.write_frame oc (Buffer.contents b)
+  Protocol.write_frame_conn c (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
 
-let handle_request ctx oc payload =
+let handle_request ctx c payload =
+  Fault.point request_site;
   match Protocol.parse_request payload with
   | Protocol.Define { name; body } ->
-      handle_define ctx oc ~name ~body;
+      handle_define ctx c ~name ~body;
       `Continue
   | Protocol.Load_doc { store; doc; body } ->
-      handle_load_doc ctx oc ~store ~doc ~body;
+      handle_load_doc ctx c ~store ~doc ~body;
       `Continue
   | Protocol.Load_path { store; path } ->
-      handle_load_path ctx oc ~store ~path;
+      handle_load_path ctx c ~store ~path;
       `Continue
   | Protocol.Query { source; store; doc; opts } ->
-      handle_query ctx oc source ~store ~doc opts;
+      handle_query ctx c source ~store ~doc opts;
       `Continue
   | Protocol.Explain { source; opts = _ } ->
-      handle_explain ctx oc source;
+      handle_explain ctx c source;
       `Continue
   | Protocol.Stats ->
-      handle_stats ctx oc;
+      handle_stats ctx c;
       `Continue
   | Protocol.Close ->
-      Protocol.write_frame oc "OK bye";
+      Protocol.write_frame_conn c "OK bye";
       `Closed
   | Protocol.Shutdown ->
-      Protocol.write_frame oc "OK shutting down";
+      Protocol.write_frame_conn c "OK shutting down";
       `Shutdown_requested
 
-let handle ctx ic oc =
+let handle ctx c =
   let rec loop () =
-    match Protocol.read_frame ~max_frame:ctx.max_frame ic with
-    | None -> `Closed
-    | exception (Limits.Spanner_error _ as e) ->
-        (* framing is broken: no way to find the next request
-           boundary, so report and hang up *)
-        (try Protocol.write_frame oc (err_frame e) with _ -> ());
-        `Closed
-    | Some payload -> (
-        match handle_request ctx oc payload with
-        | `Continue -> loop ()
-        | (`Closed | `Shutdown_requested) as final -> final
-        | exception e ->
-            Protocol.write_frame oc (err_frame e);
-            loop ())
+    if ctx.draining () then `Closed
+    else
+      match Protocol.read_frame_conn c with
+      | None -> `Closed
+      | exception Protocol.Io_timeout k ->
+          (* slowloris / parked connection: tell the client why (best
+             effort — it may not be reading) and cut the session *)
+          (try Protocol.write_frame_conn c (Printf.sprintf "ERR 3 %s" (Protocol.timeout_to_string k))
+           with _ -> ());
+          `Timed_out k
+      | exception (Limits.Spanner_error _ as e) ->
+          (* framing is broken: no way to find the next request
+             boundary, so report and hang up *)
+          (try Protocol.write_frame_conn c (err_frame e) with _ -> ());
+          `Closed
+      | Some payload -> (
+          match handle_request ctx c payload with
+          | `Continue -> loop ()
+          | (`Closed | `Shutdown_requested) as final -> final
+          | exception Protocol.Io_timeout k ->
+              (* the response write stalled: writing an ERR frame
+                 would stall the same way, so just cut the session *)
+              `Timed_out k
+          | exception e ->
+              Protocol.write_frame_conn c (err_frame e);
+              loop ())
   in
   (* the client vanishing mid-write (Sys_error / EPIPE with SIGPIPE
-     ignored, or a reset) is a normal way for a session to end *)
-  try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> `Closed
+     ignored, or a reset) is a normal way for a session to end, as is
+     an injected fault escaping the protocol layer *)
+  try loop ()
+  with Sys_error _ | End_of_file | Unix.Unix_error _ | Fault.Injected _ -> `Closed

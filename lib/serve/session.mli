@@ -16,9 +16,14 @@ type ctx = {
   max_frame : int;  (** request frame-size cap, bytes *)
   extra_stats : unit -> string list;
       (** server-level lines appended to a STATS response *)
+  draining : unit -> bool;
+      (** polled between requests: a draining server finishes the
+          in-flight request, then closes instead of reading more *)
 }
 
-(** [handle ctx ic oc] serves requests until the client closes,
-    framing breaks, or a terminal verb arrives.  Never raises: IO
-    failures (client gone) read as [`Closed]. *)
-val handle : ctx -> in_channel -> out_channel -> [ `Closed | `Shutdown_requested ]
+(** [handle ctx conn] serves requests until the client closes,
+    framing breaks, a deadline trips, or a terminal verb arrives.
+    Never raises: IO failures (client gone) read as [`Closed];
+    tripped deadlines are classified so the server can count them. *)
+val handle :
+  ctx -> Protocol.conn -> [ `Closed | `Shutdown_requested | `Timed_out of [ `Idle | `Read | `Write ] ]

@@ -1,0 +1,186 @@
+(* Deterministic, seeded fault injection (see the .mli for the user
+   contract).
+
+   Design constraints, in order:
+
+   1. The disarmed probe must be invisible on the serve fast path: a
+      [site] is a record whose [active] field is [None] outside chaos
+      runs, so [io]/[point] are one load and one never-taken branch —
+      no lock, no PRNG draw, no allocation.
+   2. Armed decisions must be reproducible.  Global mutable PRNG state
+      shared across threads would make the fault schedule depend on
+      scheduling; instead every armed site owns a private Xoshiro
+      stream seeded from (global seed, site name) behind a per-site
+      mutex, so the sequence of decisions AT A SITE is a pure function
+      of the spec.  Which thread observes which decision still depends
+      on interleaving — that is inherent and fine: liveness invariants
+      must hold under every interleaving anyway.
+   3. Arming is dynamic (tests flip faults on and off around phases),
+      so rules are kept and re-applied to sites registered later. *)
+
+type behavior = Eintr | Short | Exn | Oom | Delay of int
+type rule = { site : string; prob : float; behavior : behavior }
+
+exception Injected of string
+
+type compiled = {
+  prob : float;
+  behavior : behavior;
+  rng : Xoshiro.t;
+  lock : Mutex.t;
+}
+
+type site = {
+  name : string;
+  mutable active : compiled option;
+  mutable fired : int;
+}
+
+(* The registry of every site ever created, plus the current spec so
+   sites created after [configure] still arm.  All registry mutation
+   happens under [registry_lock]; the hot path never touches it. *)
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+let spec : (int * rule list) option ref = ref None
+
+let site_seed global name =
+  (* splitmix-style scramble of the name hash so "a"/"b" do not get
+     adjacent streams *)
+  let h = Hashtbl.hash name in
+  global lxor ((h * 0x9e3779b1) land max_int) lxor ((h lsl 17) land max_int)
+
+let arm_one seed rules s =
+  s.fired <- 0;
+  let compiled =
+    List.find_opt (fun (r : rule) -> r.site = s.name) rules
+    |> Option.map (fun (r : rule) ->
+           {
+             prob = r.prob;
+             behavior = r.behavior;
+             rng = Xoshiro.create (site_seed seed s.name);
+             lock = Mutex.create ();
+           })
+  in
+  s.active <- compiled
+
+let locked_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let configure ~seed rules =
+  locked_registry (fun () ->
+      spec := Some (seed, rules);
+      Hashtbl.iter (fun _ s -> arm_one seed rules s) registry)
+
+let disable () =
+  locked_registry (fun () ->
+      spec := None;
+      Hashtbl.iter (fun _ s -> s.active <- None) registry)
+
+let armed () = !spec <> None
+
+let site name =
+  locked_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+          let s = { name; active = None; fired = 0 } in
+          (match !spec with Some (seed, rules) -> arm_one seed rules s | None -> ());
+          Hashtbl.replace registry name s;
+          s)
+
+let site_name s = s.name
+
+type advice = Full | Partial
+
+let fire s c =
+  Mutex.lock c.lock;
+  let hit = Xoshiro.float c.rng < c.prob in
+  if hit then s.fired <- s.fired + 1;
+  Mutex.unlock c.lock;
+  if not hit then Full
+  else
+    match c.behavior with
+    | Short -> Partial
+    | Delay ms ->
+        Unix.sleepf (float_of_int ms /. 1000.);
+        Full
+    | Eintr -> raise (Unix.Unix_error (EINTR, "fault", s.name))
+    | Oom -> raise (Unix.Unix_error (ENOMEM, "fault", s.name))
+    | Exn -> raise (Injected s.name)
+
+let io s = match s.active with None -> Full | Some c -> fire s c
+let point s = ignore (io s)
+let injected s = s.fired
+
+let stats () =
+  locked_registry (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s.fired) :: acc) registry [])
+  |> List.sort compare
+
+let injected_total () = List.fold_left (fun acc (_, n) -> acc + n) 0 (stats ())
+
+(* ------------------------------------------------------------------ *)
+(* SPANNER_FAULTS=seed:site=behavior[@prob],... *)
+
+let parse_behavior s =
+  match s with
+  | "eintr" -> Ok Eintr
+  | "short" -> Ok Short
+  | "exn" -> Ok Exn
+  | "oom" -> Ok Oom
+  | _ ->
+      let is_delay = String.length s > 5 && String.sub s 0 5 = "delay" in
+      if is_delay then
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some ms when ms >= 0 -> Ok (Delay ms)
+        | _ -> Error (Printf.sprintf "bad delay in %S (expected delayMS)" s)
+      else
+        Error (Printf.sprintf "unknown behavior %S (expected eintr, short, exn, oom or delayMS)" s)
+
+let parse_rule s =
+  match String.index_opt s '=' with
+  | None | Some 0 -> Error (Printf.sprintf "expected site=behavior[@prob], got %S" s)
+  | Some eq -> (
+      let site = String.sub s 0 eq in
+      let rest = String.sub s (eq + 1) (String.length s - eq - 1) in
+      let bstr, prob =
+        match String.index_opt rest '@' with
+        | None -> (rest, Ok 1.0)
+        | Some at -> (
+            let p = String.sub rest (at + 1) (String.length rest - at - 1) in
+            ( String.sub rest 0 at,
+              match float_of_string_opt p with
+              | Some f when f > 0. && f <= 1. -> Ok f
+              | _ -> Error (Printf.sprintf "probability %S not in (0, 1]" p) ))
+      in
+      match (parse_behavior bstr, prob) with
+      | Ok behavior, Ok prob -> Ok { site; prob; behavior }
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+
+let parse_spec s =
+  match String.index_opt s ':' with
+  | None -> Error "expected seed:site=behavior[@prob],..."
+  | Some colon -> (
+      match int_of_string_opt (String.sub s 0 colon) with
+      | None -> Error (Printf.sprintf "seed %S is not an integer" (String.sub s 0 colon))
+      | Some seed ->
+          let rest = String.sub s (colon + 1) (String.length s - colon - 1) in
+          String.split_on_char ',' rest
+          |> List.filter (fun r -> r <> "")
+          |> List.fold_left
+               (fun acc r ->
+                 match (acc, parse_rule r) with
+                 | Ok rules, Ok rule -> Ok (rule :: rules)
+                 | (Error _ as e), _ | _, (Error _ as e) -> e)
+               (Ok [])
+          |> Result.map (fun rules -> (seed, List.rev rules)))
+
+let () =
+  match Sys.getenv_opt "SPANNER_FAULTS" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse_spec s with
+      | Ok (seed, rules) -> configure ~seed rules
+      | Error msg ->
+          Printf.eprintf "warning: ignoring SPANNER_FAULTS: %s\n%!" msg)

@@ -1,0 +1,81 @@
+(** Deterministic, seeded fault injection for chaos testing.
+
+    The serve stack threads named {e sites} through its hot paths —
+    frame reads and writes, the session request loop, worker-domain
+    bodies, the accept loop.  Production runs leave the subsystem
+    disarmed: probing a site is then one field load and a never-taken
+    branch — no allocation, no lock, no syscall (E19 measures warm
+    request latency unchanged).  A chaos run arms it, programmatically
+    ({!configure}) or through the environment at process start:
+
+    {v SPANNER_FAULTS="<seed>:<site>=<behavior>[@<prob>],..." v}
+
+    e.g. [SPANNER_FAULTS="42:serve.read=eintr@0.2,scheduler.worker=exn@0.05"].
+
+    Each armed site draws from its own {!Xoshiro} stream seeded from
+    the global seed and the site name, so the decision sequence {e at
+    a site} is a pure function of the spec: rerunning a seed replays
+    the same faults in the same per-site order, independent of thread
+    interleaving.  A malformed [SPANNER_FAULTS] prints one warning and
+    leaves the subsystem disarmed (never aborts the process). *)
+
+(** What an armed site does when its probability fires. *)
+type behavior =
+  | Eintr  (** simulated [EINTR]: raises [Unix_error (EINTR, _, _)];
+               correct callers retry the call *)
+  | Short  (** truncate the I/O transfer to one byte; correct callers
+               loop until done *)
+  | Exn  (** raise {!Injected} — an escaped-exception fault *)
+  | Oom  (** raise [Unix_error (ENOMEM, _, _)] — an allocation-style
+             environment failure *)
+  | Delay of int  (** sleep this many milliseconds, then proceed *)
+
+type rule = { site : string; prob : float; behavior : behavior }
+
+(** Raised by a site armed with {!Exn}; carries the site name. *)
+exception Injected of string
+
+(** [parse_spec s] parses the [SPANNER_FAULTS] syntax
+    ["seed:site=behavior[@prob],..."] — behaviors [eintr], [short],
+    [exn], [oom], [delayMS]; probabilities in (0, 1], default 1. *)
+val parse_spec : string -> (int * rule list, string) result
+
+(** [configure ~seed rules] arms the named sites (existing and
+    future) and zeroes every injection counter. *)
+val configure : seed:int -> rule list -> unit
+
+(** [disable ()] disarms every site; probes return to the no-op path.
+    Injection counters are kept until the next {!configure}. *)
+val disable : unit -> unit
+
+val armed : unit -> bool
+
+(** A named injection point.  Creation is idempotent: the same name
+    always yields the same site. *)
+type site
+
+val site : string -> site
+val site_name : site -> string
+
+(** Advice to an I/O call site. *)
+type advice =
+  | Full  (** perform the transfer as requested *)
+  | Partial  (** cap the transfer at one byte (a short read/write) *)
+
+(** [io s] probes site [s] before an I/O syscall.  Disarmed: [Full].
+    Armed and the roll fires: [Partial] for {!Short}, sleeps for
+    {!Delay}, raises for {!Eintr}/{!Oom}/{!Exn}. *)
+val io : site -> advice
+
+(** [point s] probes a non-I/O site ({!Short} is a no-op there). *)
+val point : site -> unit
+
+(** [injected s] is how many times [s] actually fired since the last
+    {!configure}. *)
+val injected : site -> int
+
+val injected_total : unit -> int
+
+(** [stats ()] lists every registered site with its injection count,
+    sorted by name. *)
+val stats : unit -> (string * int) list

@@ -1,0 +1,374 @@
+(* Chaos suite for the serve stack: deterministic fault injection
+   (Spanner_util.Fault), worker supervision, slowloris/idle reaping,
+   stalled-consumer write deadlines, and bounded graceful drain.
+
+   The liveness contract under test: with faults armed, every client
+   call returns (a response or a typed failure, never a hang), no
+   partial frame is ever reported as success, and STATS stays
+   consistent — restarts counted, the worker pool back at full
+   strength, timeouts attributed to the right class. *)
+
+open Spanner_serve
+module Fault = Spanner_util.Fault
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_substring sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* [stat_field line key] digs "key=value" out of a STATS line. *)
+let stat_field line key =
+  String.split_on_char ' ' line
+  |> List.find_map (fun tok ->
+         match String.index_opt tok '=' with
+         | Some i when String.sub tok 0 i = key ->
+             int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1))
+         | _ -> None)
+
+let stats_line frames prefix =
+  match frames with
+  | [ payload ] -> List.find_opt (starts_with prefix) (String.split_on_char '\n' payload)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The fault subsystem itself *)
+
+let fault_parse () =
+  (match Fault.parse_spec "42:serve.read=eintr@0.25,scheduler.worker=exn" with
+  | Ok (42, [ r1; r2 ]) ->
+      check Alcotest.string "site 1" "serve.read" r1.Fault.site;
+      check (Alcotest.float 1e-9) "prob 1" 0.25 r1.Fault.prob;
+      check Alcotest.bool "behavior 1" true (r1.Fault.behavior = Fault.Eintr);
+      check Alcotest.string "site 2" "scheduler.worker" r2.Fault.site;
+      check (Alcotest.float 1e-9) "default prob" 1.0 r2.Fault.prob;
+      check Alcotest.bool "behavior 2" true (r2.Fault.behavior = Fault.Exn)
+  | _ -> Alcotest.fail "expected two rules");
+  (match Fault.parse_spec "7:x=delay250@0.5" with
+  | Ok (7, [ r ]) -> check Alcotest.bool "delay" true (r.Fault.behavior = Fault.Delay 250)
+  | _ -> Alcotest.fail "delay rule");
+  let rejected s = match Fault.parse_spec s with Ok _ -> false | Error _ -> true in
+  check Alcotest.bool "no seed" true (rejected "serve.read=eintr");
+  check Alcotest.bool "bad seed" true (rejected "x:serve.read=eintr");
+  check Alcotest.bool "no behavior" true (rejected "1:x");
+  check Alcotest.bool "unknown behavior" true (rejected "1:x=wat");
+  check Alcotest.bool "probability over 1" true (rejected "1:x=eintr@1.5");
+  check Alcotest.bool "probability zero" true (rejected "1:x=eintr@0");
+  check Alcotest.bool "negative delay" true (rejected "1:x=delay-5")
+
+let fault_determinism () =
+  let site = Fault.site "chaos.det" in
+  let sample seed =
+    Fault.configure ~seed [ { Fault.site = "chaos.det"; prob = 0.5; behavior = Fault.Short } ];
+    List.init 200 (fun _ -> match Fault.io site with Fault.Full -> 'F' | Fault.Partial -> 'P')
+  in
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let a = sample 4242 in
+  let fired = Fault.injected site in
+  let b = sample 4242 in
+  check Alcotest.(list char) "same seed, same schedule" a b;
+  check Alcotest.bool "some fire" true (List.mem 'P' a);
+  check Alcotest.bool "some pass" true (List.mem 'F' a);
+  check Alcotest.int "injection counter matches the schedule" fired
+    (List.length (List.filter (fun c -> c = 'P') a));
+  check Alcotest.int "re-configure zeroes the counter, same count again" fired
+    (Fault.injected site);
+  let c = sample 9999 in
+  check Alcotest.bool "different seed, different schedule" true (a <> c)
+
+let fault_disabled_noop () =
+  Fault.disable ();
+  let s = Fault.site "chaos.noop" in
+  check Alcotest.bool "not armed" false (Fault.armed ());
+  for _ = 1 to 1000 do
+    match Fault.io s with Fault.Full -> () | Fault.Partial -> Alcotest.fail "fired while disarmed"
+  done;
+  Fault.point s;
+  check Alcotest.int "never fired" 0 (Fault.injected s)
+
+(* ------------------------------------------------------------------ *)
+(* Worker supervision *)
+
+let scheduler_supervision () =
+  Fault.configure ~seed:9
+    [ { Fault.site = "scheduler.worker"; prob = 1.0; behavior = Fault.Exn } ];
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let s = Scheduler.create ~workers:2 ~capacity:8 () in
+  (* every job kills its worker right after the ticket is signalled:
+     results must all arrive anyway, and the pool must self-heal *)
+  List.init 6 (fun i -> Scheduler.run s (fun () -> i))
+  |> List.iteri (fun i r ->
+         match r with
+         | Some (Ok v) -> check Alcotest.int "job result survives the crash" i v
+         | _ -> Alcotest.fail "job lost to a worker crash");
+  let st = Scheduler.stats s in
+  check Alcotest.bool "restarts counted" true (st.Scheduler.restarts > 0);
+  check Alcotest.int "pool at full strength" 2 st.Scheduler.workers;
+  Fault.disable ();
+  (match Scheduler.run s (fun () -> 41) with
+  | Some (Ok 41) -> ()
+  | _ -> Alcotest.fail "scheduler dead after the storm");
+  (* shutdown joins the replacements AND the crashed domains *)
+  Scheduler.shutdown s
+
+(* ------------------------------------------------------------------ *)
+(* Live server helpers *)
+
+let fresh_path () =
+  Printf.sprintf "/tmp/spanner-chaos-%d-%d.sock" (Unix.getpid ()) (Random.int 1_000_000)
+
+let with_server ?(io_timeout_ms = 0) ?(idle_timeout_ms = 0) ?(drain_ms = 1000) f =
+  let path = fresh_path () in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket path)) with
+      Server.workers = Some 2;
+      queue = 8;
+      io_timeout_ms;
+      idle_timeout_ms;
+      drain_ms;
+    }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server)
+    (fun () -> f path (Server.Unix_socket path))
+
+let raw_connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  fd
+
+let read_until_eof fd =
+  let chunk = Bytes.create 4096 in
+  let b = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> Buffer.contents b
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+let terminal frames = List.nth frames (List.length frames - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness under injected faults, one run per seed *)
+
+let chaos_liveness seed () =
+  Fault.configure ~seed
+    [
+      { Fault.site = "serve.read"; prob = 0.3; behavior = Fault.Eintr };
+      { Fault.site = "serve.write"; prob = 0.3; behavior = Fault.Short };
+      { Fault.site = "session.request"; prob = 0.15; behavior = Fault.Exn };
+      { Fault.site = "scheduler.worker"; prob = 0.3; behavior = Fault.Exn };
+    ];
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  with_server (fun _path addr ->
+      let c = Client.connect ~timeout_ms:5000 addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let req p = Client.request ~attempts:8 ~backoff_ms:2 c p in
+      (* setup verbs are not auto-retried (not idempotent on the
+         wire), but replaying these exact ones is safe *)
+      let rec ensure p n =
+        if n = 0 then Alcotest.fail ("setup never succeeded: " ^ p)
+        else
+          match req p with
+          | [ one ] when starts_with "OK" one -> ()
+          | _ -> ensure p (n - 1)
+          | exception _ -> ensure p (n - 1)
+      in
+      ensure "DEFINE q\n[ab]*!x{ab}[ab]*" 50;
+      ensure "LOAD s DOC d\nabab" 50;
+      let ok = ref 0 and err = ref 0 in
+      for _ = 1 to 30 do
+        (* every call must RETURN — the 5 s client timeout turns a
+           hang into a failure — and every success must be exact *)
+        match req "QUERY q s d format=count" with
+        | frames -> (
+            match Client.err_code (terminal frames) with
+            | Some _ -> incr err
+            | None ->
+                check Alcotest.(list string) "no partial frame reported as success"
+                  [ "OK count 2" ] frames;
+                incr ok)
+      done;
+      check Alcotest.bool "some queries succeeded under faults" true (!ok > 0);
+      check Alcotest.int "every call returned" 30 (!ok + !err);
+      (* STATS itself can draw an injected ERR; ask until it answers *)
+      let rec stats_frames n =
+        if n = 0 then Alcotest.fail "STATS never succeeded"
+        else
+          match req "STATS" with
+          | [ payload ] when starts_with "OK stats" payload -> [ payload ]
+          | _ -> stats_frames (n - 1)
+          | exception _ -> stats_frames (n - 1)
+      in
+      (match stats_frames 50 with
+      | frames -> (
+          (match stats_line frames "scheduler:" with
+          | Some line ->
+              check Alcotest.bool "workers crashed and were restarted" true
+                (match stat_field line "restarts" with Some n -> n > 0 | None -> false);
+              check Alcotest.(option int) "pool back at full strength" (Some 2)
+                (stat_field line "workers")
+          | None -> Alcotest.fail "STATS lost its scheduler line");
+          match stats_line frames "faults:" with
+          | Some line ->
+              check Alcotest.bool "injections surfaced in STATS" true
+                (match stat_field line "injected" with Some n -> n > 0 | None -> false)
+          | None -> Alcotest.fail "no faults line while armed"));
+      Fault.disable ();
+      match req "QUERY q s d format=count" with
+      | frames -> check Alcotest.(list string) "exact answer after the storm" [ "OK count 2" ] frames)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: slowloris, parked connections, stalled consumers *)
+
+let slowloris_reaped () =
+  with_server ~io_timeout_ms:150 (fun path addr ->
+      let fd = raw_connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+      (* a complete length line, 2 of 5 payload bytes, then silence *)
+      ignore (Unix.write_substring fd "5\nab" 0 4);
+      Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+      let t0 = Unix.gettimeofday () in
+      let data = read_until_eof fd in
+      let dt = Unix.gettimeofday () -. t0 in
+      check Alcotest.bool "reaped within the deadline (not our 5 s failsafe)" true (dt < 3.0);
+      check Alcotest.bool "told why before the cut" true (has_substring "ERR 3" data);
+      check Alcotest.bool "classified as a mid-frame stall" true
+        (has_substring "stalled mid-read" data);
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match stats_line (Client.request c "STATS") "timeouts:" with
+      | Some line ->
+          check Alcotest.(option int) "counted as io" (Some 1) (stat_field line "io");
+          check Alcotest.(option int) "not as idle" (Some 0) (stat_field line "idle")
+      | None -> Alcotest.fail "no timeouts line in STATS")
+
+let idle_session_reaped () =
+  with_server ~idle_timeout_ms:150 (fun path addr ->
+      let fd = raw_connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+      (* connect and say nothing at all *)
+      Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+      let t0 = Unix.gettimeofday () in
+      let data = read_until_eof fd in
+      let dt = Unix.gettimeofday () -. t0 in
+      check Alcotest.bool "reaped within the deadline" true (dt < 3.0);
+      check Alcotest.bool "classified as idle" true (has_substring "idle timeout" data);
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match stats_line (Client.request c "STATS") "timeouts:" with
+      | Some line ->
+          check Alcotest.(option int) "counted as idle" (Some 1) (stat_field line "idle");
+          check Alcotest.(option int) "not as io" (Some 0) (stat_field line "io")
+      | None -> Alcotest.fail "no timeouts line in STATS")
+
+let stalled_consumer_reaped () =
+  with_server ~io_timeout_ms:150 (fun path addr ->
+      (let c = Client.connect addr in
+       ignore (Client.request c "DEFINE big\na*!x{a*}a*");
+       ignore (Client.request c ("LOAD s DOC d\n" ^ String.make 400 'a'));
+       Client.close c);
+      (* ~80k tuples stream back; we read nothing, so the server's
+         sends eventually block and the write deadline must cut us *)
+      let fd = raw_connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+      let msg = "13\nQUERY big s d" in
+      ignore (Unix.write_substring fd msg 0 (String.length msg));
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec poll () =
+        match stats_line (Client.request c "STATS") "timeouts:" with
+        | Some line when stat_field line "io" = Some 1 -> ()
+        | _ ->
+            if Unix.gettimeofday () >= deadline then
+              Alcotest.fail "stalled consumer never reaped"
+            else begin
+              Thread.delay 0.01;
+              poll ()
+            end
+      in
+      poll ())
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain *)
+
+let graceful_drain () =
+  let path = fresh_path () in
+  let config =
+    {
+      (Server.default_config (Server.Unix_socket path)) with
+      Server.workers = Some 2;
+      drain_ms = 5000;
+    }
+  in
+  let server = Server.start config in
+  let addr = Server.Unix_socket path in
+  (let c = Client.connect addr in
+   ignore (Client.request c "DEFINE big\na*!x{a*}a*");
+   ignore (Client.request c ("LOAD s DOC d\n" ^ String.make 400 'a'));
+   Client.close c);
+  (* start a query that takes real worker time, then SHUTDOWN while
+     it is in flight: drain must let it finish, not cut it *)
+  let result = ref [] in
+  let th =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        (result := try Client.request c "QUERY big s d format=count" with e -> [ Printexc.to_string e ]);
+        Client.close c)
+      ()
+  in
+  Thread.delay 0.05;
+  (let c = Client.connect addr in
+   (match Client.request c "SHUTDOWN" with
+   | [ "OK shutting down" ] -> ()
+   | fs -> Alcotest.fail ("unexpected SHUTDOWN reply: " ^ String.concat "|" fs));
+   Client.close c);
+  let t0 = Unix.gettimeofday () in
+  Server.wait server;
+  let dt = Unix.gettimeofday () -. t0 in
+  Thread.join th;
+  check Alcotest.bool "wait bounded by the drain budget" true (dt < 6.0);
+  (match !result with
+  | [ one ] when starts_with "OK count" one -> ()
+  | fs -> Alcotest.fail ("in-flight query was cut: " ^ String.concat "|" fs));
+  check Alcotest.bool "socket removed" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "fault",
+        [
+          tc "spec parsing" `Quick fault_parse;
+          tc "seeded determinism" `Quick fault_determinism;
+          tc "disarmed is a no-op" `Quick fault_disabled_noop;
+        ] );
+      ("supervision", [ tc "workers respawn" `Quick scheduler_supervision ]);
+      ( "liveness",
+        [
+          tc "seed 11" `Quick (chaos_liveness 11);
+          tc "seed 22" `Quick (chaos_liveness 22);
+          tc "seed 33" `Quick (chaos_liveness 33);
+        ] );
+      ( "deadlines",
+        [
+          tc "slowloris reaped" `Quick slowloris_reaped;
+          tc "idle session reaped" `Quick idle_session_reaped;
+          tc "stalled consumer reaped" `Quick stalled_consumer_reaped;
+        ] );
+      ("drain", [ tc "graceful drain" `Quick graceful_drain ]);
+    ]
