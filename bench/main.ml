@@ -1466,6 +1466,144 @@ let e19_chaos () =
   List.rev !json
 
 (* ------------------------------------------------------------------ *)
+(* E20: zero-copy arena stores (DESIGN.md §2i)                         *)
+
+module Serialize = Spanner_slp.Serialize
+module Arena = Spanner_store.Arena
+module Corpus = Spanner_store.Corpus
+module Plan = Spanner_engine.Plan
+
+let e20_store () =
+  section
+    "E20: zero-copy arena stores — mmap cold start vs SLPDB deserialization, batch \
+     throughput over the mapped columns, and shard-parallel scaling (§2i)";
+  let doc_bits = sc 16 8 in
+  let ndocs = sc 64 4 in
+  let rng = X.create 2026 in
+  (* corpus shape for the cold-start scenario: one tiny hot document
+     next to many large cold ones.  A point lookup on the hot doc is
+     where load cost dominates — the SLPDB reader deserializes the
+     whole multi-MB corpus to answer it, the arena maps the file and
+     touches only the hot doc's pages. *)
+  let db = Doc_db.create () in
+  ignore (Doc_db.add_string db "hot" "abababab");
+  for i = 1 to ndocs do
+    ignore (Doc_db.add_string db (Printf.sprintf "doc%02d" i) (X.string rng "ab" (1 lsl doc_bits)))
+  done;
+  let dir = Filename.temp_file "spanner-bench-e20" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let slpdb = Filename.concat dir "corpus.slpdb" in
+  Serialize.write_file db slpdb;
+  let arena1 = Filename.concat dir "corpus.slpar" in
+  ignore (Corpus.pack db ~shards:1 arena1);
+  let ct = Compiled.of_formula (Regex_formula.parse ".*!x{ab}.*") in
+  let json = ref [] in
+  let push k v = json := (k, Some v) :: !json in
+
+  (* --- cold-start time-to-first-tuple on the hot document *)
+  let first_tuple text =
+    match Cursor.next (Cursor.of_compiled (Compiled.prepare ct text)) with
+    | Some _ -> ()
+    | None -> failwith "hot document lost its tuples"
+  in
+  let ttft_slpdb =
+    best_of 3 (fun () ->
+        let db = Serialize.read_file slpdb in
+        let fz = Doc_db.freeze db in
+        first_tuple (Slp.frozen_to_string fz (Doc_db.find db "hot")))
+  in
+  let ttft_arena =
+    best_of 3 (fun () ->
+        let c = Corpus.open_path arena1 in
+        let si, root = Option.get (Corpus.find c "hot") in
+        first_tuple (Slp.frozen_to_string (Arena.frozen_view (Corpus.shards c).(si)) root))
+  in
+  let load_slpdb = best_of 3 (fun () -> ignore (Serialize.read_file slpdb)) in
+  let load_arena = best_of 3 (fun () -> ignore (Corpus.open_path arena1)) in
+
+  (* --- batch throughput: the full corpus through Plan.relations,
+     heap Db vs mapped corpus (both take the compressed sweep) *)
+  let check_total results =
+    Array.fold_left
+      (fun acc (_, r) ->
+        match r with Ok rel -> acc + Span_relation.cardinal rel | Error e -> raise e)
+      0 results
+  in
+  let batch_heap_total = ref 0 and batch_arena_total = ref 0 in
+  let batch_heap =
+    let p = Plan.make ~force:`Compressed ct (Plan.Db db) in
+    best_of 3 (fun () -> batch_heap_total := check_total (Plan.relations p))
+  in
+  let corpus1 = Corpus.open_path arena1 in
+  let batch_arena =
+    let p = Plan.make ~force:`Compressed ct (Plan.Packed corpus1) in
+    best_of 3 (fun () -> batch_arena_total := check_total (Plan.relations p))
+  in
+  if !batch_heap_total <> !batch_arena_total then
+    failwith "arena batch disagrees with heap batch";
+
+  (* --- shard-parallel scaling: same corpus split 1/2/4 ways,
+     evaluated with 4 domains.  A longer literal keeps the result set
+     tiny, isolating the matrix sweep — the serial phase that
+     sharding parallelizes (enumeration already fans out per document
+     at any shard count). *)
+  let ct_sweep = Compiled.of_formula (Regex_formula.parse ".*!x{aaaaaaaaaaaa}.*") in
+  let shard_times =
+    List.map
+      (fun shards ->
+        let path = Filename.concat dir (Printf.sprintf "sharded%d" shards) in
+        ignore (Corpus.pack db ~shards path);
+        let c = Corpus.open_path path in
+        let p = Plan.make ~force:`Compressed ct_sweep (Plan.Packed c) in
+        let t = best_of 3 (fun () -> ignore (check_total (Plan.relations ~jobs:4 p))) in
+        (shards, t))
+      [ 1; 2; 4 ]
+  in
+
+  let corpus_bytes = (Unix.stat slpdb).Unix.st_size in
+  push "e20/ttft-slpdb" (ttft_slpdb *. 1e9);
+  push "e20/ttft-arena" (ttft_arena *. 1e9);
+  push "e20/ttft-speedup" (ttft_slpdb /. max ttft_arena 1e-9);
+  push "e20/load-slpdb" (load_slpdb *. 1e9);
+  push "e20/load-arena" (load_arena *. 1e9);
+  push "e20/batch-heap" (batch_heap *. 1e9);
+  push "e20/batch-arena" (batch_arena *. 1e9);
+  List.iter
+    (fun (shards, t) -> push (Printf.sprintf "e20/batch-%dshard-4jobs" shards) (t *. 1e9))
+    shard_times;
+  print_table
+    ~title:
+      (Printf.sprintf "cold start and batch over %d docs (%s SLPDB on disk)" (ndocs + 1)
+         (pretty_int corpus_bytes))
+    ~header:[ "metric"; "value" ]
+    ([
+       [ "SLPDB cold start to first tuple (hot doc)"; pretty_time ttft_slpdb ];
+       [ "arena cold start to first tuple (hot doc)"; pretty_time ttft_arena ];
+       [ "cold-start speedup"; Printf.sprintf "%.0fx" (ttft_slpdb /. max ttft_arena 1e-9) ];
+       [ "  SLPDB load alone"; pretty_time load_slpdb ];
+       [ "  arena open alone"; pretty_time load_arena ];
+       [
+         "batch sweep, heap store";
+         Printf.sprintf "%s (%s tuples)" (pretty_time batch_heap) (pretty_int !batch_heap_total);
+       ];
+       [ "batch sweep, mapped arena"; pretty_time batch_arena ];
+     ]
+    @ List.map
+        (fun (shards, t) ->
+          [ Printf.sprintf "batch, %d shard(s), 4 domains" shards; pretty_time t ])
+        shard_times);
+  note
+    "expected shape: arena cold start at least 50x below the SLPDB reader on a multi-MB \
+     corpus (the acceptance bar) — open is O(1) in corpus size (header + doc table, no \
+     node deserialization) while SLPDB parses every node; the mapped batch within noise \
+     of the heap batch (same sweep, different backing); multi-shard batches beating one \
+     shard ON A MULTI-CORE BOX, since shards sweep in parallel instead of serializing \
+     behind one engine — on a single core the domains time-slice and the rows are flat, \
+     with each extra shard adding only its fixed sweep overhead.";
+  List.rev !json
+
+(* ------------------------------------------------------------------ *)
 (* A: ablations of design choices                                      *)
 
 let a1_join_strategy () =
@@ -1708,6 +1846,7 @@ let registry =
     { id = "E17"; run = e17_algebra; json = Some "BENCH_algebra.json" };
     { id = "E18"; run = e18_serve; json = Some "BENCH_serve.json" };
     { id = "E19"; run = e19_chaos; json = Some "BENCH_robust.json" };
+    { id = "E20"; run = e20_store; json = Some "BENCH_store.json" };
     { id = "A1"; run = silent a1_join_strategy; json = None };
     { id = "A2"; run = silent a2_balanced_editing; json = None };
     { id = "A3"; run = silent a3_equality_strategy; json = None };

@@ -17,6 +17,7 @@ module Builder = Spanner_slp.Builder
 module Balance = Spanner_slp.Balance
 module Slp_spanner = Spanner_slp.Slp_spanner
 module Doc_db = Spanner_slp.Doc_db
+module Corpus = Spanner_store.Corpus
 module Limits = Spanner_util.Limits
 module Pool = Spanner_util.Pool
 module Cursor = Spanner_engine.Cursor
@@ -102,8 +103,12 @@ let error_message = function
   | Limits.Spanner_error err -> Limits.to_string err
   | e -> Printexc.to_string e
 
-let batch_cmd formula files jobs engine limits offset limit format =
-  if files = [] then usage "missing documents: give at least one FILE";
+let batch_cmd formula store files jobs engine limits offset limit format =
+  if store = None && files = [] then
+    usage "missing documents: give at least one FILE or --store";
+  if store <> None && files <> [] then usage "give FILEs or --store, not both";
+  if store <> None && engine = `Compiled then
+    usage "--store is packed: use --engine compressed or decompress";
   (* Compilation failures (e.g. the state cap) abort the whole batch:
      with no compiled spanner there is nothing to degrade to.  Per-
      document failures below only cost their own slot. *)
@@ -111,33 +116,50 @@ let batch_cmd formula files jobs engine limits offset limit format =
   Format.printf "compiled: %d states, %d byte classes, %d marker-set labels@."
     (Compiled.states ct) (Compiled.classes ct) (Compiled.alphabet ct);
   let plan =
-    match engine with
-    | (`Auto | `Compiled) as e ->
-        let docs = Array.of_list (List.map (fun f -> (f, read_file f)) files) in
-        let force = match e with `Compiled -> Some `Compiled | `Auto -> None in
-        Plan.make ?force ct (Plan.Docs docs)
-    | (`Compressed | `Decompress) as e ->
-        (* Compress the files into one shared-store database, then
-           evaluate in the compressed domain (or decompress from a
-           frozen snapshot, for comparison). *)
-        let db = Doc_db.create () in
-        List.iter
-          (fun file ->
-            let doc = read_file file in
-            if String.length doc = 0 then
-              usage (file ^ ": SLPs derive non-empty documents");
-            ignore (Doc_db.add_string db file doc))
-          files;
-        Format.printf "slp: %d shared nodes for %d bytes@."
-          (Doc_db.compressed_size db) (Doc_db.total_len db);
-        Plan.make ~force:e ct (Plan.Db db)
+    match store with
+    | Some path ->
+        (* mapped arena corpus: zero deserialization, the sweep runs
+           straight over the packed columns *)
+        let force =
+          match engine with
+          | `Auto | `Compiled -> None
+          | (`Compressed | `Decompress) as e -> Some e
+        in
+        let c = Corpus.open_path path in
+        Format.printf "store: %d shard(s), %d document(s), %d bytes mapped@."
+          (Corpus.shard_count c) (Corpus.doc_count c) (Corpus.mapped_bytes c);
+        Plan.make ?force ct (Plan.Packed c)
+    | None -> (
+        match engine with
+        | (`Auto | `Compiled) as e ->
+            let docs = Array.of_list (List.map (fun f -> (f, read_file f)) files) in
+            let force = match e with `Compiled -> Some `Compiled | `Auto -> None in
+            Plan.make ?force ct (Plan.Docs docs)
+        | (`Compressed | `Decompress) as e ->
+            (* Compress the files into one shared-store database, then
+               evaluate in the compressed domain (or decompress from a
+               frozen snapshot, for comparison). *)
+            let db = Doc_db.create () in
+            List.iter
+              (fun file ->
+                let doc = read_file file in
+                if String.length doc = 0 then
+                  usage (file ^ ": SLPs derive non-empty documents");
+                ignore (Doc_db.add_string db file doc))
+              files;
+            Format.printf "slp: %d shared nodes for %d bytes@."
+              (Doc_db.compressed_size db) (Doc_db.total_len db);
+            Plan.make ~force:e ct (Plan.Db db))
+  in
+  let ndocs =
+    match Plan.input plan with
+    | Plan.Packed c -> Corpus.doc_count c
+    | _ -> List.length files
   in
   (* surface the effective domain count when the SPANNER_JOBS override
      is in play — otherwise job selection stays invisible *)
   (match Pool.env_jobs () with
-  | Some _ ->
-      Format.printf "jobs: %d (SPANNER_JOBS)@."
-        (Pool.effective_jobs ?jobs (List.length files))
+  | Some _ -> Format.printf "jobs: %d (SPANNER_JOBS)@." (Pool.effective_jobs ?jobs ndocs)
   | None -> ());
   let total = ref 0 in
   let failed = ref 0 in
@@ -194,12 +216,40 @@ let batch_cmd formula files jobs engine limits offset limit format =
   (match format with
   | `Table ->
       if !failed = 0 then
-        Format.printf "%d document(s), %d tuple(s) total@." (List.length files) !total
+        Format.printf "%d document(s), %d tuple(s) total@." ndocs !total
       else
-        Format.printf "%d document(s), %d failed, %d tuple(s) total@." (List.length files)
-          !failed !total
+        Format.printf "%d document(s), %d failed, %d tuple(s) total@." ndocs !failed !total
   | _ -> ());
   if !failed > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* pack *)
+
+let pack_cmd files dbfile shards out =
+  if shards < 1 then usage "--shards must be at least 1";
+  let db =
+    match (dbfile, files) with
+    | Some _, _ :: _ -> usage "give FILEs or --db, not both"
+    | Some path, [] -> Spanner_slp.Serialize.read_file path
+    | None, [] -> usage "missing documents: give FILEs or --db"
+    | None, files ->
+        let db = Doc_db.create () in
+        List.iter
+          (fun file ->
+            let doc = read_file file in
+            if String.length doc = 0 then
+              usage (file ^ ": SLPs derive non-empty documents");
+            ignore (Doc_db.add_string db file doc))
+          files;
+        db
+  in
+  let written = Corpus.pack db ~shards out in
+  Format.printf "packed %d document(s), %d bytes into %d shard(s)@."
+    (List.length (Doc_db.names db))
+    (Doc_db.total_len db) shards;
+  List.iter
+    (fun f -> Format.printf "wrote %s: %d bytes@." f (Unix.stat f).Unix.st_size)
+    written
 
 (* ------------------------------------------------------------------ *)
 (* enum *)
@@ -460,14 +510,18 @@ let query_cmd expr doc files jobs fuse_states contents limits offset limit forma
 (* ------------------------------------------------------------------ *)
 (* explain *)
 
-let explain_plan_cmd formula doc file slp session dbfile limits =
+let explain_plan_cmd formula doc file slp session dbfile storefile limits =
   let ct = Compiled.of_formula ~limits (parse_formula formula) in
   let plan =
-    match dbfile with
-    | Some path ->
+    match (dbfile, storefile) with
+    | Some _, Some _ -> usage "give at most one of --db, --store"
+    | _, Some path ->
+        if slp || session then usage "give at most one of --slp, --session, --store";
+        Plan.make ct (Plan.Packed (Corpus.open_path path))
+    | Some path, None ->
         if slp || session then usage "give at most one of --slp, --session, --db";
         Plan.make ct (Plan.Db (Spanner_slp.Serialize.read_file path))
-    | None ->
+    | None, None ->
         let document = read_document doc file in
         if slp && session then usage "give at most one of --slp, --session, --db";
         if (slp || session) && String.length document = 0 then
@@ -490,10 +544,10 @@ let explain_plan_cmd formula doc file slp session dbfile limits =
   in
   Format.printf "%a" Plan.pp plan
 
-let explain_cmd formula doc file slp session dbfile algebra fuse_states limits =
+let explain_cmd formula doc file slp session dbfile storefile algebra fuse_states limits =
   if algebra then begin
-    if slp || session || dbfile <> None then
-      usage "--algebra plans over plain documents (no --slp/--session/--db)";
+    if slp || session || dbfile <> None || storefile <> None then
+      usage "--algebra plans over plain documents (no --slp/--session/--db/--store)";
     let e = Algebra.parse ~load:read_file formula in
     let sample =
       match (doc, file) with None, None -> None | d, f -> Some (read_document d f)
@@ -501,7 +555,7 @@ let explain_cmd formula doc file slp session dbfile algebra fuse_states limits =
     let plan = Optimizer.optimize ~limits ?fuse_states ?sample e in
     Format.printf "%a" Optimizer.pp plan
   end
-  else explain_plan_cmd formula doc file slp session dbfile limits
+  else explain_plan_cmd formula doc file slp session dbfile storefile limits
 
 (* ------------------------------------------------------------------ *)
 (* datalog *)
@@ -676,13 +730,51 @@ let engine_arg =
            domain (§4.2); $(b,decompress) builds the same database but decompresses before \
            evaluating (the baseline the compressed engine is measured against).")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:
+          "Evaluate over the packed corpus at $(docv) — a $(b,pack)-built arena or shard \
+           manifest, mapped zero-copy; multi-shard corpora evaluate shard-parallel.")
+
 let batch_term =
   Term.(
-    const (fun formula files jobs engine limits offset limit format ->
+    const (fun formula store files jobs engine limits offset limit format ->
         catch (fun () ->
-            batch_cmd formula files jobs engine limits offset limit (table_default format)))
-    $ formula_arg $ files_arg $ jobs_arg $ engine_arg $ limits_term $ offset_arg $ limit_arg
-    $ format_arg)
+            batch_cmd formula store files jobs engine limits offset limit
+              (table_default format)))
+    $ formula_arg $ store_arg $ files_arg $ jobs_arg $ engine_arg $ limits_term $ offset_arg
+    $ limit_arg $ format_arg)
+
+let pack_files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Document files to pack.")
+
+let pack_db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "db" ] ~docv:"PATH" ~doc:"Pack the documents of the SLPDB database at $(docv).")
+
+let pack_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Split the corpus round-robin into $(docv) arena files behind a manifest \
+           (default: one arena, no manifest).")
+
+let pack_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Write the arena (or manifest) to $(docv).")
+
+let pack_term =
+  Term.(
+    const (fun files dbfile shards out -> catch (fun () -> pack_cmd files dbfile shards out))
+    $ pack_files_arg $ pack_db_arg $ pack_shards_arg $ pack_out_arg)
 
 let enum_term =
   Term.(
@@ -792,13 +884,21 @@ let fuse_states_arg =
            estimated product stays within $(docv) states, falling back to materialised \
            evaluation above it (default: 4096, capped by --max-states).")
 
+let store_shape_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:"Plan over the packed arena corpus (or shard manifest) at $(docv).")
+
 let explain_term =
   Term.(
-    const (fun formula doc file slp session dbfile algebra fuse_states limits ->
+    const (fun formula doc file slp session dbfile storefile algebra fuse_states limits ->
         catch (fun () ->
-            explain_cmd formula doc file slp session dbfile algebra fuse_states limits))
+            explain_cmd formula doc file slp session dbfile storefile algebra fuse_states
+              limits))
     $ formula_arg $ doc_arg $ file_arg $ slp_shape_arg $ session_shape_arg $ db_shape_arg
-    $ algebra_flag $ fuse_states_arg $ limits_term)
+    $ store_shape_arg $ algebra_flag $ fuse_states_arg $ limits_term)
 
 let expr_arg =
   Arg.(
@@ -1046,6 +1146,13 @@ let cmds =
            "Evaluate one spanner on many document files: compile once, run the \
             linear-time document pass per file, in parallel across domains.")
       batch_term;
+    Cmd.v
+      (Cmd.info "pack"
+         ~doc:
+           "Pack documents (or an SLPDB database) into frozen arena files: the SLP laid out \
+            as flat columns that map back in O(1) with zero deserialization; --shards \
+            splits the corpus behind a manifest for shard-parallel evaluation.")
+      pack_term;
     Cmd.v (Cmd.info "enum" ~doc:"Enumerate result tuples with the two-phase algorithm (§2.5).")
       enum_term;
     Cmd.v (Cmd.info "refl" ~doc:"Evaluate a refl-spanner (&x references, §3).") refl_term;

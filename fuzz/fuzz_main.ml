@@ -99,6 +99,29 @@ let targets =
           done);
     };
     {
+      name = "arena";
+      alphabet = "";
+      (* empty alphabet: full byte range *)
+      run =
+        (fun s ->
+          (* dispatch like Corpus.open_path: manifest magic → the text
+             manifest grammar (parse only, no filesystem); anything
+             else is an arena image.  An image that opens must also
+             survive the full structural validation and a walk of
+             every node through the flat accessors. *)
+          if Spanner_store.Manifest.looks_like s then
+            ignore (Spanner_store.Manifest.of_string s)
+          else begin
+            let a = Spanner_store.Arena.of_string s in
+            Spanner_store.Arena.validate a;
+            let fz = Spanner_store.Arena.frozen_view a in
+            for id = 0 to Spanner_store.Arena.node_count a - 1 do
+              ignore (Spanner_slp.Slp.frozen_node fz id);
+              ignore (Spanner_slp.Slp.frozen_len fz id)
+            done
+          end);
+    };
+    {
       name = "serve";
       alphabet = "0123456789\nDEFINELOADQUERYXPSTACOUH abxy_-.=/{}*+";
       run = Spanner_serve.Protocol.fuzz_entry;
@@ -183,6 +206,18 @@ let fresh_slpdb () =
   ignore (Spanner_slp.Doc_db.add_string db "d2" "abcabcabcabc");
   Spanner_slp.Serialize.write_string db
 
+(* Same idea for the arena deserializer: a well-formed image whose
+   mutations reach past the header checksum. *)
+let fresh_arena () =
+  let db = Spanner_slp.Doc_db.create () in
+  ignore (Spanner_slp.Doc_db.add_string db "d1" "abracadabra");
+  ignore (Spanner_slp.Doc_db.add_string db "d2" "abcabcabcabc");
+  let store = Spanner_slp.Doc_db.store db in
+  let docs =
+    List.map (fun n -> (n, Spanner_slp.Doc_db.find db n)) (Spanner_slp.Doc_db.names db)
+  in
+  Spanner_store.Arena.pack_bytes store docs
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -218,7 +253,9 @@ let () =
   (* 2. seed pool per target: corpus files + a fresh SLPDB image *)
   let pool t =
     let own = List.filter_map (fun (t', _, c) -> if t' == t then Some c else None) seeds in
-    if t.name = "slpdb" then fresh_slpdb () :: own else own
+    if t.name = "slpdb" then fresh_slpdb () :: own
+    else if t.name = "arena" then fresh_arena () :: own
+    else own
   in
   let pools = Array.map (fun t -> Array.of_list (pool t)) targets in
   (* 3. random + mutation rounds *)

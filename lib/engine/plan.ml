@@ -4,6 +4,8 @@ module Pool = Spanner_util.Pool
 module Slp = Spanner_slp.Slp
 module Doc_db = Spanner_slp.Doc_db
 module Slp_spanner = Spanner_slp.Slp_spanner
+module Arena = Spanner_store.Arena
+module Corpus = Spanner_store.Corpus
 module Incr = Spanner_incr.Incr
 
 type input =
@@ -11,6 +13,7 @@ type input =
   | Docs of (string * string) array
   | Slp_node of Slp.store * Slp.id
   | Db of Doc_db.t
+  | Packed of Corpus.t
   | Session of Incr.session * string
 
 type choice = [ `Compiled | `Compressed | `Decompress | `Incr ]
@@ -42,7 +45,7 @@ let spanner_fact ct =
 let fits input (c : choice) =
   match (input, c) with
   | (Doc _ | Docs _), `Compiled -> true
-  | (Slp_node _ | Db _), (`Compressed | `Decompress) -> true
+  | (Slp_node _ | Db _ | Packed _), (`Compressed | `Decompress) -> true
   | Session _, `Incr -> true
   | _ -> false
 
@@ -95,6 +98,23 @@ let make ?force ct input =
           ],
           if r >= sweep_threshold then
             "compressible: one shared sweep covers every document, enumeration fans out"
+          else "barely compressible: decompress-then-scan beats the matrix products" )
+    | Packed c ->
+        let bytes = Corpus.total_len c and nodes = Corpus.node_count c in
+        let r = ratio bytes nodes in
+        let auto = if r >= sweep_threshold then `Compressed else `Decompress in
+        ( pick auto,
+          [
+            ("input", "packed corpus");
+            ("shards", string_of_int (Corpus.shard_count c));
+            ("documents", string_of_int (Corpus.doc_count c));
+            ("bytes", string_of_int bytes);
+            ("nodes", string_of_int nodes);
+            ("ratio", pp_ratio r);
+            ("mapped", string_of_int (Corpus.mapped_bytes c) ^ " bytes");
+          ],
+          if r >= sweep_threshold then
+            "packed shards: per-shard sweeps run over the mapped columns, shard-parallel"
           else "barely compressible: decompress-then-scan beats the matrix products" )
     | Session (s, name) ->
         let db = Incr.database s in
@@ -150,7 +170,7 @@ let single_cursor ?(limits = Limits.none) p =
       let fz = Slp.freeze store in
       decompress_cursor g p.ct fz id
   | Session (s, name), _ -> Cursor.of_incr ~gauge:g s (Doc_db.find (Incr.database s) name)
-  | (Docs _ | Db _), _ -> invalid_arg "Plan.cursor: batch input, use Plan.cursors"
+  | (Docs _ | Db _ | Packed _), _ -> invalid_arg "Plan.cursor: batch input, use Plan.cursors"
 
 let cursor ?limits p = single_cursor ?limits p
 
@@ -203,6 +223,47 @@ let cursors ?(limits = Limits.none) p =
                 (fun name id ->
                   (name, Ok (Cursor.of_slp ~gauge:(Limits.start limits) engine id)))
                 names roots))
+  | Packed c -> (
+      let shards = Corpus.shards c in
+      let docs = Corpus.docs c in
+      match p.choice with
+      | `Decompress ->
+          Array.map
+            (fun (name, si, root) ->
+              ( name,
+                match
+                  decompress_cursor (Limits.start limits) p.ct
+                    (Arena.frozen_view shards.(si)) root
+                with
+                | cur -> Ok cur
+                | exception e -> Error e ))
+            docs
+      | _ ->
+          (* one engine and one sweep per shard, straight over the
+             mapped columns; a shard whose sweep trips poisons only
+             its own documents *)
+          let swept =
+            Array.mapi
+              (fun si a ->
+                let engine = Slp_spanner.of_frozen p.ct (Arena.frozen_view a) in
+                match
+                  let g = Limits.start limits in
+                  Array.iter
+                    (fun (_, sj, root) ->
+                      if sj = si then Slp_spanner.prepare_gauge g engine root)
+                    docs
+                with
+                | () -> Ok engine
+                | exception e -> Error e)
+              shards
+          in
+          Array.map
+            (fun (name, si, root) ->
+              match swept.(si) with
+              | Error e -> (name, Error e)
+              | Ok engine ->
+                  (name, Ok (Cursor.of_slp ~gauge:(Limits.start limits) engine root)))
+            docs)
 
 let relations ?jobs ?(limits = Limits.none) p =
   let drain c = Cursor.to_relation c in
@@ -254,3 +315,63 @@ let relations ?jobs ?(limits = Limits.none) p =
                   roots
               in
               Array.map2 (fun name r -> (name, r)) names results))
+  | Packed c -> (
+      let shards = Corpus.shards c in
+      let docs = Corpus.docs c in
+      match p.choice with
+      | `Decompress ->
+          let results =
+            Pool.map_result ?jobs
+              (fun (_, si, root) ->
+                drain
+                  (decompress_cursor (Limits.start limits) p.ct
+                     (Arena.frozen_view shards.(si)) root))
+              docs
+          in
+          Array.map2 (fun (name, _, _) r -> (name, r)) docs results
+      | _ when Array.length shards = 1 ->
+          (* single arena: one shared sweep over the mapped columns,
+             then enumeration fans out per document (mirrors Db) *)
+          let engine = Slp_spanner.of_frozen p.ct (Arena.frozen_view shards.(0)) in
+          (match
+             let g = Limits.start limits in
+             Array.iter (fun (_, _, root) -> Slp_spanner.prepare_gauge g engine root) docs
+           with
+          | exception e -> Array.map (fun (name, _, _) -> (name, Error e)) docs
+          | () ->
+              let results =
+                Pool.map_result ?jobs
+                  (fun (_, _, root) ->
+                    drain (Cursor.of_slp ~gauge:(Limits.start limits) engine root))
+                  docs
+              in
+              Array.map2 (fun (name, _, _) r -> (name, r)) docs results)
+      | _ ->
+          (* shard-parallel in two waves.  Wave 1 fans out over shards:
+             each domain builds an engine over its shard's mapped
+             columns and sweeps that shard's documents under one gauge
+             — the serial bottleneck of the single-store path.  A sweep
+             failure poisons the shard's documents only.  Wave 2 fans
+             out over all documents at once (enumeration only reads
+             the mapped columns and filled matrix slots, so engines
+             are safely shared across domains); a drain failure
+             poisons one document only. *)
+          let swept =
+            Pool.map_result ?jobs
+              (fun si ->
+                let engine = Slp_spanner.of_frozen p.ct (Arena.frozen_view shards.(si)) in
+                let g = Limits.start limits in
+                Array.iter
+                  (fun (_, sj, root) ->
+                    if sj = si then Slp_spanner.prepare_gauge g engine root)
+                  docs;
+                engine)
+              (Array.init (Array.length shards) Fun.id)
+          in
+          Pool.map_result ?jobs
+            (fun (_, si, root) ->
+              match swept.(si) with
+              | Error e -> raise e
+              | Ok engine -> drain (Cursor.of_slp ~gauge:(Limits.start limits) engine root))
+            docs
+          |> Array.map2 (fun (name, _, _) r -> (name, r)) docs)

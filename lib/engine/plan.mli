@@ -22,16 +22,20 @@
 open Spanner_core
 module Slp := Spanner_slp.Slp
 module Doc_db := Spanner_slp.Doc_db
+module Corpus := Spanner_store.Corpus
 module Incr := Spanner_incr.Incr
 
-(** What the query runs over.  Batch shapes ([Docs], [Db]) evaluate
-    many documents under one plan; the others stream a single
+(** What the query runs over.  Batch shapes ([Docs], [Db], [Packed])
+    evaluate many documents under one plan; the others stream a single
     result. *)
 type input =
   | Doc of string  (** one plain (uncompressed) document *)
   | Docs of (string * string) array  (** plain documents, [(name, contents)] *)
   | Slp_node of Slp.store * Slp.id  (** one SLP-compressed document *)
   | Db of Doc_db.t  (** a shared-store document database *)
+  | Packed of Corpus.t
+      (** a mapped arena corpus: the sweep runs straight over the
+          frozen columns, one engine per shard, shard-parallel *)
   | Session of Incr.session * string
       (** a live CDE session and a designated document name, resolved
           at cursor-creation time (edits may re-designate it) *)
@@ -84,9 +88,13 @@ val cursors :
 
 (** [relations ?jobs ?limits p] materialises every document of the
     plan — {!cursors} + {!Cursor.to_relation}, fanned out across
-    [jobs] domains for the parallel-safe shapes ([Docs], and [Db]'s
-    enumeration after its shared sweep).  Matches the pre-planner
-    batch entry points ({!Spanner_core.Compiled.eval_all_result},
+    [jobs] domains for the parallel-safe shapes ([Docs], [Db]'s
+    enumeration after its shared sweep, and [Packed]).  A multi-shard
+    [Packed] corpus fans out {e per shard}: each domain owns one shard
+    end to end (engine over the mapped columns, sweep, enumeration),
+    so a failing shard poisons only its own documents.  Matches the
+    pre-planner batch entry points
+    ({!Spanner_core.Compiled.eval_all_result},
     {!Spanner_slp.Slp_spanner.eval_all}) result-for-result, including
     partial-failure semantics. *)
 val relations :

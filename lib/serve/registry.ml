@@ -47,13 +47,27 @@ module Locked_lru = Spanner_util.Locked_lru
 module Slp = Spanner_slp.Slp
 module Doc_db = Spanner_slp.Doc_db
 module Serialize = Spanner_slp.Serialize
+module Arena = Spanner_store.Arena
+module Corpus = Spanner_store.Corpus
 module Optimizer = Spanner_engine.Optimizer
 
-type store_entry = {
+(* A store is either heap-built (LOAD DOC compressions, or an SLPDB
+   file deserialized into a fresh Doc_db) or a mapped arena corpus
+   (LOAD PATH on a pack-built SLPAR1/SLPMF1 file): the file's columns
+   *are* the frozen snapshot, nothing is deserialized, and the store
+   is read-only — LOAD DOC into it is refused rather than silently
+   copied to the heap. *)
+type heap_backing = {
   db : Doc_db.t;
-  gen : int;  (* bumped per Doc_db (re)creation; text-cache key component *)
   mutable frozen : Slp.frozen;
   mutable docs : (string * Slp.id) list;  (* name -> designated root, insertion order *)
+}
+
+type backing = Heap of heap_backing | Mapped of Corpus.t
+
+type store_entry = {
+  backing : backing;
+  gen : int;  (* bumped per backing (re)creation; text-cache key component *)
 }
 
 type t = {
@@ -168,26 +182,55 @@ let load_doc t ~store ~doc ~text =
             let db = Doc_db.create () in
             let gen = t.next_gen in
             t.next_gen <- gen + 1;
-            let e = { db; gen; frozen = Slp.freeze (Doc_db.store db); docs = [] } in
+            let e =
+              {
+                backing = Heap { db; frozen = Slp.freeze (Doc_db.store db); docs = [] };
+                gen;
+              }
+            in
             Hashtbl.add t.stores store e;
             e
       in
-      let id = Doc_db.add_string entry.db doc text in
-      entry.frozen <- Doc_db.freeze entry.db;
-      entry.docs <- List.remove_assoc doc entry.docs @ [ (doc, id) ];
-      (String.length text, Doc_db.compressed_size entry.db))
+      match entry.backing with
+      | Mapped _ ->
+          Limits.eval_failure ~what:"load"
+            (Printf.sprintf "store %S is a mapped arena (read-only); LOAD PATH a new one"
+               store)
+      | Heap h ->
+          let id = Doc_db.add_string h.db doc text in
+          h.frozen <- Doc_db.freeze h.db;
+          h.docs <- List.remove_assoc doc h.docs @ [ (doc, id) ];
+          (String.length text, Doc_db.compressed_size h.db))
+
+(* first bytes of a pack-built file: arena "SLPAR1\n\x00" or shard
+   manifest "SLPMF1\n" — anything else goes through the SLPDB reader *)
+let packed_magic path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let head = really_input_string ic (min 6 (in_channel_length ic)) in
+      head = "SLPAR1" || head = "SLPMF1")
 
 let load_path t ~store ~path =
-  let db = Serialize.read_file path in
-  let docs = List.map (fun name -> (name, Doc_db.find db name)) (Doc_db.names db) in
-  let frozen = Doc_db.freeze db in
+  let backing, ndocs =
+    if packed_magic path then begin
+      let c = Corpus.open_path path in
+      (Mapped c, Corpus.doc_count c)
+    end
+    else begin
+      let db = Serialize.read_file path in
+      let docs = List.map (fun name -> (name, Doc_db.find db name)) (Doc_db.names db) in
+      (Heap { db; frozen = Doc_db.freeze db; docs }, List.length docs)
+    end
+  in
   locked t (fun () ->
-      (* a fresh Doc_db restarts root ids from 0, so the replaced
+      (* a fresh backing restarts root ids from 0, so the replaced
          snapshot's cached texts would collide without a new gen *)
       let gen = t.next_gen in
       t.next_gen <- gen + 1;
-      Hashtbl.replace t.stores store { db; gen; frozen; docs });
-  List.length docs
+      Hashtbl.replace t.stores store { backing; gen });
+  ndocs
 
 (* [resolve t ~store ~doc] is the frozen snapshot, store generation
    and root of one document, as of now — immutable, so safe to
@@ -198,11 +241,21 @@ let resolve t ~store ~doc =
       match Hashtbl.find_opt t.stores store with
       | None -> Limits.eval_failure ~what:"query" (Printf.sprintf "unknown store %S" store)
       | Some entry -> (
-          match List.assoc_opt doc entry.docs with
-          | None ->
-              Limits.eval_failure ~what:"query"
-                (Printf.sprintf "unknown document %S in store %S" doc store)
-          | Some id -> (entry.frozen, entry.gen, id)))
+          let missing () =
+            Limits.eval_failure ~what:"query"
+              (Printf.sprintf "unknown document %S in store %S" doc store)
+          in
+          match entry.backing with
+          | Heap h -> (
+              match List.assoc_opt doc h.docs with
+              | None -> missing ()
+              | Some id -> (h.frozen, entry.gen, id))
+          | Mapped c -> (
+              (* the mapped columns are the snapshot: the frozen view
+                 reads the file in place, no deserialization *)
+              match Corpus.find c doc with
+              | None -> missing ()
+              | Some (si, root) -> (Arena.frozen_view (Corpus.shards c).(si), entry.gen, root))))
 
 let doc_text t ~gauge ~store ~doc =
   let frozen, gen, id = resolve t ~store ~doc in
@@ -214,6 +267,10 @@ let doc_text t ~gauge ~store ~doc =
 
 type counts = { queries : int; stores : int; docs : int }
 
+let entry_docs = function
+  | Heap h -> List.length h.docs
+  | Mapped c -> Corpus.doc_count c
+
 let counts t =
   locked t (fun () ->
       {
@@ -221,9 +278,45 @@ let counts t =
         stores = Hashtbl.length t.stores;
         docs =
           Hashtbl.fold
-            (fun _ (e : store_entry) acc -> acc + List.length e.docs)
+            (fun _ (e : store_entry) acc -> acc + entry_docs e.backing)
             t.stores 0;
       })
+
+type store_info = {
+  sname : string;
+  kind : string;  (* "heap" | "arena" *)
+  sdocs : int;
+  shards : int;
+  mapped : int;  (* bytes of file mapping (0 for heap stores) *)
+  resident : int;  (* bytes actually paged in (heap: frozen-snapshot size) *)
+}
+
+let stores_info t =
+  let entries = locked t (fun () -> Hashtbl.fold (fun n e acc -> (n, e) :: acc) t.stores []) in
+  (* resident_bytes reads /proc outside the registry lock *)
+  List.sort compare
+    (List.map
+       (fun (sname, e) ->
+         match e.backing with
+         | Heap h ->
+             {
+               sname;
+               kind = "heap";
+               sdocs = List.length h.docs;
+               shards = 1;
+               mapped = 0;
+               resident = Slp.frozen_bytes h.frozen;
+             }
+         | Mapped c ->
+             {
+               sname;
+               kind = "arena";
+               sdocs = Corpus.doc_count c;
+               shards = Corpus.shard_count c;
+               mapped = Corpus.mapped_bytes c;
+               resident = Corpus.resident_bytes c;
+             })
+       entries)
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
 

@@ -54,11 +54,15 @@ val plan : t -> Protocol.source -> Spanner_engine.Optimizer.t
     snapshot.  Returns [(uncompressed_len, compressed_size)] of the
     store after the load.
     @raise Spanner_util.Limits.Spanner_error ([Eval_failure]) on an
-    empty [text]. *)
+    empty [text] or when [store] is a mapped arena (read-only). *)
 val load_doc : t -> store:string -> doc:string -> text:string -> int * int
 
-(** [load_path t ~store ~path] replaces [store] with the SLPDB file at
-    [path] (server filesystem).  Returns the number of documents. *)
+(** [load_path t ~store ~path] replaces [store] with the file at
+    [path] (server filesystem).  The file's magic decides the
+    backing: a pack-built arena ([SLPAR1]) or shard manifest
+    ([SLPMF1]) is memory-mapped in place — O(1) in corpus size, zero
+    deserialization, read-only — while an SLPDB file is deserialized
+    into a fresh heap store.  Returns the number of documents. *)
 val load_path : t -> store:string -> path:string -> int
 
 (** [doc_text t ~gauge ~store ~doc] is the decompressed text of one
@@ -72,6 +76,22 @@ val doc_text :
 type counts = { queries : int; stores : int; docs : int }
 
 val counts : t -> counts
+
+(** One line of [STATS] per store: what backs it and what it costs. *)
+type store_info = {
+  sname : string;
+  kind : string;  (** ["heap"] or ["arena"] *)
+  sdocs : int;
+  shards : int;  (** arena shard count (heap stores report 1) *)
+  mapped : int;  (** bytes of file mapping; 0 for heap stores *)
+  resident : int;
+      (** bytes actually paged in (arena: Rss of the mapping from
+          /proc; heap: the frozen-snapshot footprint estimate) *)
+}
+
+(** [stores_info t] describes every store, sorted by name.  Reads
+    /proc outside the registry lock. *)
+val stores_info : t -> store_info list
 
 type cache_stats = {
   hits : int;

@@ -179,6 +179,12 @@ let handle_stats ctx c =
     counts.Registry.stores counts.Registry.docs;
   Printf.bprintf b "%s\n" (cache_line "plan_cache" (Registry.plan_cache_stats ctx.registry));
   Printf.bprintf b "%s\n" (cache_line "doc_cache" (Registry.doc_cache_stats ctx.registry));
+  List.iter
+    (fun (i : Registry.store_info) ->
+      Printf.bprintf b "store %s: kind=%s docs=%d shards=%d mapped=%d resident=%d\n"
+        i.Registry.sname i.Registry.kind i.Registry.sdocs i.Registry.shards
+        i.Registry.mapped i.Registry.resident)
+    (Registry.stores_info ctx.registry);
   let s = Scheduler.stats ctx.scheduler in
   Printf.bprintf b
     "scheduler: workers=%d capacity=%d submitted=%d completed=%d shed=%d queued=%d \

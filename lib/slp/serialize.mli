@@ -37,7 +37,11 @@ val write_file : Doc_db.t -> string -> unit
 val read_file : string -> Doc_db.t
 
 (** [write_channel db oc] / [read_channel ic] are the channel-level
-    variants ([read_channel] slurps the channel to end-of-input). *)
+    variants.  [read_channel] parses to end-of-input through one
+    reused fixed-size buffer — O(buffer) extra memory, never a second
+    whole-file copy; on a seekable channel size fields are validated
+    against the bytes actually left, on a pipe they degrade to plain
+    truncation errors. *)
 val write_channel : Doc_db.t -> out_channel -> unit
 
 val read_channel : in_channel -> Doc_db.t

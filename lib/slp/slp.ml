@@ -158,31 +158,100 @@ let of_string store s =
 
 (* A store is a mutable arena (hash-consing tables, growable cell
    buffer), so concurrent readers race against any writer and against
-   the buffer's own reallocation.  A frozen view copies the cells into
-   plain immutable-after-construction arrays: safe to share across
-   domains by construction.  Ascending id is a valid topological order
-   — [pair] interns children before parents — so no separate order
-   array is needed. *)
-type frozen = { fnodes : node array; flens : int array }
+   the buffer's own reallocation.  A frozen view is immutable after
+   construction: safe to share across domains by construction.
+   Ascending id is a valid topological order — [pair] interns children
+   before parents — so no separate order array is needed.
+
+   Two representations share the accessor surface:
+
+   - [Heap]: plain arrays copied out of a store by [freeze];
+   - [Flat]: structs-of-int-arrays over Bigarray columns, built by
+     [frozen_of_columns] — the zero-copy view the arena format
+     (Spanner_store.Arena, SLPAR1) lays directly over an mmapped
+     file.  A leaf stores [-(1 + byte)] in the left column (ids are
+     never negative, so the sign is the tag); a pair stores its
+     children.  Flat columns may come from an untrusted file, so the
+     decoder validates per access — O(1), typed [Corrupt_input] — and
+     a hostile arena can never take an accessor out of bounds. *)
+
+type int_array = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type frozen =
+  | Heap of { fnodes : node array; flens : int array }
+  | Flat of { count : int; left : int_array; right : int_array; lens : int_array }
 
 let freeze store =
   let n = Vec.length store.cells in
-  {
-    fnodes = Array.init n (fun i -> (Vec.get store.cells i).node);
-    flens = Array.init n (fun i -> (Vec.get store.cells i).len);
-  }
+  Heap
+    {
+      fnodes = Array.init n (fun i -> (Vec.get store.cells i).node);
+      flens = Array.init n (fun i -> (Vec.get store.cells i).len);
+    }
 
-let frozen_size fz = Array.length fz.fnodes
+let frozen_of_columns ~count ~left ~right ~lens =
+  let dim a = Bigarray.Array1.dim a in
+  if count < 0 then invalid_arg "Slp.frozen_of_columns: negative count";
+  if dim left < count || dim right < count || dim lens < count then
+    invalid_arg "Slp.frozen_of_columns: columns shorter than count";
+  Flat { count; left; right; lens }
 
-let frozen_node fz id = fz.fnodes.(id)
+let frozen_size = function
+  | Heap h -> Array.length h.fnodes
+  | Flat f -> f.count
 
-let frozen_len fz id = fz.flens.(id)
+let flat_corrupt msg = Limits.corrupt ~what:"SLPAR1" msg
+
+let frozen_node fz id =
+  match fz with
+  | Heap h -> h.fnodes.(id)
+  | Flat f ->
+      if id < 0 || id >= f.count then invalid_arg "Slp.frozen_node: id out of range";
+      let l = Bigarray.Array1.unsafe_get f.left id in
+      if l < 0 then begin
+        let b = -l - 1 in
+        if b > 255 then flat_corrupt "leaf byte out of range";
+        Leaf (Char.chr b)
+      end
+      else begin
+        let r = Bigarray.Array1.unsafe_get f.right id in
+        (* children must precede their parent: ascending ids stay a
+           topological order even over hostile columns *)
+        if l >= id || r < 0 || r >= id then flat_corrupt "pair child out of topological order";
+        Pair (l, r)
+      end
+
+let frozen_len fz id =
+  match fz with
+  | Heap h -> h.flens.(id)
+  | Flat f ->
+      if id < 0 || id >= f.count then invalid_arg "Slp.frozen_len: id out of range";
+      let n = Bigarray.Array1.unsafe_get f.lens id in
+      if n < 1 then flat_corrupt "node with non-positive length";
+      n
+
+let word_bytes = Sys.word_size / 8
+
+let frozen_bytes = function
+  | Flat f -> 3 * 8 * f.count
+  | Heap h ->
+      (* two array headers + slots, plus one boxed block per node
+         (Leaf: header + char; Pair: header + two ids) *)
+      let blocks =
+        Array.fold_left
+          (fun acc n -> acc + match n with Leaf _ -> 2 | Pair _ -> 3)
+          0 h.fnodes
+      in
+      word_bytes * ((2 * (Array.length h.fnodes + 1)) + blocks)
 
 (* Metered decompression: one gauge step per emitted byte, so a
    pathological document trips its budget instead of allocating
    unboundedly before evaluation even starts. *)
 let frozen_to_string ?gauge fz id =
-  let buf = Buffer.create fz.flens.(id) in
+  (* the length is a size hint only, and on a Flat view it comes from
+     an untrusted column: clamp so a hostile value cannot force a
+     giant allocation before the first byte is even emitted *)
+  let buf = Buffer.create (min (frozen_len fz id) 65536) in
   let check =
     match gauge with None -> ignore | Some g -> fun () -> Limits.check g
   in
@@ -192,7 +261,7 @@ let frozen_to_string ?gauge fz id =
     | [] -> ()
     | id :: rest -> (
         stack := rest;
-        match fz.fnodes.(id) with
+        match frozen_node fz id with
         | Leaf c ->
             check ();
             Buffer.add_char buf c

@@ -77,27 +77,61 @@ val iter_reachable : store -> id -> (id -> unit) -> unit
 
     A store is a mutable arena, so concurrent readers race against
     writers (and against the cell buffer's reallocation).  A {!frozen}
-    view is an immutable array-backed snapshot of every node present
-    at {!freeze} time: safe to share across OCaml 5 [Domain]s by
-    construction.  Node ids are stable — an id valid in the store is
-    valid in every later snapshot — and ascending id order is a valid
-    topological order (children are always interned before parents). *)
+    view is an immutable snapshot of every node present at {!freeze}
+    time: safe to share across OCaml 5 [Domain]s by construction.
+    Node ids are stable — an id valid in the store is valid in every
+    later snapshot — and ascending id order is a valid topological
+    order (children are always interned before parents).
+
+    A frozen view has two interchangeable representations behind the
+    same accessors: the heap-array snapshot {!freeze} builds, and a
+    {e flat} view over [Bigarray] int columns ({!frozen_of_columns})
+    that the arena store ([Spanner_store.Arena], format [SLPAR1]) lays
+    directly over an mmapped file — zero deserialization, shared
+    read-only across domains {e and} processes.  Flat columns may come
+    from an untrusted file, so flat accessors validate what they touch
+    (O(1) per access) and raise a typed
+    [Spanner_util.Limits.Spanner_error] ([Corrupt_input]) instead of
+    ever reading out of bounds. *)
 
 type frozen
+
+(** Bigarray int columns backing a flat frozen view. *)
+type int_array = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (** [freeze store] snapshots all [store_size store] nodes.  O(store
     size); nodes created later are not visible in the snapshot. *)
 val freeze : store -> frozen
+
+(** [frozen_of_columns ~count ~left ~right ~lens] is a flat frozen
+    view over struct-of-arrays columns, typically slices of one
+    mmapped arena.  Node [id < count] is a leaf for byte [b] when
+    [left.{id} = -(1 + b)], else the pair [(left.{id}, right.{id})];
+    [lens.{id}] is its derived length.  The columns are {e not}
+    copied or validated here — construction is O(1); accessors
+    validate per node.
+    @raise Invalid_argument when a column is shorter than [count]. *)
+val frozen_of_columns :
+  count:int -> left:int_array -> right:int_array -> lens:int_array -> frozen
+
+(** [frozen_bytes fz] estimates the memory behind the view: mapped
+    column bytes for a flat view, heap words for an array snapshot. *)
+val frozen_bytes : frozen -> int
 
 (** [frozen_size fz] is the number of nodes in the snapshot. *)
 val frozen_size : frozen -> int
 
 (** [frozen_node fz id] inspects a node of the snapshot (O(1), no
     lock).
-    @raise Invalid_argument if [id] is outside the snapshot. *)
+    @raise Invalid_argument if [id] is outside the snapshot.
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) when a
+    flat view's columns are malformed at [id] (leaf byte out of range,
+    child not preceding its parent). *)
 val frozen_node : frozen -> id -> node
 
-(** [frozen_len fz id] is |𝔇(id)| per the snapshot. *)
+(** [frozen_len fz id] is |𝔇(id)| per the snapshot.
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]) on a
+    flat view holding a non-positive length. *)
 val frozen_len : frozen -> id -> int
 
 (** [frozen_to_string ?gauge fz id] decompresses from the snapshot,

@@ -19,7 +19,7 @@ module Limits = Spanner_util.Limits
 
 type engine = {
   ct : Compiled.t;
-  store : Slp.store;
+  store : Slp.store option;  (* None: frozen-backed (mmap arena), nothing to refresh *)
   set_step : Bitmatrix.t;
   mutable frozen : Slp.frozen;
   mutable pure : Bitmatrix.t option array; (* node id -> Pure_A *)
@@ -30,14 +30,14 @@ type engine = {
   counts : (Slp.id * int * int, int) Hashtbl.t; (* mixed-run counts *)
 }
 
-let of_compiled ct store =
-  let n = max 1 (Slp.store_size store) in
+let make_engine ct store frozen =
+  let n = max 1 (Slp.frozen_size frozen) in
   let ncls = max 1 (Compiled.classes ct) in
   {
     ct;
     store;
     set_step = Compiled.set_step_matrix ct;
-    frozen = Slp.freeze store;
+    frozen;
     pure = Array.make n None;
     mixed = Array.make n None;
     class_pure = Array.make ncls None;
@@ -45,6 +45,12 @@ let of_compiled ct store =
     matrices = 0;
     counts = Hashtbl.create 256;
   }
+
+let of_compiled ct store = make_engine ct (Some store) (Slp.freeze store)
+
+(* A frozen-backed engine never refreshes: the snapshot (typically a
+   flat view over an mmapped arena) is the whole world. *)
+let of_frozen ct frozen = make_engine ct None frozen
 
 let create e store =
   let auto = if Evset.is_deterministic e then e else Evset.determinize e in
@@ -99,17 +105,20 @@ let mixed_m engine id =
 (* Refresh the snapshot and grow the slot arrays when the store has
    gained nodes since the last preparation. *)
 let refresh engine =
-  let n = Slp.store_size engine.store in
-  if n > Slp.frozen_size engine.frozen then engine.frozen <- Slp.freeze engine.store;
-  if n > Array.length engine.pure then begin
-    let grow a =
-      let b = Array.make n None in
-      Array.blit a 0 b 0 (Array.length a);
-      b
-    in
-    engine.pure <- grow engine.pure;
-    engine.mixed <- grow engine.mixed
-  end
+  match engine.store with
+  | None -> ()
+  | Some store ->
+      let n = Slp.store_size store in
+      if n > Slp.frozen_size engine.frozen then engine.frozen <- Slp.freeze store;
+      if n > Array.length engine.pure then begin
+        let grow a =
+          let b = Array.make n None in
+          Array.blit a 0 b 0 (Array.length a);
+          b
+        in
+        engine.pure <- grow engine.pure;
+        engine.mixed <- grow engine.mixed
+      end
 
 let prepare_gauge g engine id =
   refresh engine;

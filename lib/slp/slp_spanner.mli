@@ -54,6 +54,13 @@ val create : Evset.t -> Slp.store -> engine
     deduplicate. *)
 val of_compiled : Compiled.t -> Slp.store -> engine
 
+(** [of_frozen ct fz] builds an engine directly over a frozen snapshot
+    with no backing store — the entry point for mmapped arena views
+    ({!Slp.frozen_of_columns}), where there is no [Slp.store] at all.
+    The snapshot is never refreshed; ids beyond [Slp.frozen_size fz]
+    do not exist.  Same enumeration caveats as {!of_compiled}. *)
+val of_frozen : Compiled.t -> Slp.frozen -> engine
+
 (** [compiled engine] is the underlying compiled automaton. *)
 val compiled : engine -> Compiled.t
 

@@ -1,0 +1,57 @@
+module Limits = Spanner_util.Limits
+
+let magic = "SLPMF1"
+
+let corrupt msg = Limits.corrupt ~what:"SLPMF1" msg
+let corruptf fmt = Printf.ksprintf corrupt fmt
+
+let looks_like s =
+  String.length s >= String.length magic && String.sub s 0 (String.length magic) = magic
+
+let to_string shards =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      if p = "" || String.contains p '\n' then
+        invalid_arg "Manifest.to_string: bad shard path";
+      Buffer.add_string buf "shard ";
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\n')
+    shards;
+  Buffer.contents buf
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | [] -> corrupt "empty manifest"
+  | header :: rest ->
+      if header <> magic then corrupt "bad magic (not an SLPMF1 manifest)";
+      let seen = Hashtbl.create 8 in
+      let shards =
+        List.filter_map
+          (fun line ->
+            if line = "" then None
+            else if String.length line > 6 && String.sub line 0 6 = "shard " then begin
+              let p = String.sub line 6 (String.length line - 6) in
+              if Hashtbl.mem seen p then corruptf "duplicate shard %S" p;
+              Hashtbl.add seen p ();
+              Some p
+            end
+            else corruptf "unknown manifest line %S" line)
+          rest
+      in
+      if shards = [] then corrupt "manifest lists no shards";
+      shards
+
+let write_file shards path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string shards))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

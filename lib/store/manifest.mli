@@ -1,0 +1,32 @@
+(** SLPMF1: the shard manifest of a packed corpus.
+
+    A corpus split across N arena files is described by a small text
+    manifest — one [shard] line per arena, in shard order:
+
+    {v
+      SLPMF1
+      shard corpus.0.slpar
+      shard corpus.1.slpar
+    v}
+
+    Shard paths are resolved relative to the manifest's own directory
+    when read from a file ({!Corpus.open_path} does the resolution);
+    the parser itself only validates the text.  The parser treats its
+    input as hostile (fuzz target ["arena"]): it raises a typed
+    [Corrupt_input] on a bad header, an unknown directive, an empty or
+    duplicate shard path, or a manifest with no shards at all. *)
+
+(** [to_string shards] renders a manifest for [shards], in order. *)
+val to_string : string list -> string
+
+(** [of_string s] parses a manifest back into its shard paths.
+    @raise Spanner_util.Limits.Spanner_error ([Corrupt_input]). *)
+val of_string : string -> string list
+
+val write_file : string list -> string -> unit
+
+val read_file : string -> string list
+
+(** [looks_like s] is true when [s] starts with the manifest magic
+    (used by {!Corpus.open_path} to sniff the file kind). *)
+val looks_like : string -> bool

@@ -1,0 +1,100 @@
+Packed arena corpora end to end: pack documents into frozen arena
+files, batch-evaluate over the mapping, and serve them.
+
+  $ printf 'abcabcabcabc' > a.txt
+  $ printf 'aabbaabbaabb' > b.txt
+  $ printf 'cccabc' > c.txt
+
+A single-shard pack writes one arena; --shards splits the corpus
+round-robin behind a manifest:
+
+  $ spanner_cli pack a.txt b.txt c.txt -o one.slpar | head -1
+  packed 3 document(s), 30 bytes into 1 shard(s)
+  $ spanner_cli pack a.txt b.txt c.txt --shards 2 -o corpus
+  packed 3 document(s), 30 bytes into 2 shard(s)
+  wrote corpus.0.slpar: 2512 bytes
+  wrote corpus.1.slpar: 2312 bytes
+  wrote corpus: 49 bytes
+
+batch --store maps the corpus zero-copy and evaluates shard-parallel;
+the counts match the plain per-file path exactly (documents come back
+in shard order):
+
+  $ spanner_cli batch '.*!x{ab}.*' --store corpus
+  compiled: 20 states, 3 byte classes, 2 marker-set labels
+  store: 2 shard(s), 3 document(s), 4824 bytes mapped
+  a.txt: 4 tuple(s)
+  c.txt: 1 tuple(s)
+  b.txt: 3 tuple(s)
+  3 document(s), 8 tuple(s) total
+  $ spanner_cli batch '.*!x{ab}.*' a.txt b.txt c.txt
+  compiled: 20 states, 3 byte classes, 2 marker-set labels
+  a.txt: 4 tuple(s)
+  b.txt: 3 tuple(s)
+  c.txt: 1 tuple(s)
+  3 document(s), 8 tuple(s) total
+
+The planner sees the packed shape and its shard layout:
+
+  $ spanner_cli explain '.*!x{ab}.*' --store corpus
+  plan: decompress
+    spanner: 20 states, 3 byte classes, 2 marker-set labels
+    input: packed corpus
+    shards: 2
+    documents: 3
+    bytes: 30
+    nodes: 21
+    ratio: 1.4x
+    mapped: 4824 bytes
+    why: barely compressible: decompress-then-scan beats the matrix products
+
+Mixing --store with FILEs, or forcing the per-file engine, is a usage
+error; a truncated arena is a corrupt input (exit 2):
+
+  $ spanner_cli batch '.*!x{ab}.*' --store corpus a.txt
+  usage error: give FILEs or --store, not both
+  [2]
+  $ spanner_cli batch '.*!x{ab}.*' --store corpus --engine compiled
+  usage error: --store is packed: use --engine compressed or decompress
+  [2]
+  $ head -c 40 one.slpar > cut.slpar
+  $ spanner_cli batch '.*!x{ab}.*' --store cut.slpar
+  compiled: 20 states, 3 byte classes, 2 marker-set labels
+  error: corrupt SLPAR1 input: truncated header
+  [2]
+
+Packing an existing SLPDB database works too — the arena holds the
+same documents:
+
+  $ spanner_cli compress --file a.txt -o db.slpdb | grep wrote
+  wrote db.slpdb
+  $ spanner_cli pack --db db.slpdb -o fromdb.slpar | head -1
+  packed 1 document(s), 12 bytes into 1 shard(s)
+  $ spanner_cli batch '.*!x{ab}.*' --store fromdb.slpar | tail -2
+  doc: 4 tuple(s)
+  1 document(s), 4 tuple(s) total
+
+serve LOADs the manifest by magic — the corpus maps in place
+(kind=arena in STATS, with mapped/resident bytes) and is read-only:
+
+  $ SOCK="$PWD/serve.sock"
+  $ spanner_cli serve "$SOCK" --jobs 2 --queue 8 2>server.log &
+  $ SRV=$!
+  $ spanner_cli client "$SOCK" --retry-ms 10000 LOAD packed PATH "$PWD/corpus"
+  OK loaded packed docs=3
+  $ spanner_cli client "$SOCK" QUERY - packed a.txt format=count --body '.*!x{ab}.*'
+  OK count 4
+  $ spanner_cli client "$SOCK" QUERY - packed b.txt --body '.*!x{ab}.*'
+  OK stream {x}
+  R (x ↦ [2,4⟩)
+  R (x ↦ [6,8⟩)
+  R (x ↦ [10,12⟩)
+  END 3
+  $ spanner_cli client "$SOCK" LOAD packed DOC extra --body 'abab'
+  ERR 1 load evaluation failure: store "packed" is a mapped arena (read-only); LOAD PATH a new one
+  [1]
+  $ spanner_cli client "$SOCK" STATS | grep 'store packed' | sed 's/resident=[0-9]*/resident=N/'
+  store packed: kind=arena docs=3 shards=2 mapped=4824 resident=N
+  $ spanner_cli client "$SOCK" SHUTDOWN
+  OK shutting down
+  $ wait $SRV

@@ -63,7 +63,7 @@ Malformed invocations are usage errors, exit 2:
   [2]
 
   $ spanner_cli batch 'a'
-  usage error: missing documents: give at least one FILE
+  usage error: missing documents: give at least one FILE or --store
   [2]
 
   $ spanner_cli compress ''
