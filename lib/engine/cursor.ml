@@ -32,13 +32,34 @@ let of_fun ?(gauge = Limits.unlimited ()) ~vars pull =
     budget = max_int;
   }
 
+(* Set-semantics view of a run enumeration: tuples already seen are
+   skipped.  The table is real memory and real work that the caller's
+   budget must see, so every pulled run — a skipped duplicate as much
+   as a retained insert — consumes one gauge step; only retained
+   tuples reach the per-pull tuple cap probe in [engine_pull]. *)
+let dedup_wrap gauge pull =
+  let seen = ref Tuple_set.empty in
+  let rec fresh () =
+    match pull () with
+    | None -> None
+    | Some t ->
+        Limits.check gauge;
+        if Tuple_set.mem t !seen then fresh ()
+        else begin
+          seen := Tuple_set.add t !seen;
+          Some t
+        end
+  in
+  fresh
+
 (* Invert an iter-style enumerator into a pull function: the producer
    runs under an effect handler and is suspended at every yielded
    tuple; [next] resumes the captured continuation.  The effect
    constructor is local to each call, so cursors can nest (a pull
    inside another producer's callback) without stealing each other's
-   yields. *)
-let of_iter ?gauge ?(dedup = false) ~vars iter =
+   yields.  This is the generic adapter for external iter-style
+   producers — the native engines below no longer come through here. *)
+let of_iter ?(gauge = Limits.unlimited ()) ?(dedup = false) ~vars iter =
   let module G = struct
     type _ Effect.t += Yield : Span_tuple.t -> unit Effect.t
   end in
@@ -75,39 +96,29 @@ let of_iter ?gauge ?(dedup = false) ~vars iter =
           resume := None;
           continue k ()
   in
-  let pull =
-    if not dedup then raw
-    else begin
-      let seen = ref Tuple_set.empty in
-      let rec fresh () =
-        match raw () with
-        | None -> None
-        | Some t when Tuple_set.mem t !seen -> fresh ()
-        | Some t ->
-            seen := Tuple_set.add t !seen;
-            Some t
-      in
-      fresh
-    end
-  in
-  of_fun ?gauge ~vars pull
+  let pull = if dedup then dedup_wrap gauge raw else raw in
+  of_fun ~gauge ~vars pull
 
 let of_compiled ?gauge p =
   let cur = Compiled.cursor p in
   of_fun ?gauge ~vars:(Compiled.prepared_vars p) (fun () -> Compiled.cursor_next cur)
 
-let needs_dedup ct = not (Evset.is_deterministic (Compiled.evset ct))
+(* The native engines pull their own machines directly — no effect
+   handler, no fiber, no per-pull context switch.  Deduplication (only
+   when the automaton can repeat tuples, a fact each engine caches at
+   construction) goes through the metered wrapper above. *)
 
-let of_slp ?gauge engine id =
-  of_iter ?gauge
-    ~dedup:(needs_dedup (Slp_spanner.compiled engine))
-    ~vars:(Slp_spanner.vars engine)
-    (fun f -> Slp_spanner.iter_prepared engine id f)
+let of_slp ?(gauge = Limits.unlimited ()) engine id =
+  let cur = Slp_spanner.cursor engine id in
+  let raw () = Slp_spanner.cursor_next cur in
+  let pull = if Slp_spanner.nondeterministic engine then dedup_wrap gauge raw else raw in
+  of_fun ~gauge ~vars:(Slp_spanner.vars engine) pull
 
-let of_incr ?gauge session id =
-  let ct = Incr.compiled session in
-  of_iter ?gauge ~dedup:(needs_dedup ct) ~vars:(Compiled.vars ct) (fun f ->
-      Incr.iter_runs ?gauge session id f)
+let of_incr ?(gauge = Limits.unlimited ()) session id =
+  let cur = Incr.cursor ~gauge session id in
+  let raw () = Incr.cursor_next cur in
+  let pull = if Incr.nondeterministic session then dedup_wrap gauge raw else raw in
+  of_fun ~gauge ~vars:(Compiled.vars (Incr.compiled session)) pull
 
 let of_relation r =
   let rest = ref (Span_relation.tuples r) in

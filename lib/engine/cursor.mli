@@ -16,17 +16,26 @@
     points they replace.  {!to_relation} is a thin fold, so draining a
     cursor reproduces the engine's pre-cursor relation exactly.
 
-    Constructors cover the three native engines:
-    {!of_compiled} walks {!Spanner_core.Compiled}'s trimmed product
-    DAG (duplicate-free by construction), {!of_slp} pulls
-    {!Spanner_slp.Slp_spanner}'s per-root partial-decompression
-    enumeration, and {!of_incr} pulls {!Spanner_incr.Incr}'s
-    run enumeration over cached summaries.  The latter two invert
-    iter-style (callback) enumerators into pull streams with an OCaml 5
-    effect handler — the producer is suspended between pulls, paying
-    nothing for tuples never asked for — and deduplicate on the fly
-    when the underlying automaton is nondeterministic, so streamed
-    counts agree with set semantics. *)
+    Constructors cover the three native engines, and all three are
+    {e native pull producers}: {!of_compiled} walks
+    {!Spanner_core.Compiled}'s trimmed product DAG (duplicate-free by
+    construction), {!of_slp} resumes
+    {!Spanner_slp.Slp_spanner.cursor}'s explicit enumeration machine
+    over the prepared SLP matrices, and {!of_incr} resumes
+    {!Spanner_incr.Incr.cursor}'s machine over cached summaries.  No
+    constructor pays a fiber, an effect handler, or a per-pull context
+    switch; the delay between two pulls is the engine's own descent
+    work, nothing more.  When the underlying automaton is
+    nondeterministic (a fact each engine computes once, at
+    construction) the stream deduplicates on the fly so streamed
+    counts agree with set semantics — and the dedup table itself is
+    metered: every run it absorbs consumes a gauge step, so fuel
+    budgets see the memory the stream retains.
+
+    {!of_iter} remains as the generic adapter for {e external}
+    iter-style producers: it inverts a callback enumerator into a pull
+    stream with an OCaml 5 effect handler.  The native engines no
+    longer come through it. *)
 
 open Spanner_core
 
@@ -46,9 +55,9 @@ val of_fun :
     producer at each tuple until the consumer pulls again.  Nothing
     runs before the first pull.  With [~dedup:true] (default [false])
     tuples already seen are skipped — for producers that enumerate
-    runs of a nondeterministic automaton.  An exception raised by
-    [iter] (e.g. a tripping gauge inside the engine) surfaces at the
-    pull that hits it. *)
+    runs of a nondeterministic automaton, each absorbed run consuming
+    one gauge step.  An exception raised by [iter] (e.g. a tripping
+    gauge inside the engine) surfaces at the pull that hits it. *)
 val of_iter :
   ?gauge:Spanner_util.Limits.gauge ->
   ?dedup:bool ->
@@ -62,17 +71,23 @@ val of_iter :
 val of_compiled : ?gauge:Spanner_util.Limits.gauge -> Compiled.prepared -> t
 
 (** [of_slp ?gauge engine id] streams ⟦e⟧(𝔇(id)) by partial
-    decompression.  The matrices reachable from [id] must already be
-    forced ({!Spanner_slp.Slp_spanner.prepare} /
-    [prepare_gauge]) — the cursor only reads them, so cursors over
-    different roots of one prepared engine are safe concurrently.
-    Deduplicates unless the engine's automaton is deterministic. *)
+    decompression, resuming the native machine
+    ({!Spanner_slp.Slp_spanner.cursor}) at every pull — delay is the
+    descent work alone, independent of the decompressed length.  The
+    matrices reachable from [id] must already be forced
+    ({!Spanner_slp.Slp_spanner.prepare} / [prepare_gauge]) — the
+    cursor only reads them, so cursors over different roots of one
+    prepared engine are safe concurrently.  Deduplicates (metered)
+    unless the engine's automaton is deterministic.
+    @raise Invalid_argument if [id] was never prepared. *)
 val of_slp : ?gauge:Spanner_util.Limits.gauge -> Spanner_slp.Slp_spanner.engine -> Spanner_slp.Slp.id -> t
 
 (** [of_incr ?gauge session id] streams ⟦ct⟧(𝔇(id)) from the
-    session's cached summaries ({!Spanner_incr.Incr.iter_runs}); the
-    same [gauge] meters summary misses, enumeration branches and the
-    per-pull probe.  Deduplicates unless the compiled automaton is
+    session's cached summaries, resuming the native machine
+    ({!Spanner_incr.Incr.cursor}) at every pull; the same [gauge]
+    meters summary misses, enumeration branches (the root summary is
+    forced — and metered — at construction) and the per-pull probe.
+    Deduplicates (metered) unless the compiled automaton is
     deterministic. *)
 val of_incr : ?gauge:Spanner_util.Limits.gauge -> Spanner_incr.Incr.session -> Spanner_slp.Slp.id -> t
 

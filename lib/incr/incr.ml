@@ -11,6 +11,8 @@ type session = {
   ct : Compiled.t;
   db : Doc_db.t;
   cache : (Slp.id, Compiled.summary) Lru.t;
+  nondet : bool;  (* runs may repeat tuples; computed once, not per cursor *)
+  ends : Spanner_util.Bitset.t;  (* states that close a run: final, or a set arc from final *)
   mutable created : int;
 }
 
@@ -24,7 +26,24 @@ type stats = {
 }
 
 let create ?(cache_capacity = 65536) ct db =
-  let s = { ct; db; cache = Lru.create ~capacity:cache_capacity (); created = 0 } in
+  let s =
+    {
+      ct;
+      db;
+      cache = Lru.create ~capacity:cache_capacity ();
+      nondet = not (Evset.is_deterministic (Compiled.evset ct));
+      ends =
+        (let ends = Spanner_util.Bitset.create (max 1 (Compiled.states ct)) in
+         for q = 0 to Compiled.states ct - 1 do
+           if Compiled.is_final_state ct q then Spanner_util.Bitset.add ends q
+           else
+             Compiled.iter_set_arcs ct q (fun _ q' ->
+                 if Compiled.is_final_state ct q' then Spanner_util.Bitset.add ends q)
+         done;
+         ends);
+      created = 0;
+    }
+  in
   Slp.on_new_node (Doc_db.store db) (fun id ->
       s.created <- s.created + 1;
       (* A fresh id cannot have a summary yet; dropping defensively
@@ -34,6 +53,7 @@ let create ?(cache_capacity = 65536) ct db =
 
 let compiled s = s.ct
 let database s = s.db
+let nondeterministic s = s.nondet
 
 let rec summary_g g s id =
   match Lru.find s.cache id with
@@ -129,6 +149,228 @@ let iter_runs_g g s id f =
 let iter_runs ?gauge s id f =
   let g = match gauge with Some g -> g | None -> Limits.unlimited () in
   iter_runs_g g s id f
+
+(* ------------------------------------------------------------------ *)
+(* Pull enumeration                                                    *)
+
+(* The explicit-machine counterpart of [iter_runs_g]: the same
+   frame-stack design as the native SLP cursor
+   ({!Spanner_slp.Slp_spanner.cursor}), over cached summaries instead
+   of prepared node matrices.  Summaries carry no transposed twins
+   (they are LRU-cached and transient), so split states are probed one
+   by one exactly as [go] above does — the win here is losing the
+   effect-handler inversion, not the scan.  Emission order matches
+   [iter_runs] exactly.  Metering mirrors [iter_runs_g]: one unit per
+   node descent, plus whatever summary misses cost on the way. *)
+
+type task =
+  | Emit
+  | Expl of { x_id : Slp.id; x_p : int; x_q : int; x_off : int; x_k : task }
+
+type frame =
+  | Pair_f of {
+      g_l : Slp.id;
+      g_r : Slp.id;
+      g_p : int;
+      g_q : int;
+      g_off : int;
+      g_roff : int;
+      g_k : task;
+      s_l : Compiled.summary;
+      s_r : Compiled.summary;
+      mutable g_mid : int;
+      mutable g_stage : int;  (* within g_mid: 0 try L, 1 try R, 2 try B *)
+    }
+  | Leaf_f of {
+      f_off : int;
+      f_k : task;
+      f_arcs : int array;
+      mutable f_arc : int;
+      f_picks : int;  (* picks depth at entry: truncate to this on resume *)
+    }
+
+type cursor = {
+  k_s : session;
+  k_g : Limits.gauge;
+  k_root : Slp.id;
+  k_len : int;
+  k_n : int;
+  k_picks : (int * int) Vec.t;
+  k_stack : frame Vec.t;
+  k_pure : Bitmatrix.t;  (* root summary rows, held for the q scan *)
+  k_mixed : Bitmatrix.t;
+  mutable k_q : int;
+  mutable k_endings : (int * int) option list;
+  mutable k_ending : (int * int) option;
+  mutable k_emit_pure : bool;
+  mutable k_start_mixed : bool;
+  mutable k_done : bool;
+}
+
+let cursor ?gauge s id =
+  let g = match gauge with Some g -> g | None -> Limits.unlimited () in
+  let root = summary_g g s id in
+  {
+    k_s = s;
+    k_g = g;
+    k_root = id;
+    k_len = Slp.len (Doc_db.store s.db) id;
+    k_n = Compiled.states s.ct;
+    k_picks = Vec.create ();
+    k_stack = Vec.create ();
+    k_pure = root.Compiled.pure;
+    k_mixed = root.Compiled.mixed;
+    k_q = -1;
+    k_endings = [];
+    k_ending = None;
+    k_emit_pure = false;
+    k_start_mixed = false;
+    k_done = false;
+  }
+
+let start_expl cur id p q off k =
+  (* one unit per node descent, as in [iter_runs_g]'s [go] *)
+  Limits.check cur.k_g;
+  let s = cur.k_s in
+  match Slp.node (Doc_db.store s.db) id with
+  | Slp.Leaf _ ->
+      let letter = (summary_g cur.k_g s id).Compiled.pure in
+      let arcs = Vec.create () in
+      Compiled.iter_set_arcs s.ct p (fun lbl p' ->
+          if Bitmatrix.get letter p' q then ignore (Vec.push arcs lbl));
+      ignore
+        (Vec.push cur.k_stack
+           (Leaf_f
+              {
+                f_off = off;
+                f_k = k;
+                f_arcs = Vec.to_array arcs;
+                f_arc = 0;
+                f_picks = Vec.length cur.k_picks;
+              }))
+  | Slp.Pair (l, r) ->
+      ignore
+        (Vec.push cur.k_stack
+           (Pair_f
+              {
+                g_l = l;
+                g_r = r;
+                g_p = p;
+                g_q = q;
+                g_off = off;
+                g_roff = off + Slp.len (Doc_db.store s.db) l;
+                g_k = k;
+                s_l = summary_g cur.k_g s l;
+                s_r = summary_g cur.k_g s r;
+                g_mid = 0;
+                g_stage = 0;
+              }))
+
+let perform cur k =
+  match k with
+  | Emit -> Some (tuple_of_picks cur.k_s.ct cur.k_picks cur.k_ending)
+  | Expl x ->
+      start_expl cur x.x_id x.x_p x.x_q x.x_off x.x_k;
+      None
+
+let step cur =
+  match Vec.last cur.k_stack with
+  | Leaf_f f ->
+      Vec.truncate cur.k_picks f.f_picks;
+      if f.f_arc >= Array.length f.f_arcs then begin
+        ignore (Vec.pop cur.k_stack);
+        None
+      end
+      else begin
+        let lbl = f.f_arcs.(f.f_arc) in
+        f.f_arc <- f.f_arc + 1;
+        ignore (Vec.push cur.k_picks (f.f_off, lbl));
+        perform cur f.f_k
+      end
+  | Pair_f f ->
+      let descended = ref false in
+      while (not !descended) && f.g_mid < cur.k_n do
+        let mid = f.g_mid in
+        match f.g_stage with
+        | 0 ->
+            f.g_stage <- 1;
+            if
+              Bitmatrix.get f.s_l.Compiled.mixed f.g_p mid
+              && Bitmatrix.get f.s_r.Compiled.pure mid f.g_q
+            then begin
+              descended := true;
+              start_expl cur f.g_l f.g_p mid f.g_off f.g_k
+            end
+        | 1 ->
+            f.g_stage <- 2;
+            if
+              Bitmatrix.get f.s_l.Compiled.pure f.g_p mid
+              && Bitmatrix.get f.s_r.Compiled.mixed mid f.g_q
+            then begin
+              descended := true;
+              start_expl cur f.g_r mid f.g_q f.g_roff f.g_k
+            end
+        | _ ->
+            f.g_mid <- mid + 1;
+            f.g_stage <- 0;
+            if
+              Bitmatrix.get f.s_l.Compiled.mixed f.g_p mid
+              && Bitmatrix.get f.s_r.Compiled.mixed mid f.g_q
+            then begin
+              descended := true;
+              start_expl cur f.g_l f.g_p mid f.g_off
+                (Expl { x_id = f.g_r; x_p = mid; x_q = f.g_q; x_off = f.g_roff; x_k = f.g_k })
+            end
+      done;
+      if not !descended then ignore (Vec.pop cur.k_stack);
+      None
+
+let cursor_next cur =
+  let ct = cur.k_s.ct in
+  let init = Compiled.initial ct in
+  let result = ref None in
+  while !result == None && not cur.k_done do
+    if cur.k_emit_pure then begin
+      cur.k_emit_pure <- false;
+      result := Some (tuple_of_picks ct cur.k_picks cur.k_ending)
+    end
+    else if cur.k_start_mixed then begin
+      cur.k_start_mixed <- false;
+      start_expl cur cur.k_root init cur.k_q 0 Emit
+    end
+    else if not (Vec.is_empty cur.k_stack) then result := step cur
+    else begin
+      match cur.k_endings with
+      | e :: rest ->
+          cur.k_endings <- rest;
+          cur.k_ending <- e;
+          cur.k_emit_pure <- Bitmatrix.get cur.k_pure init cur.k_q;
+          cur.k_start_mixed <- Bitmatrix.get cur.k_mixed init cur.k_q
+      | [] -> (
+          let from = cur.k_q + 1 in
+          let q =
+            let ends = cur.k_s.ends in
+            let a =
+              Spanner_util.Bitset.first_common_from (Bitmatrix.row cur.k_pure init) ends from
+            in
+            let b =
+              Spanner_util.Bitset.first_common_from (Bitmatrix.row cur.k_mixed init) ends from
+            in
+            if a < 0 then b else if b < 0 then a else min a b
+          in
+          if q < 0 then cur.k_done <- true
+          else begin
+            cur.k_q <- q;
+            let endings = ref [] in
+            if Compiled.is_final_state ct q then endings := None :: !endings;
+            Compiled.iter_set_arcs ct q (fun lbl q' ->
+                if Compiled.is_final_state ct q' then
+                  endings := Some (cur.k_len, lbl) :: !endings);
+            cur.k_endings <- !endings
+          end)
+    end
+  done;
+  !result
 
 let eval ?(limits = Limits.none) s id =
   let g = Limits.start limits in

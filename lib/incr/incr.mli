@@ -57,6 +57,12 @@ val create : ?cache_capacity:int -> Compiled.t -> Doc_db.t -> session
 val compiled : session -> Compiled.t
 val database : session -> Doc_db.t
 
+(** [nondeterministic s] is [true] when the compiled automaton is not
+    deterministic — enumeration ({!iter_runs}, {!cursor}) may then
+    repeat tuples and set-semantics consumers must deduplicate.
+    Computed once at session creation. *)
+val nondeterministic : session -> bool
+
 (** [summary s id] is the cached (or freshly computed and cached)
     transition summary of node [id]. *)
 val summary : session -> Slp.id -> Compiled.summary
@@ -84,6 +90,27 @@ val eval : ?limits:Spanner_util.Limits.t -> session -> Slp.id -> Span_relation.t
     fire mid-stream. *)
 val iter_runs :
   ?gauge:Spanner_util.Limits.gauge -> session -> Slp.id -> (Span_tuple.t -> unit) -> unit
+
+(** {2 Pull enumeration}
+
+    The native pull counterpart of {!iter_runs} — the same explicit
+    machine as {!Spanner_slp.Slp_spanner.cursor}, over cached
+    summaries.  Emission order is identical to {!iter_runs}. *)
+
+type cursor
+
+(** [cursor ?gauge s id] opens a pull cursor over the accepting runs
+    of 𝔇(id).  Summaries missing from the cache are computed (and
+    metered) lazily as the descent reaches them; [gauge] meters every
+    node descent and summary miss exactly as {!iter_runs} does, so
+    budgets fire mid-stream.  The session's cache and store are shared
+    mutable state: pulls must stay on the session's domain. *)
+val cursor : ?gauge:Spanner_util.Limits.gauge -> session -> Slp.id -> cursor
+
+(** [cursor_next c] is the next run's tuple, or [None] when exhausted.
+    Duplicate-free iff the automaton is deterministic
+    ({!nondeterministic}). *)
+val cursor_next : cursor -> Span_tuple.t option
 
 (** [eval_doc ?limits s name] is [eval] on the designated document
     [name].

@@ -12,25 +12,34 @@
      normalized text (Algebra.to_string of the parsed expression) —
      so a named query, the same query re-DEFINEd under another name,
      and the same text sent inline all hit one cache entry, and
-     repeated QUERY bodies skip parse + rewrite + fuse entirely (the
-     PR 6 follow-up cross-query plan cache).
+     repeated QUERY bodies skip parse + rewrite + fuse entirely: the
+     cross-query plan cache.
 
    - LOAD builds a shared-SLP document store and freezes it
      (Slp.freeze): an immutable snapshot the worker domains read
      without locks.  Every LOAD refreshes the snapshot; queries
      always resolve against the snapshot current at admission time.
 
-   - Query evaluation runs over the *decompressed* text of the
-     requested document through the compiled/optimized engines; the
-     text is decompressed from the frozen snapshot once (metered by
-     the requesting gauge) and kept in a bounded LRU keyed by
+   - Query evaluation prefers the *compressed* domain: when a plan
+     fused to a single automaton and the document's compression ratio
+     makes it worthwhile, the request gets a native SLP cursor
+     (Slp_spanner over the frozen snapshot) whose per-tuple delay is
+     independent of the decompressed length — no decompression at
+     all.  The prepared engines are themselves shared artefacts,
+     cached per (query, store snapshot) so repeat queries skip the
+     matrix sweep.  Everything else falls back to the *decompressed*
+     text through the compiled/optimized engines; the text is
+     decompressed from the frozen snapshot once (metered by the
+     requesting gauge) and kept in a bounded LRU keyed by
      (store, generation, doc, root id).  Root ids alone are not a
      safe key: LOAD DOC reuses one Doc_db whose ids are monotonic,
      but LOAD PATH installs a brand-new Doc_db whose ids restart
      from scratch, so a reloaded store could collide with cached
      entries from the snapshot it replaced.  The generation — bumped
      every time a store's Doc_db is (re)created — disambiguates, so
-     stale text can never serve.
+     stale text (or a stale engine) can never serve: engine keys add
+     the snapshot's node count, because LOAD DOC refreshes a heap
+     store's snapshot without bumping the generation.
 
    Plans are compiled under the server's *default* limits and fuse
    budget: compilation is a shared, cached artefact and must not vary
@@ -50,6 +59,8 @@ module Serialize = Spanner_slp.Serialize
 module Arena = Spanner_store.Arena
 module Corpus = Spanner_store.Corpus
 module Optimizer = Spanner_engine.Optimizer
+module Cursor = Spanner_engine.Cursor
+module Slp_spanner = Spanner_slp.Slp_spanner
 
 (* A store is either heap-built (LOAD DOC compressions, or an SLPDB
    file deserialized into a fresh Doc_db) or a mapped arena corpus
@@ -76,18 +87,25 @@ type t = {
   stores : (string, store_entry) Hashtbl.t;
   plans : (string, Optimizer.t) Locked_lru.t;  (* normalized text -> compiled plan *)
   texts : (string * int * string * Slp.id, string) Locked_lru.t;
+  (* prepared native engines: (normalized query, store, gen, snapshot
+     node count) -> engine over the store's frozen snapshot *)
+  engines : (string * string * int * int, Slp_spanner.engine) Locked_lru.t;
+  prep : Mutex.t;  (* serializes engine preparation (matrix sweeps) *)
   defaults : Limits.t;
   fuse_states : int option;
   mutable next_gen : int;  (* guarded by [mutex] *)
 }
 
-let create ?(plan_capacity = 128) ?(doc_capacity = 128) ?fuse_states ~defaults () =
+let create ?(plan_capacity = 128) ?(doc_capacity = 128) ?(engine_capacity = 32) ?fuse_states
+    ~defaults () =
   {
     mutex = Mutex.create ();
     named = Hashtbl.create 16;
     stores = Hashtbl.create 16;
     plans = Locked_lru.create ~capacity:plan_capacity ();
     texts = Locked_lru.create ~capacity:doc_capacity ();
+    engines = Locked_lru.create ~capacity:engine_capacity ();
+    prep = Mutex.create ();
     defaults;
     fuse_states;
     next_gen = 0;
@@ -153,20 +171,24 @@ let define t ~name ~body =
   locked t (fun () -> Hashtbl.replace t.named name normalized);
   plan
 
-(* [plan t source] resolves a query source to its compiled plan: by
-   name through the registry, or by normalizing the inline text —
-   either way one plan-cache probe, so repeated bodies share work. *)
-let plan t source =
-  match source with
-  | Protocol.Named name ->
-      let normalized =
+(* [plan_normalized t source] resolves a query source to its
+   normalized text and compiled plan: by name through the registry, or
+   by normalizing the inline text — either way one plan-cache probe,
+   so repeated bodies share work.  The normalized text is the key the
+   caller needs to reach the other per-query caches (engines). *)
+let plan_normalized t source =
+  let normalized =
+    match source with
+    | Protocol.Named name ->
         locked t (fun () ->
             match Hashtbl.find_opt t.named name with
             | Some n -> n
             | None -> Limits.eval_failure ~what:"query" (Printf.sprintf "unknown query %S" name))
-      in
-      compile t normalized
-  | Protocol.Inline body -> compile t (normalize body)
+    | Protocol.Inline body -> normalize body
+  in
+  (normalized, compile t normalized)
+
+let plan t source = snd (plan_normalized t source)
 
 (* ------------------------------------------------------------------ *)
 (* Stores and documents *)
@@ -263,6 +285,76 @@ let doc_text t ~gauge ~store ~doc =
       Slp.frozen_to_string ~gauge frozen id)
 
 (* ------------------------------------------------------------------ *)
+(* Native compressed-domain cursors *)
+
+(* Below this the document barely compresses and the decompressed-text
+   path (which also feeds the text LRU) wins; above it, skipping the
+   decompression pays for the matrix sweep. *)
+let native_min_ratio = 2.0
+
+(* [reachable_within frozen id budget] is the number of nodes
+   reachable from [id], or [None] as soon as the count exceeds
+   [budget] — O(min(reachable, budget)) ids walked, so deciding that a
+   document is too incompressible for the native path costs at most
+   the node budget the ratio threshold allows it, never a full-store
+   walk.  (The whole-store node count is useless as a denominator: a
+   store serving many documents dilutes every per-document ratio.) *)
+let reachable_within frozen id budget =
+  let seen = Hashtbl.create 256 in
+  let count = ref 0 in
+  let stack = ref [ id ] in
+  let ok = ref true in
+  while !ok && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          incr count;
+          if !count > budget then ok := false
+          else
+            match Slp.frozen_node frozen id with
+            | Slp.Leaf _ -> ()
+            | Slp.Pair (l, r) -> stack := l :: r :: !stack
+        end
+  done;
+  if !ok then Some !count else None
+
+(* [native_cursor t ~gauge ~normalized ~store ~doc plan] is a
+   constant-delay cursor over the compressed document, or [None] when
+   the request must fall back to decompressed text: the plan did not
+   fuse to a single automaton, or the document's compression ratio is
+   too low to be worth it.  The engine (automaton × store snapshot) is
+   cached and its matrix sweep — metered by the requesting [gauge],
+   resumable if it trips — runs under one preparation lock; after the
+   sweep, the returned cursor only reads filled slots and the frozen
+   snapshot, so it is safe to drain on any domain while later requests
+   prepare other roots.  The snapshot node count joins the cache key
+   because LOAD DOC refreshes a heap snapshot without bumping [gen]. *)
+let native_cursor t ~gauge ~normalized ~store ~doc plan =
+  match Optimizer.compiled plan with
+  | None -> None
+  | Some ct ->
+      let frozen, gen, id = resolve t ~store ~doc in
+      let nodes = Slp.frozen_size frozen in
+      let budget = int_of_float (float_of_int (Slp.frozen_len frozen id) /. native_min_ratio) in
+      if reachable_within frozen id budget = None then None
+      else begin
+        let engine =
+          Locked_lru.find_or_add t.engines (normalized, store, gen, nodes) (fun () ->
+              Slp_spanner.of_frozen ct frozen)
+        in
+        Mutex.lock t.prep;
+        (match Slp_spanner.prepare_gauge gauge engine id with
+        | () -> Mutex.unlock t.prep
+        | exception e ->
+            Mutex.unlock t.prep;
+            raise e);
+        Some (Cursor.of_slp ~gauge engine id)
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Introspection *)
 
 type counts = { queries : int; stores : int; docs : int }
@@ -332,3 +424,4 @@ let cache_stats lru =
 
 let plan_cache_stats t = cache_stats t.plans
 let doc_cache_stats t = cache_stats t.texts
+let engine_cache_stats t = cache_stats t.engines

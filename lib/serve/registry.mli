@@ -1,5 +1,6 @@
 (** The server's shared state: named queries, the cross-query plan
-    cache, document stores, and the decompressed-text cache.
+    cache, document stores, the decompressed-text cache, and the
+    prepared-engine cache for compressed-domain evaluation.
 
     Everything a CLI run rebuilds per invocation is built once here
     and shared across requests and connections.  Compiled plans are
@@ -15,14 +16,18 @@
 
 type t
 
-(** [create ?plan_capacity ?doc_capacity ?fuse_states ~defaults ()]
-    is an empty registry.  [defaults] are the server-side budgets:
-    plans are compiled under them, and {!effective_limits} starts
-    from them.  [fuse_states] is the optimizer's fusion budget
-    (default {!Spanner_engine.Optimizer.default_fuse_states}). *)
+(** [create ?plan_capacity ?doc_capacity ?engine_capacity
+    ?fuse_states ~defaults ()] is an empty registry.  [defaults] are
+    the server-side budgets: plans are compiled under them, and
+    {!effective_limits} starts from them.  [fuse_states] is the
+    optimizer's fusion budget (default
+    {!Spanner_engine.Optimizer.default_fuse_states});
+    [engine_capacity] bounds the prepared-engine cache (default 32 —
+    engines hold per-node matrices, much heavier than plans). *)
 val create :
   ?plan_capacity:int ->
   ?doc_capacity:int ->
+  ?engine_capacity:int ->
   ?fuse_states:int ->
   defaults:Spanner_util.Limits.t ->
   unit ->
@@ -49,6 +54,11 @@ val define : t -> name:string -> body:string -> Spanner_engine.Optimizer.t
     unknown name. *)
 val plan : t -> Protocol.source -> Spanner_engine.Optimizer.t
 
+(** [plan_normalized t source] is {!plan} returning also the
+    normalized query text — the key callers need to reach the other
+    per-query caches ({!native_cursor}). *)
+val plan_normalized : t -> Protocol.source -> string * Spanner_engine.Optimizer.t
+
 (** [load_doc t ~store ~doc ~text] compresses [text] into [store]
     (created on first use) as document [doc] and refreshes the frozen
     snapshot.  Returns [(uncompressed_len, compressed_size)] of the
@@ -70,6 +80,33 @@ val load_path : t -> store:string -> path:string -> int
     current frozen snapshot, charged to [gauge]. *)
 val doc_text :
   t -> gauge:Spanner_util.Limits.gauge -> store:string -> doc:string -> string
+
+(** [native_cursor t ~gauge ~normalized ~store ~doc plan] is a
+    constant-delay streaming cursor over the {e compressed} document —
+    no decompression at any point — or [None] when the request must
+    fall back to {!doc_text} + the optimizer cursor: the plan did not
+    fuse to a single automaton
+    ({!Spanner_engine.Optimizer.compiled} is [None]), or the
+    document's compression ratio (derived length over {e reachable}
+    node count, decided by a budgeted walk that stops as soon as the
+    answer is known) is below the break-even threshold.  The prepared engine is
+    cached per (normalized query, store snapshot); the matrix sweep on
+    a miss — or the incremental sweep when a LOAD added nodes — is
+    charged to [gauge] and serialized under one preparation lock,
+    after which the cursor only reads immutable state and may be
+    drained on any domain.  Tuple order may differ from the
+    decompressed path (runs are enumerated grammar-wise, not
+    left-to-right), but the tuple {e set} is identical.
+    @raise Spanner_util.Limits.Spanner_error when [gauge] trips during
+    the sweep (completed matrices are kept; a retry resumes). *)
+val native_cursor :
+  t ->
+  gauge:Spanner_util.Limits.gauge ->
+  normalized:string ->
+  store:string ->
+  doc:string ->
+  Spanner_engine.Optimizer.t ->
+  Spanner_engine.Cursor.t option
 
 (** {1 Introspection} *)
 
@@ -103,3 +140,4 @@ type cache_stats = {
 
 val plan_cache_stats : t -> cache_stats
 val doc_cache_stats : t -> cache_stats
+val engine_cache_stats : t -> cache_stats

@@ -82,14 +82,21 @@ let handle_load_path ctx c ~store ~path =
   let docs = Registry.load_path ctx.registry ~store ~path in
   Protocol.write_frame_conn c (Printf.sprintf "OK loaded %s docs=%d" store docs)
 
-(* The worker-side half of QUERY: resolve, decompress, build the
-   cursor, and consume whatever the format lets us consume eagerly. *)
+(* The worker-side half of QUERY: resolve, build the cursor — in the
+   compressed domain when the plan and store shapes allow, else by
+   decompressing — and consume whatever the format lets us consume
+   eagerly. *)
 let query_job ctx source ~store ~doc (opts : Protocol.opts) () =
   let limits = Registry.effective_limits ctx.registry opts in
-  let plan = Registry.plan ctx.registry source in
+  let normalized, plan = Registry.plan_normalized ctx.registry source in
   let gauge = Limits.start limits in
-  let text = Registry.doc_text ctx.registry ~gauge ~store ~doc in
-  let cursor = Optimizer.cursor ~limits plan text in
+  let cursor =
+    match Registry.native_cursor ctx.registry ~gauge ~normalized ~store ~doc plan with
+    | Some cursor -> cursor
+    | None ->
+        let text = Registry.doc_text ctx.registry ~gauge ~store ~doc in
+        Optimizer.cursor ~limits plan text
+  in
   if opts.offset > 0 then Cursor.drop cursor opts.offset;
   let cursor =
     match opts.limit with Some k -> Cursor.take cursor k | None -> cursor
@@ -179,6 +186,8 @@ let handle_stats ctx c =
     counts.Registry.stores counts.Registry.docs;
   Printf.bprintf b "%s\n" (cache_line "plan_cache" (Registry.plan_cache_stats ctx.registry));
   Printf.bprintf b "%s\n" (cache_line "doc_cache" (Registry.doc_cache_stats ctx.registry));
+  Printf.bprintf b "%s\n"
+    (cache_line "engine_cache" (Registry.engine_cache_stats ctx.registry));
   List.iter
     (fun (i : Registry.store_info) ->
       Printf.bprintf b "store %s: kind=%s docs=%d shards=%d mapped=%d resident=%d\n"

@@ -1,4 +1,5 @@
 open Spanner_core
+module Bitset = Spanner_util.Bitset
 module Bitmatrix = Spanner_util.Bitmatrix
 module Vec = Spanner_util.Vec
 module Pool = Spanner_util.Pool
@@ -21,14 +22,30 @@ type engine = {
   ct : Compiled.t;
   store : Slp.store option;  (* None: frozen-backed (mmap arena), nothing to refresh *)
   set_step : Bitmatrix.t;
+  nondet : bool;  (* enumeration may repeat tuples; computed once, not per cursor *)
+  ends : Bitset.t;  (* states that close a run: final, or a set arc from final *)
   mutable frozen : Slp.frozen;
   mutable pure : Bitmatrix.t option array; (* node id -> Pure_A *)
   mutable mixed : Bitmatrix.t option array; (* node id -> Mixed_A *)
+  mutable pure_t : Bitmatrix.t option array; (* node id -> Pure_Aᵀ *)
+  mutable mixed_t : Bitmatrix.t option array; (* node id -> Mixed_Aᵀ *)
   class_pure : Bitmatrix.t option array; (* byte class -> letter step *)
   class_mixed : Bitmatrix.t option array; (* byte class -> set·letter *)
+  class_pure_t : Bitmatrix.t option array;
+  class_mixed_t : Bitmatrix.t option array;
   mutable matrices : int; (* filled node slots, ×2 (pure + mixed) *)
   counts : (Slp.id * int * int, int) Hashtbl.t; (* mixed-run counts *)
 }
+
+let ending_states ct =
+  let ends = Bitset.create (max 1 (Compiled.states ct)) in
+  for q = 0 to Compiled.states ct - 1 do
+    if Compiled.is_final_state ct q then Bitset.add ends q
+    else
+      Compiled.iter_set_arcs ct q (fun _ q' ->
+          if Compiled.is_final_state ct q' then Bitset.add ends q)
+  done;
+  ends
 
 let make_engine ct store frozen =
   let n = max 1 (Slp.frozen_size frozen) in
@@ -37,11 +54,17 @@ let make_engine ct store frozen =
     ct;
     store;
     set_step = Compiled.set_step_matrix ct;
+    nondet = not (Evset.is_deterministic (Compiled.evset ct));
+    ends = ending_states ct;
     frozen;
     pure = Array.make n None;
     mixed = Array.make n None;
+    pure_t = Array.make n None;
+    mixed_t = Array.make n None;
     class_pure = Array.make ncls None;
     class_mixed = Array.make ncls None;
+    class_pure_t = Array.make ncls None;
+    class_mixed_t = Array.make ncls None;
     matrices = 0;
     counts = Hashtbl.create 256;
   }
@@ -57,6 +80,8 @@ let create e store =
   of_compiled (Compiled.of_evset auto) store
 
 let compiled engine = engine.ct
+
+let nondeterministic engine = engine.nondet
 
 let vars engine = Compiled.vars engine.ct
 
@@ -85,6 +110,23 @@ let class_mixed engine cls =
       engine.class_mixed.(cls) <- Some m;
       m
 
+(* Transposed leaf matrices, shared per class like their sources. *)
+let class_pure_t engine cls =
+  match engine.class_pure_t.(cls) with
+  | Some m -> m
+  | None ->
+      let m = Bitmatrix.transpose (class_pure engine cls) in
+      engine.class_pure_t.(cls) <- Some m;
+      m
+
+let class_mixed_t engine cls =
+  match engine.class_mixed_t.(cls) with
+  | Some m -> m
+  | None ->
+      let m = Bitmatrix.transpose (class_mixed engine cls) in
+      engine.class_mixed_t.(cls) <- Some m;
+      m
+
 (* Read-only leaf lookup for the enumeration path: after preparation
    every class under a prepared root is filled. *)
 let leaf_pure engine c =
@@ -99,6 +141,16 @@ let pure_m engine id =
 
 let mixed_m engine id =
   match engine.mixed.(id) with
+  | Some m -> m
+  | None -> invalid_arg "Slp_spanner: node not prepared"
+
+let pure_t_m engine id =
+  match engine.pure_t.(id) with
+  | Some m -> m
+  | None -> invalid_arg "Slp_spanner: node not prepared"
+
+let mixed_t_m engine id =
+  match engine.mixed_t.(id) with
   | Some m -> m
   | None -> invalid_arg "Slp_spanner: node not prepared"
 
@@ -117,7 +169,9 @@ let refresh engine =
           b
         in
         engine.pure <- grow engine.pure;
-        engine.mixed <- grow engine.mixed
+        engine.mixed <- grow engine.mixed;
+        engine.pure_t <- grow engine.pure_t;
+        engine.mixed_t <- grow engine.mixed_t
       end
 
 let prepare_gauge g engine id =
@@ -146,13 +200,17 @@ let prepare_gauge g engine id =
   let nst = nstates engine in
   Array.iter
     (fun id ->
-      (* one matrix product is ~nstates row unions *)
+      (* one node's matrix block (products + block transposes) is
+         ~nstates row unions of work *)
       Limits.charge g nst;
-      let p, m =
+      let p, m, pt, mt =
         match Slp.frozen_node fz id with
         | Slp.Leaf c ->
             let cls = Compiled.class_of_char engine.ct c in
-            (class_pure engine cls, class_mixed engine cls)
+            ( class_pure engine cls,
+              class_mixed engine cls,
+              class_pure_t engine cls,
+              class_mixed_t engine cls )
         | Slp.Pair (l, r) ->
             let pl = pure_m engine l and ml = mixed_m engine l in
             let pr = pure_m engine r and mr = mixed_m engine r in
@@ -163,10 +221,16 @@ let prepare_gauge g engine id =
             Bitmatrix.mul_add ~into:m ml pr;
             Bitmatrix.mul_add ~into:m ml mr;
             Bitmatrix.mul_add ~into:m pl mr;
-            (p, m)
+            (* The native enumerator intersects a left child's rows with
+               a right child's columns per descent step; transposing
+               here (O(n²/64) block work, much less than the products
+               above) is what makes those columns one-row reads. *)
+            (p, m, Bitmatrix.transpose p, Bitmatrix.transpose m)
       in
       engine.pure.(id) <- Some p;
       engine.mixed.(id) <- Some m;
+      engine.pure_t.(id) <- Some pt;
+      engine.mixed_t.(id) <- Some mt;
       engine.matrices <- engine.matrices + 2)
     order
 
@@ -257,6 +321,249 @@ let iter_prepared engine id f =
 let iter engine id f =
   prepare engine id;
   iter_prepared engine id f
+
+(* ------------------------------------------------------------------ *)
+(* Native pull enumeration (ROADMAP item 3, Muñoz & Riveros)           *)
+
+(* The pull cursor is the CPS enumerator above turned into an explicit
+   machine: continuations become [task] values, the recursion becomes a
+   frame stack, and each [cursor_next] runs the machine until the next
+   run completes.  The enumeration order — and therefore the run
+   multiset — is identical to [iter_prepared]: per ending state, per
+   ending, pure run first, then mixed runs in (mid asc; L, R, B) order
+   at every Pair.
+
+   Two things make the delay small and document-independent:
+
+   - candidate splits are found by intersecting a left child's matrix
+     {e row} with a right child's transposed-matrix row (its column)
+     via {!Bitset.first_common_from}, so dead mid states are skipped
+     eight at a time instead of being probed one by one;
+   - the machine is loop-based: no recursion, no effect handler, no
+     per-pull fiber switch, and arbitrarily deep SLPs (a left-comb
+     append log, say) cannot overflow the stack — which the recursive
+     [enum_mixed] above can. *)
+
+type task =
+  | Emit
+  | Expl of { x_id : Slp.id; x_p : int; x_q : int; x_off : int; x_k : task }
+
+(* One suspended choice point of the depth-first search.  Frames above
+   a frame on the stack explore its current choice; popping resumes the
+   parent exactly where it left off. *)
+type frame =
+  | Pair_f of {
+      g_l : Slp.id;
+      g_r : Slp.id;
+      g_p : int;
+      g_q : int;
+      g_off : int;  (* absolute offset of the left part *)
+      g_roff : int;  (* absolute offset of the right part *)
+      g_k : task;
+      ml_p : Bitset.t;  (* row p of Mixed_L *)
+      pl_p : Bitset.t;  (* row p of Pure_L *)
+      prt_q : Bitset.t;  (* row q of Pure_Rᵀ — column q of Pure_R *)
+      mrt_q : Bitset.t;  (* row q of Mixed_Rᵀ *)
+      mutable g_mid : int;  (* next split state to consider *)
+      mutable g_stage : int;  (* within g_mid: 0 try L, 1 try R, 2 try B *)
+    }
+  | Leaf_f of {
+      f_off : int;
+      f_k : task;
+      f_arcs : int array;  (* marker labels compatible with the leaf matrix *)
+      mutable f_arc : int;
+      f_picks : int;  (* picks depth at entry: truncate to this on resume *)
+    }
+
+type cursor = {
+  c_e : engine;
+  c_fz : Slp.frozen;  (* snapshot captured at creation *)
+  c_root : Slp.id;
+  c_len : int;
+  c_n : int;
+  c_picks : (int * int) Vec.t;
+  c_stack : frame Vec.t;
+  c_proot : Bitset.t;  (* row init of Pure_root *)
+  c_mroot : Bitset.t;  (* row init of Mixed_root *)
+  mutable c_q : int;  (* current ending state (-1 before the scan starts) *)
+  mutable c_endings : (int * int) option list;  (* endings left for c_q *)
+  mutable c_ending : (int * int) option;  (* ending under exploration *)
+  mutable c_emit_pure : bool;  (* owe c_ending its letters-only run *)
+  mutable c_start_mixed : bool;  (* owe c_ending its mixed exploration *)
+  mutable c_done : bool;
+}
+
+let cursor engine id =
+  let init = Compiled.initial engine.ct in
+  {
+    c_e = engine;
+    c_fz = engine.frozen;
+    c_root = id;
+    c_len = Slp.frozen_len engine.frozen id;
+    c_n = nstates engine;
+    c_picks = Vec.create ();
+    c_stack = Vec.create ();
+    c_proot = Bitmatrix.row (pure_m engine id) init;
+    c_mroot = Bitmatrix.row (mixed_m engine id) init;
+    c_q = -1;
+    c_endings = [];
+    c_ending = None;
+    c_emit_pure = false;
+    c_start_mixed = false;
+    c_done = false;
+  }
+
+(* Push the frame exploring runs p→q over [id] (continuation [k]). *)
+let start_expl cur id p q off k =
+  match Slp.frozen_node cur.c_fz id with
+  | Slp.Leaf ch ->
+      let lm = leaf_pure cur.c_e ch in
+      let arcs = Vec.create () in
+      Compiled.iter_set_arcs cur.c_e.ct p (fun lbl p' ->
+          if Bitmatrix.get lm p' q then ignore (Vec.push arcs lbl));
+      ignore
+        (Vec.push cur.c_stack
+           (Leaf_f
+              {
+                f_off = off;
+                f_k = k;
+                f_arcs = Vec.to_array arcs;
+                f_arc = 0;
+                f_picks = Vec.length cur.c_picks;
+              }))
+  | Slp.Pair (l, r) ->
+      ignore
+        (Vec.push cur.c_stack
+           (Pair_f
+              {
+                g_l = l;
+                g_r = r;
+                g_p = p;
+                g_q = q;
+                g_off = off;
+                g_roff = off + Slp.frozen_len cur.c_fz l;
+                g_k = k;
+                ml_p = Bitmatrix.row (mixed_m cur.c_e l) p;
+                pl_p = Bitmatrix.row (pure_m cur.c_e l) p;
+                prt_q = Bitmatrix.row (pure_t_m cur.c_e r) q;
+                mrt_q = Bitmatrix.row (mixed_t_m cur.c_e r) q;
+                g_mid = 0;
+                g_stage = 0;
+              }))
+
+(* A run just completed: emit, or explore the continuation's range. *)
+let perform cur k =
+  match k with
+  | Emit -> Some (tuple_of_picks cur.c_e.ct cur.c_picks cur.c_ending)
+  | Expl x ->
+      start_expl cur x.x_id x.x_p x.x_q x.x_off x.x_k;
+      None
+
+let pop cur = ignore (Vec.pop cur.c_stack)
+
+(* Advance the top frame: descend into its next viable choice (pushing
+   a frame and returning [None]), emit a completed run, or pop. *)
+let step cur =
+  match Vec.last cur.c_stack with
+  | Leaf_f f ->
+      Vec.truncate cur.c_picks f.f_picks;
+      if f.f_arc >= Array.length f.f_arcs then begin
+        pop cur;
+        None
+      end
+      else begin
+        let lbl = f.f_arcs.(f.f_arc) in
+        f.f_arc <- f.f_arc + 1;
+        ignore (Vec.push cur.c_picks (f.f_off, lbl));
+        perform cur f.f_k
+      end
+  | Pair_f f ->
+      let descended = ref false in
+      while (not !descended) && f.g_mid >= 0 && f.g_mid < cur.c_n do
+        let mid = f.g_mid in
+        match f.g_stage with
+        | 0 ->
+            (* skip dead split states word-parallel: the next mid where
+               any of the three kinds is viable, in one fused pass *)
+            let best = Bitset.first_split_from f.ml_p f.pl_p f.prt_q f.mrt_q mid in
+            if best < 0 then f.g_mid <- -1
+            else begin
+              f.g_mid <- best;
+              f.g_stage <- 1;
+              (* kind L: markers in the left part, letters-only right *)
+              if Bitset.mem f.ml_p best && Bitset.mem f.prt_q best then begin
+                descended := true;
+                start_expl cur f.g_l f.g_p best f.g_off f.g_k
+              end
+            end
+        | 1 ->
+            f.g_stage <- 2;
+            (* kind R: letters-only left, markers in the right part *)
+            if Bitset.mem f.pl_p mid && Bitset.mem f.mrt_q mid then begin
+              descended := true;
+              start_expl cur f.g_r mid f.g_q f.g_roff f.g_k
+            end
+        | _ ->
+            f.g_mid <- mid + 1;
+            f.g_stage <- 0;
+            (* kind B: markers on both sides — explore the left, then
+               the right under the reified continuation *)
+            if Bitset.mem f.ml_p mid && Bitset.mem f.mrt_q mid then begin
+              descended := true;
+              start_expl cur f.g_l f.g_p mid f.g_off
+                (Expl { x_id = f.g_r; x_p = mid; x_q = f.g_q; x_off = f.g_roff; x_k = f.g_k })
+            end
+      done;
+      if not !descended then pop cur;
+      None
+
+let cursor_next cur =
+  let ct = cur.c_e.ct in
+  let init = Compiled.initial ct in
+  let result = ref None in
+  while !result == None && not cur.c_done do
+    if cur.c_emit_pure then begin
+      cur.c_emit_pure <- false;
+      result := Some (tuple_of_picks ct cur.c_picks cur.c_ending)
+    end
+    else if cur.c_start_mixed then begin
+      cur.c_start_mixed <- false;
+      start_expl cur cur.c_root init cur.c_q 0 Emit
+    end
+    else if not (Vec.is_empty cur.c_stack) then result := step cur
+    else begin
+      match cur.c_endings with
+      | e :: rest ->
+          cur.c_endings <- rest;
+          cur.c_ending <- e;
+          cur.c_emit_pure <- Bitset.mem cur.c_proot cur.c_q;
+          cur.c_start_mixed <- Bitset.mem cur.c_mroot cur.c_q
+      | [] -> (
+          (* next ending state reachable through either root matrix —
+             intersecting with the precomputed ending set skips the
+             barren reachable states word-parallel instead of building
+             an empty endings list for each *)
+          let from = cur.c_q + 1 in
+          let q =
+            let a = Bitset.first_common_from cur.c_proot cur.c_e.ends from in
+            let b = Bitset.first_common_from cur.c_mroot cur.c_e.ends from in
+            if a < 0 then b else if b < 0 then a else min a b
+          in
+          if q < 0 then cur.c_done <- true
+          else begin
+            cur.c_q <- q;
+            (* runs ending at q, then the trailing boundary — same list
+               order as [iter_prepared] *)
+            let endings = ref [] in
+            if Compiled.is_final_state ct q then endings := None :: !endings;
+            Compiled.iter_set_arcs ct q (fun lbl q' ->
+                if Compiled.is_final_state ct q' then
+                  endings := Some (cur.c_len, lbl) :: !endings);
+            cur.c_endings <- !endings
+          end)
+    end
+  done;
+  !result
 
 let cardinal engine id =
   prepare engine id;

@@ -92,6 +92,44 @@ val iter : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
     is unspecified if [id] was never prepared. *)
 val iter_prepared : engine -> Slp.id -> (Span_tuple.t -> unit) -> unit
 
+(** [nondeterministic engine] is [true] when the compiled automaton is
+    not deterministic — i.e. when enumeration ({!iter}, {!cursor}) may
+    visit a tuple once per accepting run and a streaming consumer that
+    wants set semantics must deduplicate.  Computed once at engine
+    construction, so per-cursor setup does not pay the evset scan. *)
+val nondeterministic : engine -> bool
+
+(** {2 Pull enumeration}
+
+    The native constant-delay producer (ROADMAP item 3).  A cursor is
+    the suspended state of the run enumeration — an explicit frame
+    stack over the parse tree plus the pick list of the run under
+    construction — and each {!cursor_next} resumes it until the next
+    run completes.  Compared to driving {!iter_prepared} through an
+    effect handler, there is no fiber, no handler frame, and no
+    per-pull context switch; delay between tuples is bounded by the
+    descent work alone, which the per-node transposed matrices reduce
+    to byte-parallel candidate scans ({!Spanner_util.Bitset.first_common_from}).
+
+    Tuples come out in {e exactly} the order {!iter_prepared} emits
+    them (same runs, same order), so the two are interchangeable
+    downstream.  A cursor only reads prepared matrix slots and the
+    frozen snapshot captured at creation: cursors on different roots
+    may run on different domains, but creation requires the root to be
+    prepared first. *)
+
+type cursor
+
+(** [cursor engine id] opens a pull cursor over ⟦e⟧(𝔇(id)).  O(1) in
+    the document; the root must already be prepared.
+    @raise Invalid_argument if [id] was never prepared. *)
+val cursor : engine -> Slp.id -> cursor
+
+(** [cursor_next c] is the next accepting run's tuple, or [None] when
+    exhausted.  Duplicate-free iff the automaton is deterministic
+    ({!nondeterministic}). *)
+val cursor_next : cursor -> Span_tuple.t option
+
 (** [cardinal engine id] counts accepting runs by dynamic programming
     over run counts — no enumeration, O(|S|·|Q|²) after preparation.
     Equals |⟦e⟧(𝔇(id))| when the automaton is deterministic. *)

@@ -82,6 +82,7 @@ cross-query hits), and the admission scheduler:
   docs: 1
   plan_cache: hits=7 misses=1 evictions=0 entries=1/128
   doc_cache: hits=5 misses=1 evictions=0 entries=1/128
+  engine_cache: hits=0 misses=0 evictions=0 entries=0/32
   store corpus: kind=heap docs=1 shards=1 mapped=0 resident=160
   scheduler: workers=2 capacity=8 submitted=7 completed=7 shed=0 queued=0 max_queued=1 restarts=0
   connections: live=1 accepted=12

@@ -221,6 +221,56 @@ let registry_load_path_generation () =
       check Alcotest.string "reload must not serve stale text" "bbbb"
         (Registry.doc_text r ~gauge ~store:"s" ~doc:"d"))
 
+let registry_native_cursor () =
+  let module Cursor = Spanner_engine.Cursor in
+  let module Optimizer = Spanner_engine.Optimizer in
+  let module Span_relation = Spanner_core.Span_relation in
+  let r = registry () in
+  let body = "[ab]*!x{ab}[ab]*" in
+  let gauge () = Limits.unlimited () in
+  (* a highly repetitive document compresses far past the break-even
+     ratio, so the query must go native — no decompression *)
+  let big = String.concat "" (List.init 512 (fun _ -> "ab")) in
+  ignore (Registry.load_doc r ~store:"s" ~doc:"big" ~text:big);
+  ignore (Registry.load_doc r ~store:"s" ~doc:"tiny" ~text:"abab");
+  let normalized, plan = Registry.plan_normalized r (Protocol.Inline body) in
+  let native doc =
+    Registry.native_cursor r ~gauge:(gauge ()) ~normalized ~store:"s" ~doc plan
+  in
+  (match native "big" with
+  | None -> Alcotest.fail "compressible doc must take the native path"
+  | Some cursor ->
+      let oracle =
+        Cursor.to_relation
+          (Optimizer.cursor plan (Registry.doc_text r ~gauge:(gauge ()) ~store:"s" ~doc:"big"))
+      in
+      check Alcotest.bool "native stream ≡ decompressed stream" true
+        (Span_relation.equal (Cursor.to_relation cursor) oracle);
+      check Alcotest.int "512 matches" 512 (Span_relation.cardinal oracle));
+  check Alcotest.int "engine cache filled once" 1
+    (Registry.engine_cache_stats r).Registry.misses;
+  (match native "big" with
+  | None -> Alcotest.fail "native path must stay available"
+  | Some cursor -> ignore (Cursor.to_list cursor));
+  check Alcotest.int "repeat query hits the engine cache" 1
+    (Registry.engine_cache_stats r).Registry.hits;
+  (* the tiny document barely compresses: decompressed-text fallback *)
+  check Alcotest.bool "incompressible doc falls back" true (native "tiny" = None);
+  (* LOAD DOC refreshes the snapshot without bumping the generation:
+     the node count in the engine key must keep the old engine from
+     serving a root it cannot see *)
+  let big2 = String.concat "" (List.init 512 (fun _ -> "ba")) in
+  ignore (Registry.load_doc r ~store:"s" ~doc:"big2" ~text:big2);
+  match native "big2" with
+  | None -> Alcotest.fail "refreshed snapshot must still go native"
+  | Some cursor ->
+      let oracle =
+        Cursor.to_relation
+          (Optimizer.cursor plan (Registry.doc_text r ~gauge:(gauge ()) ~store:"s" ~doc:"big2"))
+      in
+      check Alcotest.bool "post-reload native stream is fresh" true
+        (Span_relation.equal (Cursor.to_relation cursor) oracle)
+
 let registry_limits_clamp () =
   (* per-request overrides may only tighten the server defaults *)
   let defaults = { Limits.fuel = 100; time_ms = max_int; max_states = 50; max_tuples = max_int } in
@@ -345,6 +395,7 @@ let () =
           tc "define and plan cache" `Quick registry_define_and_plan;
           tc "stores and doc cache" `Quick registry_docs;
           tc "load_path bumps generation" `Quick registry_load_path_generation;
+          tc "native compressed-domain cursor" `Quick registry_native_cursor;
           tc "limits clamp to defaults" `Quick registry_limits_clamp;
         ] );
       ( "server",
